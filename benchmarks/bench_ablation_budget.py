@@ -1,0 +1,48 @@
+"""Ablation: the per-fault effort budget vs the CPU-ratio shape.
+
+The paper's CPU ratios depend on how long an ATPG grinds before giving
+up (they manually halted runs after 12 idle hours).  Shape: raising the
+backtrack budget raises the retimed/original CPU ratio — aborts on the
+retimed circuit scale with the budget while the original stays cheap.
+"""
+
+from repro.atpg import EffortBudget, HitecEngine
+from repro.fault import collapse_faults
+from repro.harness import build_pair, sample_faults
+from repro.harness.config import HarnessConfig
+
+
+def test_budget_ablation(once):
+    pair = build_pair("dk16.ji.sd")
+    config = HarnessConfig.smoke()
+
+    def ratio_for(backtracks):
+        budget = EffortBudget(
+            max_backtracks=backtracks,
+            max_frames=4,
+            max_justify_depth=10,
+            max_preimages=3,
+            per_fault_seconds=backtracks / 200.0,
+            total_seconds=90.0,
+            random_sequences=16,
+            random_length=25,
+        )
+        results = []
+        for circuit in (pair.original_circuit, pair.retimed_circuit):
+            faults = sample_faults(
+                collapse_faults(circuit).representatives, config
+            )
+            results.append(
+                HitecEngine(circuit, budget=budget).run(faults)
+            )
+        original, retimed = results
+        return retimed.cpu_seconds / max(original.cpu_seconds, 1e-6)
+
+    def sweep():
+        return [(b, ratio_for(b)) for b in (50, 400)]
+
+    ratios = once(sweep)
+    print("")
+    for backtracks, ratio in ratios:
+        print(f"backtracks={backtracks}: cpu ratio {ratio:.1f}")
+    assert ratios[-1][1] > 1.0

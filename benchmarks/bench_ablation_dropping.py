@@ -1,0 +1,46 @@
+"""Ablation: fault dropping and the RTG phase.
+
+Every classical flow leans on random test generation plus fault
+dropping before deterministic search.  Shape: disabling the RTG phase
+leaves coverage roughly intact (deterministic search picks up the
+slack) but costs more CPU per detected fault.
+"""
+
+from repro.atpg import EffortBudget, HitecEngine
+from repro.fault import collapse_faults
+from repro.harness import build_pair, sample_faults
+from repro.harness.config import HarnessConfig
+
+
+def test_rtg_ablation(once):
+    pair = build_pair("dk16.ji.sd")
+    circuit = pair.original_circuit
+    config = HarnessConfig.smoke()
+    faults = sample_faults(
+        collapse_faults(circuit).representatives, config
+    )
+
+    def run_both():
+        with_rtg = HitecEngine(
+            circuit, budget=EffortBudget.quick()
+        ).run(faults)
+        no_rtg_budget = EffortBudget.quick()
+        no_rtg_budget.random_sequences = 0
+        without_rtg = HitecEngine(circuit, budget=no_rtg_budget).run(
+            faults
+        )
+        return with_rtg, without_rtg
+
+    with_rtg, without_rtg = once(run_both)
+    print(f"\nwith RTG:    {with_rtg}\nwithout RTG: {without_rtg}")
+
+    def cost_per_detection(result):
+        detected = max(
+            1, sum(1 for s in result.statuses.values() if s.state == "detected")
+        )
+        return result.cpu_seconds / detected
+
+    assert cost_per_detection(without_rtg) >= cost_per_detection(
+        with_rtg
+    )
+    assert without_rtg.fault_coverage >= with_rtg.fault_coverage - 25.0

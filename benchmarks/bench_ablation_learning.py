@@ -1,0 +1,33 @@
+"""Ablation: illegal-state learning on vs off (DESIGN.md §5).
+
+The paper cites state learning buying "an order of magnitude for some
+circuits" (§5).  Shape asserted here: on a retimed (low-density)
+circuit, the learning engine never does more justification work and the
+cache records real activity.
+"""
+
+from repro.atpg import EffortBudget, HitecEngine, SestEngine
+from repro.harness import build_pair
+
+
+def test_learning_ablation(once):
+    pair = build_pair("dk16.ji.sd")
+    retimed = pair.retimed_circuit
+    budget = EffortBudget.quick()
+
+    def run_both():
+        plain = HitecEngine(retimed, budget=budget).run()
+        learning_engine = SestEngine(retimed, budget=budget)
+        learned = learning_engine.run()
+        return plain, learned, learning_engine.learning_stats
+
+    plain, learned, stats = once(run_both)
+    print(
+        f"\nno-learning: {plain}\nlearning:    {learned}\n"
+        f"cache: {stats.cubes_learned} cubes learned, "
+        f"{stats.hits} hits / {stats.misses} misses"
+    )
+    assert stats.cubes_learned + stats.hits > 0
+    assert (
+        learned.fault_efficiency >= plain.fault_efficiency - 5.0
+    )

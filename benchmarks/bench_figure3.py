@@ -1,0 +1,28 @@
+"""Figure 3: fault efficiency vs CPU time across the density sweep.
+
+Shape: to reach any fixed fault-efficiency level, lower-density
+(more-retimed) versions need at least as much CPU; the final efficiency
+ordering follows the density ordering.
+"""
+
+from repro.harness import HarnessConfig, figure3
+
+
+def test_figure3(once):
+    curves = once(
+        figure3.generate, HarnessConfig.smoke(), depths=(1, 2)
+    )
+    print("\n" + figure3.render(curves))
+    assert len(curves) >= 3
+    by_density = sorted(curves, key=lambda c: -c.density_of_encoding)
+    # The densest circuit must finish at least as high as the sparsest.
+    assert (
+        by_density[0].final_efficiency()
+        >= by_density[-1].final_efficiency() - 1.0
+    )
+    # CPU to reach 50% FE is monotone-ish in density (allow equal).
+    level = 50.0
+    costs = [c.cpu_to_reach(level) for c in by_density]
+    reached = [c for c in costs if c is not None]
+    if len(reached) >= 2:
+        assert reached[0] <= reached[-1] * 3.0 + 1.0

@@ -1,0 +1,11 @@
+"""Table 1: benchmark-suite generation (FSM dimensions)."""
+
+from repro.fsm.benchmarks import benchmark_fsm
+from repro.harness import table1
+
+
+def test_table1(once):
+    benchmark_fsm.cache_clear()  # measure real generation work
+    table = once(table1.generate)
+    print("\n" + table.render())
+    assert all(row["match"] == "yes" for row in table.rows)

@@ -1,0 +1,31 @@
+"""Table 2: HITEC on original vs retimed circuits.
+
+Shape assertions (the paper's core result):
+* every retimed circuit has more registers;
+* every retimed circuit costs more ATPG CPU (ratio > 1);
+* retimed coverage never beats the original's by more than noise, and
+  the suite-level coverage drop is strictly positive.
+"""
+
+from repro.harness import HarnessConfig, table2
+
+
+def test_table2(once, table2_smoke_runs):
+    config, _, _ = table2_smoke_runs  # warm the suite caches
+    table, runs = once(table2.generate, config)
+    print("\n" + table.render())
+    assert runs
+    for run in runs:
+        original_dffs = run.pair.original_circuit.num_dffs()
+        retimed_dffs = run.pair.retimed_circuit.num_dffs()
+        assert retimed_dffs > original_dffs
+        assert run.cpu_ratio > 1.0
+        assert (
+            run.retimed.fault_coverage
+            <= run.original.fault_coverage + 2.0
+        )
+    total_drop = sum(
+        run.original.fault_coverage - run.retimed.fault_coverage
+        for run in runs
+    )
+    assert total_drop > 0.0

@@ -1,0 +1,22 @@
+"""Table 4: SEST stand-in (PODEM + illegal-state learning).
+
+Shape: retimed circuits cost more and cover less, like Table 2; the
+learning cache is actually exercised on the retimed circuits.
+"""
+
+from repro.harness import HarnessConfig, table4
+
+
+def test_table4(once):
+    table, runs = once(table4.generate, HarnessConfig.smoke())
+    print("\n" + table.render())
+    for run in runs:
+        assert run.cpu_ratio > 0.5  # sanity: comparable work measured
+        assert (
+            run.retimed.fault_coverage
+            <= run.original.fault_coverage + 2.0
+        )
+    assert any(
+        run.retimed.fault_coverage < run.original.fault_coverage
+        for run in runs
+    )

@@ -1,0 +1,19 @@
+"""Table 5: structural attributes orig vs retimed.
+
+Shape (Theorems 2-4): max sequential depth and max cycle length are
+invariant; the DFF-subset cycle count increases.
+"""
+
+from repro.harness import HarnessConfig, table5
+
+
+def test_table5(once):
+    table = once(table5.generate, HarnessConfig.smoke())
+    print("\n" + table.render())
+    for row in table.rows:
+        assert row["depth_orig"] == row["depth_re"]
+        assert row["maxlen_orig"] == row["maxlen_re"]
+        assert row["cycles_re"] >= row["cycles_orig"]
+    assert any(
+        row["cycles_re"] > row["cycles_orig"] for row in table.rows
+    )

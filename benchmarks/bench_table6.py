@@ -1,0 +1,22 @@
+"""Table 6: state traversal and density of encoding.
+
+Shape: retimed circuits explode the total state space, valid states
+grow far slower, density collapses by orders of magnitude, and the
+engine traverses a smaller fraction of the valid states.
+"""
+
+from repro.harness import HarnessConfig, table2, table6
+
+
+def test_table6(once, table2_smoke_runs):
+    config, _, runs = table2_smoke_runs
+    table = once(table6.generate, config, runs=runs)
+    print("\n" + table.render())
+    for original_row, retimed_row in zip(table.rows[::2], table.rows[1::2]):
+        assert retimed_row["total"] > original_row["total"]
+        assert retimed_row["density"] < original_row["density"] / 10
+        assert (
+            retimed_row["pct_valid"] <= original_row["pct_valid"] + 1e-9
+        )
+        # Originals: the engine traverses every valid state (paper: 100%).
+        assert original_row["pct_valid"] == 100.0

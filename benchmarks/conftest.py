@@ -1,0 +1,35 @@
+"""Benchmark configuration.
+
+Every bench regenerates one of the paper's tables or figures at the
+``smoke`` effort preset (seconds-to-minutes) and asserts the *shape* of
+the paper's result — who wins, in which direction, where the collapse
+happens.  Absolute numbers are machine- and budget-dependent by design.
+
+pytest-benchmark is used in pedantic single-round mode: table
+regenerations are long-running experiments, not microbenchmarks.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the target exactly once under pytest-benchmark timing."""
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return run
+
+
+@pytest.fixture(scope="session")
+def table2_smoke_runs():
+    """One shared Table 2 smoke run for the benches that build on it
+    (Tables 2, 6 and 8 all consume the same HITEC pair results)."""
+    from repro.harness import HarnessConfig, table2
+
+    config = HarnessConfig.smoke()
+    table, runs = table2.generate(config)
+    return config, table, runs

@@ -1,0 +1,32 @@
+"""Fallback: regenerate Tables 7-8 and Figure 3 with a shallower sweep."""
+import sys
+from repro.atpg.result import EffortBudget
+from repro.harness import HarnessConfig, figure3, table7, table8
+
+config = HarnessConfig(
+    budget=EffortBudget(
+        max_backtracks=350,
+        max_frames=5,
+        max_justify_depth=12,
+        max_preimages=4,
+        per_fault_seconds=0.8,
+        total_seconds=25.0,
+        random_sequences=32,
+        random_length=35,
+    ),
+    max_faults=300,
+    circuits=("dk16.ji.sd", "s510.jo.sr", "s832.jc.sr", "pma.jo.sd"),
+)
+parts = []
+t7 = table7.generate(config, depths=(1, 2))
+print(t7.render(), flush=True)
+parts.append(t7.render())
+t8 = table8.generate(config)
+print(t8.render(), flush=True)
+parts.append(t8.render())
+curves = figure3.generate(config, depths=(1, 2))
+rendered = figure3.render(curves)
+print(rendered, flush=True)
+parts.append(rendered)
+with open("experiments_tail.txt", "w") as f:
+    f.write("\n\n".join(parts) + "\n")

@@ -1,0 +1,38 @@
+"""Splice the recorded harness run into EXPERIMENTS.md's placeholders."""
+import re
+
+raw = open("experiments_raw.txt").read()
+
+# Split the raw run into blocks by blank lines between tables.
+blocks = {}
+current_name, current_lines = None, []
+for line in raw.splitlines():
+    if line.startswith("Table 1:"):
+        current_name = "RESULT_TABLE_1"
+    elif line.startswith("Table 2:"):
+        current_name = "RESULT_TABLE_2"
+    elif line.startswith("Table 3:"):
+        current_name = "RESULT_TABLE_3"
+    elif line.startswith("Table 4:"):
+        current_name = "RESULT_TABLE_4"
+    elif line.startswith("Table 5:"):
+        current_name = "RESULT_TABLE_5"
+    elif line.startswith("Table 6:"):
+        current_name = "RESULT_TABLE_6"
+    elif line.startswith("Table 7:"):
+        current_name = "RESULT_TABLE_7"
+    elif line.startswith("Table 8:"):
+        current_name = "RESULT_TABLE_8"
+    elif line.startswith("Figure 3:"):
+        current_name = "RESULT_FIGURE_3"
+    elif line.startswith("total harness time"):
+        current_name = None
+    if current_name:
+        blocks.setdefault(current_name, []).append(line)
+
+text = open("EXPERIMENTS.md").read()
+for marker, lines in blocks.items():
+    body = "\n".join(lines).rstrip()
+    text = text.replace(marker, "```text\n" + body + "\n```")
+open("EXPERIMENTS.md", "w").write(text)
+print("filled", sorted(blocks))

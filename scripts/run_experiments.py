@@ -1,0 +1,38 @@
+"""One-shot experiment run used to populate EXPERIMENTS.md.
+
+Uses a single-core-friendly configuration: eight of the paper's sixteen
+circuit pairs (covering five of the six FSMs; the scf pairs — our
+synthetic scf synthesizes to several thousand gates — run under the
+``heavy`` preset instead) and compact per-circuit budgets.  The shape
+assertions in benchmarks/ run on every preset.
+"""
+import sys
+from repro.atpg.result import EffortBudget
+from repro.harness import HarnessConfig, run_all
+
+config = HarnessConfig(
+    budget=EffortBudget(
+        max_backtracks=350,
+        max_frames=5,
+        max_justify_depth=12,
+        max_preimages=4,
+        per_fault_seconds=0.8,
+        total_seconds=25.0,
+        random_sequences=32,
+        random_length=35,
+    ),
+    max_faults=300,
+    circuits=(
+        "dk16.ji.sd",
+        "pma.jo.sd",
+        "s510.jc.sd",
+        "s510.jo.sr",
+        "s820.jc.sr",
+        "s820.jo.sd",
+        "s832.jc.sr",
+        "s832.jo.sr",
+    ),
+)
+text = run_all(config, stream=sys.stdout)
+with open("experiments_raw.txt", "w") as f:
+    f.write(text)

@@ -1,0 +1,49 @@
+"""repro — reproduction of "Complexity of Sequential ATPG" (DATE 1995).
+
+A production-quality Python stack for studying the complexity of
+structural sequential test generation:
+
+* ``repro.circuit`` — gate-level sequential netlists, BLIF I/O.
+* ``repro.logic``   — cubes/covers, espresso-style minimization, BDDs.
+* ``repro.fsm``     — finite state machines, KISS2, benchmark suite,
+  state minimization and state assignment.
+* ``repro.synth``   — FSM-to-netlist synthesis pipeline (SIS substitute).
+* ``repro.retime``  — Leiserson-Saxe retiming and atomic register moves.
+* ``repro.sim``     — ternary event-driven and bit-parallel simulators.
+* ``repro.fault``   — stuck-at fault model, collapsing, fault simulation.
+* ``repro.atpg``    — three structural sequential ATPG engines.
+* ``repro.analysis``— sequential depth, cycles, density of encoding.
+* ``repro.harness`` — experiment drivers regenerating the paper's
+  tables (1-8) and Figure 3.
+
+See DESIGN.md for the system inventory and the per-experiment index.
+"""
+
+__version__ = "1.0.0"
+
+from .errors import (
+    AnalysisError,
+    AtpgError,
+    CircuitError,
+    FaultError,
+    FsmError,
+    ParseError,
+    ReproError,
+    RetimingError,
+    SimulationError,
+    SynthesisError,
+)
+
+__all__ = [
+    "AnalysisError",
+    "AtpgError",
+    "CircuitError",
+    "FaultError",
+    "FsmError",
+    "ParseError",
+    "ReproError",
+    "RetimingError",
+    "SimulationError",
+    "SynthesisError",
+    "__version__",
+]

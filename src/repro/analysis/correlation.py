@@ -1,0 +1,71 @@
+"""Rank correlation utilities for the cross-circuit analyses.
+
+The paper's core analytical move is an informal correlation: density of
+encoding down, ATPG cost up, coverage down.  This module makes that
+quantitative — Spearman rank correlation with average-rank tie
+handling, dependency-free — so harness results can report e.g.
+``spearman(density, cpu_ratio)`` across the suite, and the SCOAP
+ablation can show structural metrics failing to correlate where density
+succeeds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from ..errors import AnalysisError
+
+
+def ranks(values: Sequence[float]) -> List[float]:
+    """Average ranks (1-based); ties share the mean of their positions."""
+    indexed = sorted(range(len(values)), key=lambda i: values[i])
+    result = [0.0] * len(values)
+    position = 0
+    while position < len(indexed):
+        tie_end = position
+        while (
+            tie_end + 1 < len(indexed)
+            and values[indexed[tie_end + 1]] == values[indexed[position]]
+        ):
+            tie_end += 1
+        average = (position + tie_end) / 2.0 + 1.0
+        for i in range(position, tie_end + 1):
+            result[indexed[i]] = average
+        position = tie_end + 1
+    return result
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient."""
+    if len(xs) != len(ys):
+        raise AnalysisError("correlation needs equal-length series")
+    n = len(xs)
+    if n < 2:
+        raise AnalysisError("correlation needs at least two points")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+def spearman(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Spearman rank correlation (Pearson over average ranks)."""
+    return pearson(ranks(xs), ranks(ys))
+
+
+def density_cost_correlation(
+    pairs: Sequence[Tuple[float, float]],
+) -> float:
+    """Spearman correlation of (density of encoding, ATPG cost) pairs.
+
+    The paper predicts a strong *negative* value: lower density, higher
+    cost.  Used by the correlation example and the SCOAP ablation.
+    """
+    xs = [density for density, _ in pairs]
+    ys = [cost for _, cost in pairs]
+    return spearman(xs, ys)

@@ -1,0 +1,275 @@
+"""Cycle structure of sequential circuits (paper §4.2, Table 5, Figure 2,
+Theorems 3-4).
+
+Three metrics:
+
+* **#cycles** (:func:`count_dff_cycles`) — cycles counted per unique D
+  flip-flop subset, the convention of Lioy et al. [17] that Table 5
+  uses.  Computed on the register view (one vertex per DFF, one edge
+  per combinational connection).  The paper stresses that "the number
+  of cycles computed varies according to the algorithm used" and that
+  the *increase* under retiming is a counting artifact (Figure 2): one
+  register splitting into several turns one DFF subset into many.  Our
+  algorithm reproduces that direction (originals count fewer subsets
+  than their retimed versions).
+* **max cycle length** (:func:`max_cycle_length_report`) — the most D
+  flip-flops on any *node-simple* cycle of the gate-level graph.  The
+  node-disjointness is what Theorem 4's invariance rests on, and it
+  makes the exact problem NP-hard; we run a branch-and-bound search
+  with the same bound/budget scheme as the sequential-depth analysis.
+* **path-distinct cycle count** (:func:`count_path_cycles`) — every
+  simple cycle of the gate-level graph counted separately, the "actual"
+  cycle count of Theorem 3.  Exponential; intended for the theorem's
+  property tests and small demonstrators (the Figure 2 example lives in
+  ``examples/cycle_counting_artifact.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
+
+from ..circuit.graph import register_adjacency
+from ..circuit.netlist import Circuit, NodeKind
+from ..errors import AnalysisError
+
+
+@dataclasses.dataclass
+class CycleReport:
+    """Table 5's cycle columns for one circuit."""
+
+    num_cycles: int  # distinct DFF subsets forming a register-view cycle
+    max_cycle_length: int  # most DFFs on any node-simple cycle
+    count_capped: bool  # subset enumeration stopped early
+    length_exact: bool  # max length proven (vs budget-limited best)
+
+
+def _simple_cycles(
+    adjacency: Dict[str, Set[str]], cap: int
+) -> Iterator[List[str]]:
+    """Simple-cycle enumeration (yields node lists), capped.
+
+    A Johnson-style scheme sized for register graphs with tens of
+    vertices: each cycle is discovered exactly once, rooted at its
+    smallest vertex.
+    """
+    nodes = sorted(adjacency)
+    yielded = 0
+
+    for root_position, root in enumerate(nodes):
+        allowed = set(nodes[root_position:])
+        path: List[str] = [root]
+        on_path: Set[str] = {root}
+        stack: List[Iterator[str]] = [
+            iter(sorted(adjacency.get(root, set()) & allowed))
+        ]
+        while stack:
+            advanced = False
+            for successor in stack[-1]:
+                if successor == root:
+                    yield list(path)
+                    yielded += 1
+                    if yielded >= cap:
+                        return
+                    continue
+                if successor in on_path:
+                    continue
+                path.append(successor)
+                on_path.add(successor)
+                stack.append(
+                    iter(sorted(adjacency.get(successor, set()) & allowed))
+                )
+                advanced = True
+                break
+            if not advanced:
+                on_path.discard(path.pop())
+                stack.pop()
+
+
+def count_dff_cycles(circuit: Circuit, cap: int = 200_000) -> CycleReport:
+    """Table 5 metrics: the Lioy-style subset count plus the node-simple
+    maximum cycle length."""
+    adjacency = register_adjacency(circuit)
+    subsets: Set[FrozenSet[str]] = set()
+    capped = False
+    count = 0
+    for cycle in _simple_cycles(adjacency, cap):
+        count += 1
+        if count >= cap:
+            capped = True
+        subsets.add(frozenset(cycle))
+    length = max_cycle_length_report(circuit)
+    return CycleReport(
+        num_cycles=len(subsets),
+        max_cycle_length=length.length,
+        count_capped=capped,
+        length_exact=length.exact,
+    )
+
+
+@dataclasses.dataclass
+class CycleLengthReport:
+    """Result of the node-simple max-cycle-length search."""
+
+    length: int
+    exact: bool
+    expansions: int
+
+
+def max_cycle_length_report(
+    circuit: Circuit, expansion_limit: int = 500_000
+) -> CycleLengthReport:
+    """Most DFFs on any node-simple cycle (branch-and-bound).
+
+    Same exactness semantics as the sequential-depth search: proven when
+    the search exhausts or the best cycle uses every register; otherwise
+    a budget-limited best-found (which matches the original circuit's
+    value on retimed circuits, since retiming maps cycles one-to-one —
+    Theorem 4)."""
+    circuit.check()
+    fanouts = circuit.fanouts()
+    names = list(circuit.node_names())
+    index = {name: i for i, name in enumerate(names)}
+    dff_bit: Dict[int, int] = {}
+    for position, dff in enumerate(circuit.dffs()):
+        dff_bit[index[dff.name]] = 1 << position
+    num_dffs = len(dff_bit)
+    successors: List[List[int]] = [
+        [index[r] for r in fanouts[name]] for name in names
+    ]
+
+    reachable = [0] * len(names)
+    for node_index, bit in dff_bit.items():
+        reachable[node_index] |= bit
+    changed = True
+    while changed:
+        changed = False
+        for node_index in range(len(names)):
+            acc = reachable[node_index]
+            for successor in successors[node_index]:
+                acc |= reachable[successor]
+            if acc != reachable[node_index]:
+                reachable[node_index] = acc
+                changed = True
+
+    def popcount(value: int) -> int:
+        return bin(value).count("1")
+
+    ordered_successors: List[List[int]] = [
+        sorted(succ, key=lambda s: -popcount(reachable[s]))
+        for succ in successors
+    ]
+
+    best = 0
+    expansions = 0
+    budget_hit = False
+    on_path = [False] * len(names)
+    sys.setrecursionlimit(max(sys.getrecursionlimit(), 2 * len(names) + 1000))
+
+    # Roots: every DFF in turn; cycles through no DFF have length 0 and
+    # never matter (a combinational cycle would fail circuit.check()).
+    dff_indices = sorted(dff_bit, key=lambda i: names[i])
+
+    def dfs(node_index: int, root: int, depth: int, used_mask: int) -> None:
+        nonlocal best, expansions, budget_hit
+        if budget_hit:
+            return
+        expansions += 1
+        if expansions > expansion_limit:
+            budget_hit = True
+            return
+        if best >= num_dffs:
+            return
+        remaining = reachable[node_index] & ~used_mask
+        if depth + popcount(remaining) <= best:
+            return
+        for successor in ordered_successors[node_index]:
+            if successor == root:
+                if depth > best:
+                    best = depth
+                continue
+            if on_path[successor]:
+                continue
+            # Prune branches from which the root register is unreachable:
+            # they can never close the cycle.
+            if not (reachable[successor] & dff_bit[root]):
+                continue
+            bit = dff_bit.get(successor, 0)
+            on_path[successor] = True
+            dfs(
+                successor,
+                root,
+                depth + (1 if bit else 0),
+                used_mask | bit,
+            )
+            on_path[successor] = False
+
+    for root in dff_indices:
+        if budget_hit or best >= num_dffs:
+            break
+        on_path[root] = True
+        dfs(root, root, 1, dff_bit[root])
+        on_path[root] = False
+
+    exact = (not budget_hit) or best >= num_dffs
+    return CycleLengthReport(length=best, exact=exact, expansions=expansions)
+
+
+def count_path_cycles(circuit: Circuit, cap: int = 200_000) -> int:
+    """The *actual* (path-distinct) cycle count of Theorem 3: simple
+    cycles over the circuit's **gates**, each distinct gate route counted
+    separately, with registers collapsed into the connections (where the
+    registers sit on a route cannot change which routes exist — exactly
+    the connectivity-preservation argument of the theorem's proof).
+    Parallel registers on one connection are one connection.
+
+    Intended for small circuits (property tests, the Figure 2 example);
+    raises :class:`AnalysisError` when the cap is hit, because a capped
+    count would silently understate the invariant being tested.
+    """
+    adjacency = _gate_adjacency(circuit)
+    count = 0
+    for _ in _simple_cycles(adjacency, cap):
+        count += 1
+        if count >= cap:
+            raise AnalysisError(
+                f"path-cycle enumeration exceeded the cap ({cap}); "
+                "use count_dff_cycles for large circuits"
+            )
+    return count
+
+
+def _gate_adjacency(circuit: Circuit) -> Dict[str, Set[str]]:
+    """Gate-to-gate connectivity with register chains collapsed."""
+    fanouts = circuit.fanouts()
+    adjacency: Dict[str, Set[str]] = {
+        node.name: set()
+        for node in circuit.nodes()
+        if node.kind is NodeKind.GATE
+    }
+
+    def sinks_of(signal: str, seen: Set[str]) -> Set[str]:
+        result: Set[str] = set()
+        for reader in fanouts[signal]:
+            if reader in seen:
+                continue
+            node = circuit.node(reader)
+            if node.kind is NodeKind.DFF:
+                seen.add(reader)
+                result |= sinks_of(reader, seen)
+            else:
+                result.add(reader)
+        return result
+
+    for gate_name in adjacency:
+        adjacency[gate_name] = sinks_of(gate_name, set())
+    return adjacency
+
+
+def cycle_dff_sets(
+    circuit: Circuit, cap: int = 200_000
+) -> Set[FrozenSet[str]]:
+    """The distinct DFF subsets that form register-view cycles."""
+    adjacency = register_adjacency(circuit)
+    return {frozenset(c) for c in _simple_cycles(adjacency, cap)}

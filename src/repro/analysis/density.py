@@ -1,0 +1,182 @@
+"""Valid states and the paper's *density of encoding* (§5, Tables 6-7).
+
+Definitions (paper §5):
+
+* a **valid state** is a register state reachable from the reset state;
+* the **total state space** is 2^#DFF;
+* the **density of encoding** is valid / total — the paper's key
+  indicator of sequential-ATPG complexity.
+
+Computation: symbolic reachability over BDDs.  Next-state functions come
+from :class:`repro.logic.bddcircuit.CircuitBdds`; each image step uses
+the output-splitting range construction (no transition relation, no
+primed variables), with primary inputs implicitly quantified.  The
+frontier-based fixpoint handles the 2^28-state retimed circuits of the
+paper in well under a second.
+
+An explicit breadth-first traversal over concrete states
+(:func:`explicit_valid_states`) serves as the cross-check oracle in the
+tests (it enumerates inputs, so it is only usable for small circuits).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..circuit.gates import ONE, X, ZERO
+from ..circuit.netlist import Circuit
+from ..errors import AnalysisError
+from ..logic.bddcircuit import CircuitBdds
+from ..sim.logicsim import TernarySimulator
+
+
+@dataclasses.dataclass
+class ReachabilityReport:
+    """Valid-state analysis of one circuit (Table 6/7 columns)."""
+
+    circuit_name: str
+    num_dffs: int
+    num_valid_states: int
+    iterations: int  # image steps to the fixpoint (diameter bound)
+
+    @property
+    def total_states(self) -> int:
+        return 1 << self.num_dffs
+
+    @property
+    def density_of_encoding(self) -> float:
+        return self.num_valid_states / float(self.total_states)
+
+
+class ReachableStates:
+    """Reachable-set computation with reusable BDD machinery."""
+
+    def __init__(self, circuit: Circuit):
+        circuit.check()
+        if any(dff.init == X for dff in circuit.dffs()):
+            raise AnalysisError(
+                f"circuit {circuit.name!r} has no defined reset state; "
+                "valid states are defined relative to one (paper §5)"
+            )
+        self.circuit = circuit
+        self._bdds = CircuitBdds(circuit)
+        self._manager = self._bdds.manager
+        self._state_vars = self._bdds.state_variables()
+        self._ns_functions = [
+            fn for _, fn in self._bdds.next_state_functions()
+        ]
+        self._reset_cube = {
+            name: (1 if circuit.node(name).init == ONE else 0)
+            for name in self._state_vars
+        }
+        self._reachable: Optional[int] = None
+        self._iterations = 0
+
+    def reachable_bdd(self) -> int:
+        """Characteristic function of the valid-state set (cached)."""
+        if self._reachable is not None:
+            return self._reachable
+        m = self._manager
+        reached = m.cube(self._reset_cube)
+        frontier = reached
+        iterations = 0
+        while frontier != m.FALSE:
+            iterations += 1
+            image = m.range_of(
+                self._ns_functions, self._state_vars, frontier
+            )
+            new = m.and_(image, m.not_(reached))
+            reached = m.or_(reached, new)
+            frontier = new
+        self._reachable = reached
+        self._iterations = iterations
+        return reached
+
+    def count(self) -> int:
+        return self._manager.satcount(
+            self.reachable_bdd(), self._state_vars
+        )
+
+    def report(self) -> ReachabilityReport:
+        count = self.count()
+        return ReachabilityReport(
+            circuit_name=self.circuit.name,
+            num_dffs=len(self._state_vars),
+            num_valid_states=count,
+            iterations=self._iterations,
+        )
+
+    def contains(self, state: Sequence[int]) -> bool:
+        """Is this concrete register state valid (reachable)?"""
+        assignment = {
+            name: int(bit)
+            for name, bit in zip(self._state_vars, state)
+        }
+        return bool(
+            self._manager.evaluate(self.reachable_bdd(), assignment)
+        )
+
+    def enumerate(self, limit: int = 100_000) -> List[Tuple[int, ...]]:
+        """List valid states (DFF declaration order), up to ``limit``."""
+        result: List[Tuple[int, ...]] = []
+        for assignment in self._manager.iter_satisfying(
+            self.reachable_bdd(), self._state_vars
+        ):
+            result.append(
+                tuple(assignment[name] for name in self._state_vars)
+            )
+            if len(result) >= limit:
+                raise AnalysisError(
+                    f"more than {limit} valid states; raise the limit"
+                )
+        return result
+
+
+def reachability_report(circuit: Circuit) -> ReachabilityReport:
+    """One-call Table 6/7 row: valid states + density of encoding."""
+    return ReachableStates(circuit).report()
+
+
+def density_of_encoding(circuit: Circuit) -> float:
+    return reachability_report(circuit).density_of_encoding
+
+
+def explicit_valid_states(
+    circuit: Circuit, max_states: int = 50_000
+) -> Set[Tuple[int, ...]]:
+    """Oracle: BFS over concrete states, enumerating all input vectors.
+
+    Exponential in #PI — use only on small circuits (tests cross-check
+    the BDD engine against this)."""
+    simulator = TernarySimulator(circuit)
+    initial = simulator.initial_state()
+    if X in initial:
+        raise AnalysisError("explicit traversal needs a full reset state")
+    num_inputs = len(circuit.inputs)
+    if num_inputs > 14:
+        raise AnalysisError(
+            f"{num_inputs} inputs is too many for explicit input "
+            "enumeration; use ReachableStates"
+        )
+    all_vectors = [
+        list(bits) for bits in itertools.product((0, 1), repeat=num_inputs)
+    ]
+    seen: Set[Tuple[int, ...]] = {tuple(initial)}
+    frontier = [tuple(initial)]
+    while frontier:
+        next_frontier = []
+        for state in frontier:
+            for vector in all_vectors:
+                _, nxt = simulator.step(vector, state)
+                key = tuple(nxt)
+                if key not in seen:
+                    seen.add(key)
+                    if len(seen) > max_states:
+                        raise AnalysisError(
+                            "explicit traversal exceeded max_states"
+                        )
+                    next_frontier.append(key)
+        frontier = next_frontier
+    return seen

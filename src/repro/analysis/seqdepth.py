@@ -1,0 +1,146 @@
+"""Maximum sequential depth (paper §4.2, Table 5, Theorem 2).
+
+Definition (the paper's): the sequential depth of a path from a primary
+input to a primary output is the number of D flip-flops encountered
+along it, *visiting no node more than once*; the maximum sequential
+depth is the maximum over all such paths.
+
+The node-disjointness clause matters: it is what makes the metric
+retiming-invariant (Theorem 2 — a retimed register rank is a cut, so a
+simple path crosses it the same number of times wherever the registers
+sit), and it is also what makes the exact computation NP-hard.  The
+implementation is a branch-and-bound DFS on the node graph:
+
+* bound: ``depth so far + |registers reachable from here that the path
+  has not used|`` (register reachability precomputed as bitmasks);
+* the search is *proven* optimal when it exhausts, or when the best
+  path found already crosses every register (nothing can beat that);
+* otherwise an expansion budget stops it and the best found is returned
+  with ``exact=False`` — on retimed circuits the corresponding original
+  path is always found quickly, so the value is right even when the
+  exhaustion proof is out of reach (Theorem 2's property test covers
+  the invariance exactly on small circuits).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..circuit.netlist import Circuit, NodeKind
+from ..errors import AnalysisError
+
+
+@dataclasses.dataclass
+class DepthReport:
+    """Result of the sequential-depth search."""
+
+    depth: int
+    exact: bool  # True: proven maximal; False: budget-limited best-found
+    expansions: int
+
+
+def sequential_depth_report(
+    circuit: Circuit, expansion_limit: int = 500_000
+) -> DepthReport:
+    """Branch-and-bound max-sequential-depth on the node graph."""
+    circuit.check()
+    fanouts = circuit.fanouts()
+    names = list(circuit.node_names())
+    index = {name: i for i, name in enumerate(names)}
+    dff_bit: Dict[int, int] = {}
+    for position, dff in enumerate(circuit.dffs()):
+        dff_bit[index[dff.name]] = 1 << position
+    num_dffs = len(dff_bit)
+    outputs = {index[po] for po in circuit.outputs}
+    successors: List[List[int]] = [
+        [index[r] for r in fanouts[name]] for name in names
+    ]
+
+    # Fixpoint: registers reachable (walks, not simple paths) from each
+    # node — an upper bound on what any simple path can still collect.
+    reachable = [0] * len(names)
+    for node_index, bit in dff_bit.items():
+        reachable[node_index] |= bit
+    changed = True
+    while changed:
+        changed = False
+        for node_index in range(len(names)):
+            acc = reachable[node_index]
+            for successor in successors[node_index]:
+                acc |= reachable[successor]
+            if acc != reachable[node_index]:
+                reachable[node_index] = acc
+                changed = True
+
+    def popcount(value: int) -> int:
+        return bin(value).count("1")
+
+    # Order successors so register-rich branches are explored first: the
+    # best path is found early and the bound prunes the rest.
+    ordered_successors: List[List[int]] = [
+        sorted(succ, key=lambda s: -popcount(reachable[s]))
+        for succ in successors
+    ]
+
+    best = 0
+    expansions = 0
+    budget_hit = False
+    on_path = [False] * len(names)
+    # Path length is bounded by the node count; make sure Python's
+    # recursion limit is not the binding constraint.
+    sys.setrecursionlimit(max(sys.getrecursionlimit(), 2 * len(names) + 1000))
+
+    def dfs(node_index: int, depth: int, used_mask: int) -> None:
+        nonlocal best, expansions, budget_hit
+        if budget_hit:
+            return
+        expansions += 1
+        if expansions > expansion_limit:
+            budget_hit = True
+            return
+        if node_index in outputs and depth > best:
+            best = depth
+        if best >= num_dffs:
+            return  # nothing can cross more registers than exist
+        remaining = reachable[node_index] & ~used_mask
+        if depth + popcount(remaining) <= best:
+            return
+        for successor in ordered_successors[node_index]:
+            if on_path[successor]:
+                continue
+            bit = dff_bit.get(successor, 0)
+            on_path[successor] = True
+            dfs(successor, depth + (1 if bit else 0), used_mask | bit)
+            on_path[successor] = False
+
+    for pi in circuit.inputs:
+        if budget_hit or best >= num_dffs:
+            break
+        start = index[pi]
+        on_path[start] = True
+        dfs(start, 0, 0)
+        on_path[start] = False
+
+    exact = (not budget_hit) or best >= num_dffs
+    return DepthReport(depth=best, exact=exact, expansions=expansions)
+
+
+def max_sequential_depth(
+    circuit: Circuit, expansion_limit: int = 500_000
+) -> int:
+    """The paper's *max seq depth* metric (Table 5).  See
+    :func:`sequential_depth_report` for exactness semantics."""
+    return sequential_depth_report(circuit, expansion_limit).depth
+
+
+def sequential_depth_per_output(circuit: Circuit) -> Dict[str, int]:
+    """Max sequential depth restricted to each primary output's cone
+    (diagnostic view; the paper reports only the maximum)."""
+    result: Dict[str, int] = {}
+    for po in circuit.outputs:
+        restricted = circuit.copy(f"{circuit.name}@{po}")
+        restricted._outputs = [po]  # narrow the sink
+        result[po] = max_sequential_depth(restricted)
+    return result

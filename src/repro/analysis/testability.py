@@ -1,0 +1,272 @@
+"""SCOAP testability measures (Goldstein's controllability/observability).
+
+The pre-1995 toolbox for predicting test-generation difficulty was
+dominated by SCOAP-style metrics: per-line 0/1-controllability (how
+hard to set the line) and observability (how hard to see it at an
+output).  The paper's whole point is that such *structural* indicators
+— like sequential depth and cycle counts — fail to explain the retiming
+blowup, while density of encoding does.  This module implements
+sequential SCOAP so that claim can be tested directly: the ablation
+benchmark correlates SCOAP aggregates and density of encoding against
+measured ATPG cost across original/retimed pairs.
+
+Definitions follow the classical formulation:
+
+* ``CC0/CC1(line)`` — combinational controllabilities; PIs cost 1, a
+  gate adds 1 plus the cheapest way to produce its output value from
+  its inputs' controllabilities.
+* ``SC0/SC1(line)`` — sequential controllabilities; crossing a DFF adds
+  one *sequential* unit instead of a combinational one.
+* ``CO/SO(line)`` — observabilities, propagated backwards from POs.
+
+Cyclic circuits are handled by fixpoint iteration with a convergence
+cap (standard practice; values saturate at ``INFINITY`` for
+uncontrollable lines, e.g. those requiring unreachable states).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from ..circuit.gates import GateType
+from ..circuit.netlist import Circuit, NodeKind
+from ..errors import AnalysisError
+
+INFINITY = 10.0 ** 9
+
+
+@dataclasses.dataclass
+class ScoapReport:
+    """SCOAP numbers for one circuit.
+
+    ``cc0``/``cc1`` are combinational controllabilities, ``sc0``/``sc1``
+    sequential ones, ``observability`` the combined CO measure, all per
+    node name.
+    """
+
+    cc0: Dict[str, float]
+    cc1: Dict[str, float]
+    sc0: Dict[str, float]
+    sc1: Dict[str, float]
+    observability: Dict[str, float]
+
+    def controllability_of(self, name: str, value: int) -> float:
+        return (self.cc1 if value else self.cc0)[name]
+
+    def hardest_lines(self, count: int = 10) -> List[Tuple[str, float]]:
+        """Lines with the worst (largest finite) max-controllability."""
+        scored = []
+        for name in self.cc0:
+            worst = max(self.cc0[name], self.cc1[name])
+            scored.append((name, worst))
+        scored.sort(key=lambda item: -item[1])
+        return scored[:count]
+
+    def mean_controllability(self) -> float:
+        """Average of finite max(CC0, CC1) over all lines — the scalar
+        the correlation ablation uses."""
+        finite = [
+            max(self.cc0[n], self.cc1[n])
+            for n in self.cc0
+            if max(self.cc0[n], self.cc1[n]) < INFINITY
+        ]
+        return sum(finite) / len(finite) if finite else INFINITY
+
+    def mean_observability(self) -> float:
+        finite = [
+            v for v in self.observability.values() if v < INFINITY
+        ]
+        return sum(finite) / len(finite) if finite else INFINITY
+
+
+def _gate_controllabilities(
+    gate: GateType,
+    fanin0: List[float],
+    fanin1: List[float],
+) -> Tuple[float, float]:
+    """(CC0, CC1) of a gate's output from its inputs' measures."""
+
+    def cheapest(values: List[float]) -> float:
+        return min(values) if values else INFINITY
+
+    def total(values: List[float]) -> float:
+        return sum(values) if values else INFINITY
+
+    if gate is GateType.CONST0:
+        return 0.0, INFINITY
+    if gate is GateType.CONST1:
+        return INFINITY, 0.0
+    if gate is GateType.BUF:
+        return fanin0[0] + 1, fanin1[0] + 1
+    if gate is GateType.NOT:
+        return fanin1[0] + 1, fanin0[0] + 1
+    if gate is GateType.AND:
+        return cheapest(fanin0) + 1, total(fanin1) + 1
+    if gate is GateType.NAND:
+        return total(fanin1) + 1, cheapest(fanin0) + 1
+    if gate is GateType.OR:
+        return total(fanin0) + 1, cheapest(fanin1) + 1
+    if gate is GateType.NOR:
+        return cheapest(fanin1) + 1, total(fanin0) + 1
+    if gate in (GateType.XOR, GateType.XNOR):
+        # Parity: cost of the cheapest input combination per parity.
+        even = 0.0
+        odd = INFINITY
+        for c0, c1 in zip(fanin0, fanin1):
+            new_even = min(even + c0, odd + c1)
+            new_odd = min(even + c1, odd + c0)
+            even, odd = new_even, new_odd
+        if gate is GateType.XOR:
+            return even + 1, odd + 1
+        return odd + 1, even + 1
+    raise AnalysisError(f"no SCOAP rule for gate {gate!r}")
+
+
+def scoap(circuit: Circuit, max_iterations: int = 60) -> ScoapReport:
+    """Compute sequential SCOAP measures by fixpoint iteration."""
+    circuit.check()
+    names = list(circuit.node_names())
+    cc0 = {n: INFINITY for n in names}
+    cc1 = {n: INFINITY for n in names}
+    sc0 = {n: INFINITY for n in names}
+    sc1 = {n: INFINITY for n in names}
+
+    for pi in circuit.inputs:
+        cc0[pi] = cc1[pi] = 1.0
+        sc0[pi] = sc1[pi] = 0.0
+
+    def relax() -> bool:
+        changed = False
+        for node in circuit.nodes():
+            if node.kind is NodeKind.INPUT:
+                continue
+            if node.kind is NodeKind.DFF:
+                driver = node.fanin[0]
+                # Loading a value costs its D-input controllability plus
+                # one sequential step.
+                candidates = (
+                    (cc0, cc0[driver]),
+                    (cc1, cc1[driver]),
+                )
+                for target, value in candidates:
+                    if value + 0 < target[node.name]:
+                        target[node.name] = value
+                        changed = True
+                for target, source in ((sc0, sc0), (sc1, sc1)):
+                    value = source[driver] + 1
+                    if value < target[node.name]:
+                        target[node.name] = value
+                        changed = True
+                continue
+            fanin0 = [cc0[f] for f in node.fanin]
+            fanin1 = [cc1[f] for f in node.fanin]
+            new0, new1 = _gate_controllabilities(node.gate, fanin0, fanin1)
+            if new0 < cc0[node.name]:
+                cc0[node.name] = new0
+                changed = True
+            if new1 < cc1[node.name]:
+                cc1[node.name] = new1
+                changed = True
+            sfanin0 = [sc0[f] for f in node.fanin]
+            sfanin1 = [sc1[f] for f in node.fanin]
+            snew0, snew1 = _gate_controllabilities(
+                node.gate, sfanin0, sfanin1
+            )
+            # Gates add no sequential depth: strip the +1 the
+            # combinational rule added (clamp at 0).
+            snew0 = max(0.0, snew0 - 1)
+            snew1 = max(0.0, snew1 - 1)
+            if snew0 < sc0[node.name]:
+                sc0[node.name] = snew0
+                changed = True
+            if snew1 < sc1[node.name]:
+                sc1[node.name] = snew1
+                changed = True
+        return changed
+
+    for _ in range(max_iterations):
+        if not relax():
+            break
+
+    observability = _observabilities(circuit, cc0, cc1, max_iterations)
+    return ScoapReport(
+        cc0=cc0, cc1=cc1, sc0=sc0, sc1=sc1, observability=observability
+    )
+
+
+def _observabilities(
+    circuit: Circuit,
+    cc0: Dict[str, float],
+    cc1: Dict[str, float],
+    max_iterations: int,
+) -> Dict[str, float]:
+    observability = {n: INFINITY for n in circuit.node_names()}
+    for po in circuit.outputs:
+        observability[po] = 0.0
+
+    def relax() -> bool:
+        changed = False
+        for node in circuit.nodes():
+            base = observability[node.name]
+            if node.kind is NodeKind.DFF:
+                driver = node.fanin[0]
+                value = base + 1
+                if value < observability[driver]:
+                    observability[driver] = value
+                    changed = True
+                continue
+            if node.kind is not NodeKind.GATE:
+                continue
+            gate = node.gate
+            for position, driver in enumerate(node.fanin):
+                side = _side_inputs_cost(gate, node.fanin, position, cc0, cc1)
+                value = base + side + 1
+                if value < observability[driver]:
+                    observability[driver] = value
+                    changed = True
+        return changed
+
+    for _ in range(max_iterations):
+        if not relax():
+            break
+    return observability
+
+
+def _side_inputs_cost(
+    gate: GateType,
+    fanin: Tuple[str, ...],
+    position: int,
+    cc0: Dict[str, float],
+    cc1: Dict[str, float],
+) -> float:
+    """Cost of holding the other inputs at non-controlling values."""
+    others = [f for i, f in enumerate(fanin) if i != position]
+    if gate in (GateType.BUF, GateType.NOT):
+        return 0.0
+    if gate in (GateType.AND, GateType.NAND):
+        return sum(cc1[f] for f in others)
+    if gate in (GateType.OR, GateType.NOR):
+        return sum(cc0[f] for f in others)
+    if gate in (GateType.XOR, GateType.XNOR):
+        return sum(min(cc0[f], cc1[f]) for f in others)
+    return INFINITY  # constants: unobservable through
+
+
+def testability_summary(circuit: Circuit) -> Dict[str, float]:
+    """Scalar aggregates for the correlation ablation."""
+    report = scoap(circuit)
+    uncontrollable = sum(
+        1
+        for n in report.cc0
+        if max(report.cc0[n], report.cc1[n]) >= INFINITY
+    )
+    return {
+        "mean_controllability": report.mean_controllability(),
+        "mean_observability": report.mean_observability(),
+        "uncontrollable_lines": float(uncontrollable),
+    }
+
+
+# pytest must not collect this public helper as a test.
+testability_summary.__test__ = False

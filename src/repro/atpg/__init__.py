@@ -1,0 +1,75 @@
+"""Structural sequential ATPG engines.
+
+Three engines mirror the paper's three tools:
+
+* :class:`HitecEngine` — targeted PODEM over time frames with backward
+  state justification (HITEC stand-in, the primary engine);
+* :class:`SestEngine` — the same search with dynamic illegal-state
+  learning (Sequential EST stand-in);
+* :class:`SimBasedEngine` — simulation-based sequence breeding
+  (Attest/TDX stand-in).
+
+All engines share :class:`EffortBudget` limits, emit :class:`AtpgResult`
+with the paper's %FC/%FE accounting, Figure-3 checkpoints, and the
+state-traversal instrumentation behind Tables 6 and 8.
+"""
+
+from .frames import UnrolledModel, Variable
+from .learning import IllegalStateCache, LearningStats, cube_implies, cube_key
+from .podem import FaultPodem, JustifyPodem, SearchMeter, Solution
+from .result import (
+    AtpgResult,
+    Checkpoint,
+    EffortBudget,
+    Stopwatch,
+    TestSet,
+)
+from .hitec import HitecEngine, Justifier, run_hitec
+from .sest import SestEngine, run_sest
+from .simbased import SimBasedEngine, SimBasedOptions, run_simbased
+from .compaction import (
+    CompactionReport,
+    compact_greedy_cover,
+    compact_reverse_order,
+)
+from .random_patterns import (
+    RandomTestGenerator,
+    RtgOptions,
+    RtgPoint,
+    RtgReport,
+    random_pattern_coverage,
+)
+
+__all__ = [
+    "AtpgResult",
+    "Checkpoint",
+    "EffortBudget",
+    "FaultPodem",
+    "HitecEngine",
+    "IllegalStateCache",
+    "Justifier",
+    "JustifyPodem",
+    "LearningStats",
+    "SearchMeter",
+    "SestEngine",
+    "CompactionReport",
+    "compact_greedy_cover",
+    "compact_reverse_order",
+    "RandomTestGenerator",
+    "RtgOptions",
+    "RtgPoint",
+    "RtgReport",
+    "random_pattern_coverage",
+    "SimBasedEngine",
+    "SimBasedOptions",
+    "Solution",
+    "Stopwatch",
+    "TestSet",
+    "UnrolledModel",
+    "Variable",
+    "cube_implies",
+    "cube_key",
+    "run_hitec",
+    "run_sest",
+    "run_simbased",
+]

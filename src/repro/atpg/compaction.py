@@ -1,0 +1,140 @@
+"""Static test set compaction.
+
+ATPG emits one sequence per targeted fault plus whatever the random
+phase kept; production test sets get compacted before hitting the
+tester.  Two classical static techniques, both exact (coverage is
+re-verified by fault simulation at every step):
+
+* **reverse-order pass** — fault-simulate the sequences most-recently-
+  generated first with fault dropping; early sequences whose faults are
+  all covered by later (typically stronger) sequences drop out.
+* **greedy covering** — keep sequences in decreasing order of newly
+  covered faults until the full detected set is covered (a set-cover
+  heuristic).
+
+Compaction never changes which faults are detected — only how many
+vectors it takes — and the tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..circuit.netlist import Circuit
+from ..fault.model import Fault
+from ..fault.simulator import FaultSimulator
+from .result import TestSet
+
+
+@dataclasses.dataclass
+class CompactionReport:
+    """Before/after accounting for one compaction run."""
+
+    original_sequences: int
+    original_vectors: int
+    compacted: TestSet
+    detected: Set[Fault]
+
+    @property
+    def compacted_sequences(self) -> int:
+        return len(self.compacted)
+
+    @property
+    def compacted_vectors(self) -> int:
+        return self.compacted.total_vectors()
+
+    @property
+    def vector_reduction_percent(self) -> float:
+        if self.original_vectors == 0:
+            return 0.0
+        saved = self.original_vectors - self.compacted_vectors
+        return 100.0 * saved / self.original_vectors
+
+
+def _detections_per_sequence(
+    simulator: FaultSimulator,
+    sequences: List[List[List[int]]],
+    faults: Optional[Sequence[Fault]],
+) -> List[Set[Fault]]:
+    """Which faults each sequence detects, independently (no dropping)."""
+    per_sequence: List[Set[Fault]] = []
+    for sequence in sequences:
+        report = simulator.run(
+            [sequence], faults=faults, drop=False
+        )
+        per_sequence.append(set(report.detected))
+    return per_sequence
+
+
+def compact_reverse_order(
+    circuit: Circuit,
+    test_set: TestSet,
+    faults: Optional[Sequence[Fault]] = None,
+) -> CompactionReport:
+    """Reverse-order compaction with fault dropping."""
+    simulator = FaultSimulator(circuit, faults=faults)
+    sequences = [list(s) for s in test_set]
+    baseline = simulator.run(sequences)
+    target = set(baseline.detected)
+
+    remaining = set(target)
+    kept_reversed: List[List[List[int]]] = []
+    for sequence in reversed(sequences):
+        if not remaining:
+            break
+        report = simulator.run(
+            [sequence], faults=sorted(remaining), drop=False
+        )
+        if report.detected:
+            kept_reversed.append(sequence)
+            remaining -= set(report.detected)
+    compacted = TestSet()
+    for sequence in reversed(kept_reversed):
+        compacted.add(sequence)
+    return CompactionReport(
+        original_sequences=len(sequences),
+        original_vectors=sum(len(s) for s in sequences),
+        compacted=compacted,
+        detected=target,
+    )
+
+
+def compact_greedy_cover(
+    circuit: Circuit,
+    test_set: TestSet,
+    faults: Optional[Sequence[Fault]] = None,
+) -> CompactionReport:
+    """Greedy set-cover compaction (most new detections first)."""
+    simulator = FaultSimulator(circuit, faults=faults)
+    sequences = [list(s) for s in test_set]
+    per_sequence = _detections_per_sequence(
+        simulator, sequences, faults
+    )
+    target: Set[Fault] = set()
+    for detected in per_sequence:
+        target |= detected
+
+    remaining = set(target)
+    chosen: List[int] = []
+    available = list(range(len(sequences)))
+    while remaining and available:
+        best = max(
+            available, key=lambda i: (len(per_sequence[i] & remaining), -i)
+        )
+        gain = per_sequence[best] & remaining
+        if not gain:
+            break
+        chosen.append(best)
+        remaining -= gain
+        available.remove(best)
+    chosen.sort()  # preserve application order
+    compacted = TestSet()
+    for index in chosen:
+        compacted.add(sequences[index])
+    return CompactionReport(
+        original_sequences=len(sequences),
+        original_vectors=sum(len(s) for s in sequences),
+        compacted=compacted,
+        detected=target,
+    )

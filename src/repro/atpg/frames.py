@@ -1,0 +1,244 @@
+"""Iterative-array (time-frame) model for structural sequential ATPG.
+
+The classical model ([15] in the paper): a sequential circuit is
+unrolled into identical combinational frames, frame ``f``'s register
+outputs fed by frame ``f-1``'s register D-inputs.  The single stuck-at
+fault is present in *every* frame (a permanent defect).
+
+:class:`UnrolledModel` keeps one compiled copy of the circuit and
+re-evaluates the window in five-valued D-calculus on demand.  Decision
+variables are the primary inputs of every frame and the frame-0 state
+(the machine state the ATPG will later have to justify); everything
+else is derived by simulation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..circuit.gates import D, DBAR, ONE, X, ZERO, eval_gate5, five_join, five_split
+from ..circuit.graph import topological_order
+from ..circuit.netlist import Circuit, NodeKind
+from ..errors import AtpgError
+from ..fault.model import Fault
+
+
+@dataclasses.dataclass(frozen=True)
+class Variable:
+    """One decision variable: a PI of some frame, or a frame-0 state bit."""
+
+    kind: str  # "pi" | "state"
+    frame: int  # always 0 for state variables
+    position: int  # PI index or DFF index
+
+
+class UnrolledModel:
+    """Five-valued multi-frame evaluation engine for one fault.
+
+    All value arrays are indexed by the compiled topological order; use
+    :meth:`index_of` to translate node names.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        fault: Optional[Fault],
+        max_frames: int,
+    ):
+        circuit.check()
+        self.circuit = circuit
+        self.fault = fault
+        self.max_frames = max_frames
+        self._order = topological_order(circuit)
+        self._index: Dict[str, int] = {
+            name: i for i, name in enumerate(self._order)
+        }
+        self._pi_index = [self._index[n] for n in circuit.inputs]
+        self._po_index = [self._index[n] for n in circuit.outputs]
+        self._dff_names = circuit.dff_names()
+        self._dff_out = [self._index[n] for n in self._dff_names]
+        self._dff_d = [
+            self._index[circuit.node(n).fanin[0]] for n in self._dff_names
+        ]
+        self._plan: List[Tuple[int, object, List[int]]] = []
+        for name in self._order:
+            node = circuit.node(name)
+            if node.kind is NodeKind.GATE:
+                self._plan.append(
+                    (
+                        self._index[name],
+                        node.gate,
+                        [self._index[f] for f in node.fanin],
+                    )
+                )
+        if fault is not None and fault.node not in self._index:
+            raise AtpgError(f"fault site {fault.node!r} not in circuit")
+        self._fault_index = (
+            self._index[fault.node] if fault is not None else -1
+        )
+        self._fault_value = fault.stuck_at if fault is not None else ZERO
+
+        # Decision-variable assignments (ternary 0/1; absent = X).
+        self.pi_assignment: Dict[Tuple[int, int], int] = {}
+        self.state_assignment: Dict[int, int] = {}
+        self.num_frames = 1
+
+        # Static observability distances for objective heuristics:
+        # gate-count distance to the nearest PO, and to the nearest
+        # register D-input (a path into the next frame).
+        self.dist_po = self._reverse_distance(set(circuit.outputs))
+        self.dist_dff = self._reverse_distance(
+            {circuit.node(n).fanin[0] for n in self._dff_names}
+        )
+
+    # -- compiled lookups -------------------------------------------------
+
+    @property
+    def num_pis(self) -> int:
+        return len(self._pi_index)
+
+    @property
+    def num_dffs(self) -> int:
+        return len(self._dff_out)
+
+    @property
+    def num_pos(self) -> int:
+        return len(self._po_index)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._order)
+
+    def index_of(self, name: str) -> int:
+        return self._index[name]
+
+    def name_of(self, index: int) -> str:
+        return self._order[index]
+
+    def pi_indices(self) -> Sequence[int]:
+        return self._pi_index
+
+    def po_indices(self) -> Sequence[int]:
+        return self._po_index
+
+    def dff_out_indices(self) -> Sequence[int]:
+        return self._dff_out
+
+    def dff_d_indices(self) -> Sequence[int]:
+        return self._dff_d
+
+    def node_fanin(self, index: int) -> List[int]:
+        node = self.circuit.node(self._order[index])
+        return [self._index[f] for f in node.fanin]
+
+    def node_gate(self, index: int):
+        return self.circuit.node(self._order[index]).gate
+
+    def _reverse_distance(self, targets: Set[str]) -> List[int]:
+        """Min gate-count distance from each node to any target node."""
+        INF = 10 ** 9
+        dist = [INF] * len(self._order)
+        worklist = []
+        for name in targets:
+            if name in self._index:
+                dist[self._index[name]] = 0
+                worklist.append(self._index[name])
+        # Breadth-first over the reversed combinational graph.
+        while worklist:
+            next_list = []
+            for index in worklist:
+                node = self.circuit.node(self._order[index])
+                if node.kind is NodeKind.DFF:
+                    continue  # distances are per-frame (combinational)
+                for fanin_name in node.fanin:
+                    fanin_index = self._index[fanin_name]
+                    if dist[fanin_index] > dist[index] + 1:
+                        dist[fanin_index] = dist[index] + 1
+                        next_list.append(fanin_index)
+            worklist = next_list
+        return dist
+
+    # -- assignment management ----------------------------------------------
+
+    def assign(self, variable: Variable, value: int) -> None:
+        if value not in (ZERO, ONE):
+            raise AtpgError("decision values must be 0 or 1")
+        if variable.kind == "pi":
+            self.pi_assignment[(variable.frame, variable.position)] = value
+        else:
+            self.state_assignment[variable.position] = value
+
+    def unassign(self, variable: Variable) -> None:
+        if variable.kind == "pi":
+            self.pi_assignment.pop((variable.frame, variable.position), None)
+        else:
+            self.state_assignment.pop(variable.position, None)
+
+    def value_of(self, variable: Variable) -> Optional[int]:
+        if variable.kind == "pi":
+            return self.pi_assignment.get((variable.frame, variable.position))
+        return self.state_assignment.get(variable.position)
+
+    def state_cube(self) -> Dict[int, int]:
+        """The frame-0 state requirements accumulated by the search."""
+        return dict(self.state_assignment)
+
+    # -- simulation ----------------------------------------------------------
+
+    def simulate(self) -> List[List[int]]:
+        """Evaluate all ``num_frames`` frames; returns five-valued value
+        arrays (``values[frame][node_index]``)."""
+        frames: List[List[int]] = []
+        previous_d: Optional[List[int]] = None
+        for frame in range(self.num_frames):
+            values = [X] * len(self._order)
+            for position, index in enumerate(self._pi_index):
+                assigned = self.pi_assignment.get((frame, position))
+                values[index] = X if assigned is None else assigned
+            if frame == 0:
+                for position, index in enumerate(self._dff_out):
+                    assigned = self.state_assignment.get(position)
+                    values[index] = X if assigned is None else assigned
+            else:
+                for position, index in enumerate(self._dff_out):
+                    values[index] = previous_d[position]
+            if self._fault_index >= 0:
+                self._apply_fault_at_source(values)
+            for out_index, gate, fanin_index in self._plan:
+                value = eval_gate5(
+                    gate, [values[i] for i in fanin_index]
+                )
+                if out_index == self._fault_index:
+                    good, _ = five_split(value)
+                    value = five_join(good, self._fault_value)
+                values[out_index] = value
+            frames.append(values)
+            previous_d = [values[i] for i in self._dff_d]
+        return frames
+
+    def _apply_fault_at_source(self, values: List[int]) -> None:
+        """Inject the fault when its site is a PI or DFF output."""
+        index = self._fault_index
+        name = self._order[index]
+        node = self.circuit.node(name)
+        if node.kind is NodeKind.GATE:
+            return  # handled during plan evaluation
+        good, _ = five_split(values[index])
+        values[index] = five_join(good, self._fault_value)
+
+    # -- window control ------------------------------------------------------
+
+    def set_frames(self, count: int) -> None:
+        if count < 1 or count > self.max_frames:
+            raise AtpgError(
+                f"frame count {count} outside [1, {self.max_frames}]"
+            )
+        self.num_frames = count
+        # Drop PI assignments beyond the window.
+        for key in [k for k in self.pi_assignment if k[0] >= count]:
+            del self.pi_assignment[key]
+
+    def reset_assignments(self) -> None:
+        self.pi_assignment.clear()
+        self.state_assignment.clear()

@@ -1,0 +1,497 @@
+"""HITEC-style structural sequential ATPG.
+
+For each collapsed fault the engine runs the classical two phases
+([4], [11] in the paper):
+
+1. **Forward phase** (:class:`~repro.atpg.podem.FaultPodem`): excite the
+   fault in frame 0 with a *free* machine state and propagate a D/D̄ to
+   a primary output within a growing time-frame window.
+2. **State justification** (:class:`Justifier`): drive the machine from
+   the reset state into the excitation state.  Three knowledge sources
+   are tried in order, as HITEC did:
+
+   * the reset state itself (cube compatible → empty prefix);
+   * the **known-state database** — states the fault-free machine was
+     already driven through by previously emitted tests, each with a
+     stored input prefix;
+   * backward preimage search — one
+     :class:`~repro.atpg.podem.JustifyPodem` per step, DFS over state
+     cubes, probing one-step-reachability from reset at every level.
+
+   The backward search is where structural ATPG meets the paper's
+   *density of encoding*: on retimed circuits most cubes the search
+   proposes are invalid (unreachable), and proving that burns budget.
+
+Every candidate test is validated end-to-end with the fault simulator
+before any credit is taken (justification runs on the fault-free
+machine, so a fault corrupting its own activation prefix is caught here
+and the search continues with the next solution).  Detected tests are
+fault-simulated against all open faults (fault dropping).
+
+Classification:
+
+* ``detected`` — validated test emitted;
+* ``redundant`` — the search space was *exhausted* without budget cuts:
+  either no excitation/propagation exists within the maximum window, or
+  every excitation state was exhaustively proven unreachable (the
+  paper's invalid-SRFs);
+* ``aborted`` — some budget (backtracks, window, depth, preimages,
+  wall clock) cut the search, mirroring the paper's halted runs.
+
+Redundancy claims are bounded by the frame window and justification
+depth; the property tests cross-check them against long random fault
+simulation.  Construct with ``learning=True`` for the SEST-style engine
+(illegal state cubes cached across faults).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..circuit.gates import ONE, X, ZERO
+from ..circuit.netlist import Circuit
+from ..errors import AtpgError
+from ..fault.collapse import collapse_faults
+from ..fault.model import Fault, FaultStatus
+from ..fault.simulator import FaultSimulator
+from ..sim.logicsim import TernarySimulator
+from .._util import make_rng
+from .frames import UnrolledModel
+from .learning import IllegalStateCache, cube_key
+from .podem import FaultPodem, JustifyPodem, SearchMeter
+from .result import AtpgResult, Checkpoint, EffortBudget, Stopwatch, TestSet
+
+State = Tuple[int, ...]
+Vector = List[int]
+
+
+@dataclasses.dataclass
+class _FaultOutcome:
+    state: str  # detected | redundant | aborted
+    sequence: Optional[List[Vector]] = None
+
+
+class Justifier:
+    """State justification with reset probing, a known-state database,
+    and backward preimage DFS."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        budget: EffortBudget,
+        learning: Optional[IllegalStateCache],
+        states_seen: Set[State],
+        fill_seed: int = 31,
+    ):
+        self.circuit = circuit
+        self.budget = budget
+        self.learning = learning
+        self.states_seen = states_seen
+        # Fully-specified state cubes the backward search *examined*
+        # (visited states are tracked separately via remember_trace —
+        # the paper's "#states HITEC trav" counts machine states the
+        # test-generation process drove through or targeted).
+        self.states_examined: Set[State] = set()
+        self._rng = make_rng(fill_seed)
+        self._num_pis = len(circuit.inputs)
+        self._reset_state = [
+            ONE if dff.init == ONE else ZERO for dff in circuit.dffs()
+        ]
+        # Fault-free states already visited by emitted tests, each with
+        # the input prefix (from reset) that reaches it.
+        self.known_states: Dict[State, List[Vector]] = {
+            tuple(self._reset_state): []
+        }
+        # One single-frame fault-free model per recursion depth, reused
+        # across faults (model compilation is not free).
+        self._model_pool: List[UnrolledModel] = []
+        self.cubes_examined = 0
+
+    # -- knowledge maintenance ------------------------------------------------
+
+    def remember_trace(
+        self, simulator: TernarySimulator, sequence: Sequence[Vector]
+    ) -> None:
+        """Record every state a validated test drives the machine
+        through, with its prefix, for reuse by later justifications."""
+        state = simulator.initial_state()
+        for index, vector in enumerate(sequence):
+            _, state = simulator.step(vector, state)
+            if X in state:
+                continue
+            key = tuple(state)
+            if key not in self.known_states:
+                self.known_states[key] = [list(v) for v in sequence[: index + 1]]
+            self.states_seen.add(key)
+
+    # -- queries ------------------------------------------------------------------
+
+    def compatible_with_reset(self, cube: Dict[int, int]) -> bool:
+        return all(
+            self._reset_state[position] == value
+            for position, value in cube.items()
+        )
+
+    def _known_prefix(self, cube: Dict[int, int]) -> Optional[List[Vector]]:
+        best: Optional[List[Vector]] = None
+        for state, prefix in self.known_states.items():
+            if all(state[pos] == val for pos, val in cube.items()):
+                if best is None or len(prefix) < len(best):
+                    best = prefix
+        return best
+
+    # -- main entry ------------------------------------------------------------------
+
+    def justify(
+        self, cube: Dict[int, int], meter: SearchMeter
+    ) -> Tuple[Optional[List[Vector]], bool]:
+        """Input vectors driving reset → a state compatible with ``cube``.
+
+        Returns ``(vectors, exhaustive)``; vectors is None on failure and
+        ``exhaustive`` tells whether that failure is a *proof* (no budget
+        was hit anywhere in the subtree).
+        """
+        return self._dfs(cube, depth=0, meter=meter, path=[])
+
+    def _dfs(
+        self,
+        cube: Dict[int, int],
+        depth: int,
+        meter: SearchMeter,
+        path: List[Tuple[Tuple[int, int], ...]],
+    ) -> Tuple[Optional[List[Vector]], bool]:
+        self.cubes_examined += 1
+        self._record_state(cube)
+        known = self._known_prefix(cube)
+        if known is not None:
+            return list(known), True
+        if meter.exhausted():
+            return None, False
+        if depth >= self.budget.max_justify_depth:
+            return None, False
+        if self.learning is not None and self.learning.is_illegal(cube):
+            return None, True
+        key = cube_key(cube)
+        if key in path:
+            return None, True  # ancestor cycle: nothing new on this path
+
+        # One-step probe: is the cube reachable directly from a state we
+        # already know how to reach?  (The reset state is always known.)
+        probe = self._probe_known_states(cube, meter)
+        if probe is not None:
+            return probe, True
+
+        model = self._model_for_depth(depth)
+        search = JustifyPodem(model, meter, cube)
+        exhaustive = True
+        solutions_tried = 0
+        path.append(key)
+        try:
+            for solution in search.solutions():
+                solutions_tried += 1
+                prefix, sub_exhaustive = self._dfs(
+                    solution.state_cube, depth + 1, meter, path
+                )
+                if prefix is not None:
+                    return prefix + [self._fill(solution.pi_assignment)], True
+                if not sub_exhaustive:
+                    exhaustive = False
+                if solutions_tried >= self.budget.max_preimages:
+                    exhaustive = False
+                    break
+            if not search.outcome.exhausted:
+                exhaustive = False
+        finally:
+            path.pop()
+        if exhaustive and self.learning is not None:
+            self.learning.learn(cube)
+        return None, exhaustive
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _probe_known_states(
+        self, cube: Dict[int, int], meter: SearchMeter, max_probes: int = 4
+    ) -> Optional[List[Vector]]:
+        """Try to reach ``cube`` in one step from a known state (shortest
+        prefixes first)."""
+        candidates = sorted(
+            self.known_states.items(), key=lambda item: len(item[1])
+        )[:max_probes]
+        for state, prefix in candidates:
+            if meter.exhausted():
+                return None
+            model = self._probe_model()
+            for position, value in enumerate(state):
+                model.state_assignment[position] = value
+            search = JustifyPodem(model, meter, cube)
+            for solution in search.solutions():
+                return prefix + [self._fill(solution.pi_assignment)]
+        return None
+
+    def _probe_model(self) -> UnrolledModel:
+        model = getattr(self, "_probe_model_cache", None)
+        if model is None:
+            model = UnrolledModel(self.circuit, fault=None, max_frames=1)
+            self._probe_model_cache = model
+        model.reset_assignments()
+        model.set_frames(1)
+        return model
+
+    def _model_for_depth(self, depth: int) -> UnrolledModel:
+        while len(self._model_pool) <= depth:
+            self._model_pool.append(
+                UnrolledModel(self.circuit, fault=None, max_frames=1)
+            )
+        model = self._model_pool[depth]
+        model.reset_assignments()
+        model.set_frames(1)
+        return model
+
+    def _fill(self, pi_assignment: Dict[Tuple[int, int], int]) -> Vector:
+        return [
+            pi_assignment.get((0, position), self._rng.randrange(2))
+            for position in range(self._num_pis)
+        ]
+
+    def _record_state(self, cube: Dict[int, int]) -> None:
+        if len(cube) == len(self._reset_state):
+            self.states_examined.add(
+                tuple(cube[i] for i in range(len(self._reset_state)))
+            )
+
+
+class HitecEngine:
+    """The primary structural sequential ATPG of this reproduction."""
+
+    name = "hitec"
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        budget: Optional[EffortBudget] = None,
+        learning: bool = False,
+        fill_seed: int = 17,
+    ):
+        circuit.check()
+        if any(dff.init == X for dff in circuit.dffs()):
+            raise AtpgError(
+                f"circuit {circuit.name!r} has no reset state; this "
+                "study's engines require one (see DESIGN.md)"
+            )
+        self.circuit = circuit
+        self.budget = budget or EffortBudget.paper()
+        self.learning_cache = IllegalStateCache() if learning else None
+        if learning:
+            self.name = "sest"
+        self._rng = make_rng(fill_seed)
+        self._simulator = FaultSimulator(circuit)
+        self._good_sim = TernarySimulator(circuit)
+        self._num_pis = len(circuit.inputs)
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, faults: Optional[Sequence[Fault]] = None) -> AtpgResult:
+        """Generate tests for every fault (collapsed list by default)."""
+        if faults is None:
+            faults = collapse_faults(self.circuit).representatives
+        statuses = {fault: FaultStatus(fault) for fault in faults}
+        test_set = TestSet()
+        checkpoints: List[Checkpoint] = []
+        states_seen: Set[State] = set()
+        justifier = Justifier(
+            self.circuit, self.budget, self.learning_cache, states_seen
+        )
+        total_watch = Stopwatch(self.budget.total_seconds)
+        detected = redundant = processed = 0
+        total = len(statuses)
+
+        # Phase 0: random test generation.  Detects the easy faults at
+        # fault-simulation cost and seeds the justifier's known-state
+        # database with every state the kept sequences drive through.
+        detected += self._random_phase(
+            statuses, test_set, justifier, states_seen
+        )
+        processed += detected
+        checkpoints.append(
+            Checkpoint(
+                cpu_seconds=total_watch.elapsed(),
+                detected=detected,
+                redundant=0,
+                processed=processed,
+                total=total,
+            )
+        )
+
+        for fault in faults:
+            status = statuses[fault]
+            if not status.is_open():
+                continue
+            if total_watch.expired():
+                status.state = "aborted"
+                processed += 1
+                continue
+            outcome = self._process_fault(fault, justifier, total_watch)
+            processed += 1
+            if outcome.state == "detected":
+                status.state = "detected"
+                status.detected_by = len(test_set)
+                test_set.add(outcome.sequence)
+                detected += 1
+                justifier.remember_trace(self._good_sim, outcome.sequence)
+                # Fault dropping: run the new sequence over open faults.
+                open_faults = [
+                    f for f, s in statuses.items() if s.is_open()
+                ]
+                report = self._simulator.run(
+                    [outcome.sequence], faults=open_faults
+                )
+                states_seen |= report.states_traversed
+                for dropped in report.detected:
+                    statuses[dropped].state = "detected"
+                    statuses[dropped].detected_by = len(test_set) - 1
+                    detected += 1
+                    processed += 1
+            elif outcome.state == "redundant":
+                status.state = "redundant"
+                redundant += 1
+            else:
+                status.state = "aborted"
+            checkpoints.append(
+                Checkpoint(
+                    cpu_seconds=total_watch.elapsed(),
+                    detected=detected,
+                    redundant=redundant,
+                    processed=processed,
+                    total=total,
+                )
+            )
+
+        return AtpgResult(
+            circuit_name=self.circuit.name,
+            engine=self.name,
+            statuses=statuses,
+            test_set=test_set,
+            cpu_seconds=total_watch.elapsed(),
+            checkpoints=checkpoints,
+            states_traversed=states_seen,
+            states_examined=justifier.states_examined,
+        )
+
+    def _random_phase(
+        self,
+        statuses: Dict[Fault, FaultStatus],
+        test_set: TestSet,
+        justifier: Justifier,
+        states_seen: Set[State],
+    ) -> int:
+        """Greedy random-sequence selection; returns #faults detected."""
+        detected = 0
+        open_faults = [f for f, s in statuses.items() if s.is_open()]
+        for _ in range(self.budget.random_sequences):
+            if not open_faults:
+                break
+            sequence = [
+                [self._rng.randrange(2) for _ in range(self._num_pis)]
+                for _ in range(self.budget.random_length)
+            ]
+            report = self._simulator.run([sequence], faults=open_faults)
+            states_seen |= report.states_traversed
+            if not report.detected:
+                continue
+            test_set.add(sequence)
+            justifier.remember_trace(self._good_sim, sequence)
+            for fault in report.detected:
+                statuses[fault].state = "detected"
+                statuses[fault].detected_by = len(test_set) - 1
+                detected += 1
+            open_faults = [f for f in open_faults if f not in report.detected]
+        return detected
+
+    # -- per-fault search -------------------------------------------------------
+
+    def _process_fault(
+        self,
+        fault: Fault,
+        justifier: Justifier,
+        total_watch: Stopwatch,
+    ) -> _FaultOutcome:
+        meter = SearchMeter(
+            self.budget.max_backtracks,
+            self.budget.per_fault_seconds,
+            total_watch,
+        )
+        model = UnrolledModel(
+            self.circuit, fault, max_frames=self.budget.max_frames
+        )
+        any_solution = False
+        validation_failures = 0
+        all_justify_exhaustive = True
+        forward_exhausted_at_max = False
+
+        window = 1
+        while window <= self.budget.max_frames:
+            model.reset_assignments()
+            model.set_frames(window)
+            search = FaultPodem(model, meter)
+            for solution in search.solutions():
+                any_solution = True
+                prefix, exhaustive = justifier.justify(
+                    solution.state_cube, meter
+                )
+                if prefix is None:
+                    if not exhaustive:
+                        all_justify_exhaustive = False
+                    continue
+                sequence = self._randomize_fill(solution, prefix)
+                if self._simulator.detects(sequence, fault):
+                    return _FaultOutcome("detected", sequence)
+                validation_failures += 1
+                if meter.exhausted():
+                    break
+            if meter.exhausted():
+                return _FaultOutcome("aborted")
+            if window == self.budget.max_frames:
+                forward_exhausted_at_max = search.outcome.exhausted
+            window += 1
+
+        if not any_solution and forward_exhausted_at_max:
+            # No excitation+propagation exists even with a free machine
+            # state: untestable within the window (combinational-style
+            # redundancy).
+            return _FaultOutcome("redundant")
+        if (
+            any_solution
+            and forward_exhausted_at_max
+            and all_justify_exhaustive
+            and validation_failures == 0
+        ):
+            # Every excitation state was exhaustively proven unreachable:
+            # the paper's invalid-SRF.
+            return _FaultOutcome("redundant")
+        return _FaultOutcome("aborted")
+
+    def _randomize_fill(self, solution, prefix: List[Vector]) -> List[Vector]:
+        """Concatenate the justification prefix and the forward-phase
+        vectors, filling the forward phase's unassigned PIs
+        pseudo-randomly (any fill preserves the values the five-valued
+        search certified)."""
+        sequence = [list(v) for v in prefix]
+        for frame in range(solution.frames_used):
+            vector = [
+                solution.pi_assignment.get(
+                    (frame, position), self._rng.randrange(2)
+                )
+                for position in range(self._num_pis)
+            ]
+            sequence.append(vector)
+        return sequence
+
+
+def run_hitec(
+    circuit: Circuit,
+    budget: Optional[EffortBudget] = None,
+    faults: Optional[Sequence[Fault]] = None,
+) -> AtpgResult:
+    """Convenience one-call HITEC run."""
+    return HitecEngine(circuit, budget=budget).run(faults)

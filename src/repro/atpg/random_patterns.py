@@ -1,0 +1,157 @@
+"""Standalone random test generation (RTG) utility.
+
+The HITEC/SEST engines embed an RTG phase; this module exposes the same
+capability as a first-class tool for studies that need it in isolation
+(random-pattern-resistance analysis, coverage-vs-vector-count curves,
+seeding other engines' state knowledge).  Supports biased input weights
+— classical weighted random testing — and an optional per-input hold
+probability that produces the temporally correlated sequences control
+logic tends to need.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .._util import make_rng
+from ..circuit.netlist import Circuit
+from ..errors import AtpgError
+from ..fault.collapse import collapse_faults
+from ..fault.model import Fault
+from ..fault.simulator import FaultSimulator
+from .result import TestSet
+
+
+@dataclasses.dataclass
+class RtgOptions:
+    """Random-pattern generation knobs."""
+
+    num_sequences: int = 64
+    sequence_length: int = 40
+    seed: int = 11
+    # Probability that each input is 1 (per input; default uniform).
+    weights: Optional[Dict[str, float]] = None
+    # Probability that an input holds last cycle's value instead of
+    # re-rolling (temporal correlation).
+    hold_probability: float = 0.0
+
+
+@dataclasses.dataclass
+class RtgPoint:
+    """One sample of the coverage growth curve."""
+
+    sequences_applied: int
+    vectors_applied: int
+    faults_detected: int
+
+
+@dataclasses.dataclass
+class RtgReport:
+    """Outcome of a random test generation run."""
+
+    test_set: TestSet  # only the sequences that detected new faults
+    detected: Set[Fault]
+    undetected: List[Fault]
+    curve: List[RtgPoint]
+    states_traversed: Set[Tuple[int, ...]]
+
+    def coverage_percent(self) -> float:
+        total = len(self.detected) + len(self.undetected)
+        if total == 0:
+            return 100.0
+        return 100.0 * len(self.detected) / total
+
+
+class RandomTestGenerator:
+    """Greedy random-sequence selection against the fault simulator."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        options: Optional[RtgOptions] = None,
+        faults: Optional[Sequence[Fault]] = None,
+    ):
+        circuit.check()
+        self.circuit = circuit
+        self.options = options or RtgOptions()
+        if not 0.0 <= self.options.hold_probability < 1.0:
+            raise AtpgError("hold_probability must be in [0, 1)")
+        self._simulator = FaultSimulator(circuit, faults=faults)
+        self._weights = self._resolve_weights()
+
+    def _resolve_weights(self) -> List[float]:
+        weights = self.options.weights or {}
+        resolved = []
+        for pi in self.circuit.inputs:
+            weight = weights.get(pi, 0.5)
+            if not 0.0 <= weight <= 1.0:
+                raise AtpgError(
+                    f"weight for {pi!r} must be in [0, 1], got {weight}"
+                )
+            resolved.append(weight)
+        return resolved
+
+    def run(self) -> RtgReport:
+        rng = make_rng(self.options.seed)
+        open_faults = list(self._simulator.faults)
+        detected: Set[Fault] = set()
+        test_set = TestSet()
+        curve: List[RtgPoint] = []
+        states: Set[Tuple[int, ...]] = set()
+        vectors_applied = 0
+
+        for index in range(self.options.num_sequences):
+            if not open_faults:
+                break
+            sequence = self._random_sequence(rng)
+            vectors_applied += len(sequence)
+            report = self._simulator.run([sequence], faults=open_faults)
+            states |= report.states_traversed
+            if report.detected:
+                test_set.add(sequence)
+                detected |= set(report.detected)
+                open_faults = [
+                    f for f in open_faults if f not in report.detected
+                ]
+            curve.append(
+                RtgPoint(
+                    sequences_applied=index + 1,
+                    vectors_applied=vectors_applied,
+                    faults_detected=len(detected),
+                )
+            )
+        return RtgReport(
+            test_set=test_set,
+            detected=detected,
+            undetected=open_faults,
+            curve=curve,
+            states_traversed=states,
+        )
+
+    def _random_sequence(self, rng) -> List[List[int]]:
+        previous: Optional[List[int]] = None
+        sequence: List[List[int]] = []
+        hold = self.options.hold_probability
+        for _ in range(self.options.sequence_length):
+            vector = []
+            for position, weight in enumerate(self._weights):
+                if (
+                    previous is not None
+                    and hold > 0.0
+                    and rng.random() < hold
+                ):
+                    vector.append(previous[position])
+                else:
+                    vector.append(1 if rng.random() < weight else 0)
+            sequence.append(vector)
+            previous = vector
+        return sequence
+
+
+def random_pattern_coverage(
+    circuit: Circuit,
+    options: Optional[RtgOptions] = None,
+) -> RtgReport:
+    """One-call RTG run over the collapsed fault list."""
+    return RandomTestGenerator(circuit, options=options).run()

@@ -1,0 +1,158 @@
+"""Result and budget types shared by every ATPG engine.
+
+The paper's accounting is reproduced exactly:
+
+* **fault coverage** (%FC) — detected / total faults;
+* **fault efficiency** (%FE) — (detected + proven redundant) / total;
+* **CPU seconds** — engine process time; absolute values are machine
+  dependent, the harness reports the retimed/original *ratio* like the
+  paper's ``CPU ratio`` column;
+* **checkpoints** — (cpu_seconds, fault efficiency so far) samples taken
+  after every fault, which regenerate Figure 3's FE-vs-CPU curves.
+
+Engines never run unbounded: an :class:`EffortBudget` caps backtracks,
+time-frame window, justification depth and wall clock.  A fault whose
+search hits a budget is *aborted* — it counts against both coverage and
+efficiency, exactly as the paper's 12-hour manual-halt rule did.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..fault.model import CoverageSummary, Fault, FaultStatus, summarize
+
+
+@dataclasses.dataclass
+class EffortBudget:
+    """Search-effort limits for one ATPG run."""
+
+    max_backtracks: int = 1200  # PODEM backtracks per fault (both phases)
+    max_frames: int = 8  # forward (propagation) window, frames
+    max_justify_depth: int = 24  # backward justification recursion depth
+    max_preimages: int = 6  # preimage solutions explored per state cube
+    per_fault_seconds: float = 5.0  # wall clock per fault
+    total_seconds: float = 1800.0  # wall clock per circuit
+    # Random test generation (RTG) phase before deterministic search:
+    # cheap detection of the easy faults plus the state-knowledge seed
+    # every classical flow starts from.
+    random_sequences: int = 64
+    random_length: int = 40
+
+    @classmethod
+    def quick(cls) -> "EffortBudget":
+        """Small budget for tests and smoke runs."""
+        return cls(
+            max_backtracks=300,
+            max_frames=5,
+            max_justify_depth=12,
+            max_preimages=4,
+            per_fault_seconds=1.0,
+            total_seconds=120.0,
+            random_sequences=24,
+            random_length=30,
+        )
+
+    @classmethod
+    def paper(cls) -> "EffortBudget":
+        """The default for the table-regeneration harness."""
+        return cls()
+
+
+@dataclasses.dataclass
+class Checkpoint:
+    """One Figure-3 sample."""
+
+    cpu_seconds: float
+    detected: int
+    redundant: int
+    processed: int
+    total: int
+
+    @property
+    def fault_efficiency(self) -> float:
+        if self.total == 0:
+            return 100.0
+        return 100.0 * (self.detected + self.redundant) / self.total
+
+    @property
+    def fault_coverage(self) -> float:
+        if self.total == 0:
+            return 100.0
+        return 100.0 * self.detected / self.total
+
+
+@dataclasses.dataclass
+class TestSet:
+    """The sequences an engine emitted; each applies from reset."""
+
+    __test__ = False  # not a pytest test class, despite the name
+
+    sequences: List[List[List[int]]] = dataclasses.field(default_factory=list)
+
+    def add(self, sequence: Sequence[Sequence[int]]) -> None:
+        self.sequences.append([list(v) for v in sequence])
+
+    def total_vectors(self) -> int:
+        return sum(len(s) for s in self.sequences)
+
+    def __len__(self) -> int:
+        return len(self.sequences)
+
+    def __iter__(self):
+        return iter(self.sequences)
+
+
+@dataclasses.dataclass
+class AtpgResult:
+    """Everything a table needs about one engine × circuit run."""
+
+    circuit_name: str
+    engine: str
+    statuses: Dict[Fault, FaultStatus]
+    test_set: TestSet
+    cpu_seconds: float
+    checkpoints: List[Checkpoint]
+    states_traversed: Set[Tuple[int, ...]]
+    backtracks: int = 0
+    # Fully-specified states the backward justification examined (a
+    # superset indicator of wasted work in invalid state space; the
+    # traversed set above counts states the good machine actually
+    # visited, the paper's Table 6/8 semantics).
+    states_examined: Set[Tuple[int, ...]] = dataclasses.field(
+        default_factory=set
+    )
+
+    def summary(self) -> CoverageSummary:
+        return summarize(self.statuses.values())
+
+    @property
+    def fault_coverage(self) -> float:
+        return self.summary().fault_coverage
+
+    @property
+    def fault_efficiency(self) -> float:
+        return self.summary().fault_efficiency
+
+    def __str__(self) -> str:
+        return (
+            f"{self.engine} on {self.circuit_name}: {self.summary()} in "
+            f"{self.cpu_seconds:.1f}s, {len(self.test_set)} sequences, "
+            f"{len(self.states_traversed)} states traversed"
+        )
+
+
+class Stopwatch:
+    """Deadline tracking for budget enforcement (process CPU time)."""
+
+    def __init__(self, limit_seconds: float):
+        self._start = time.process_time()
+        self._limit = limit_seconds
+
+    def elapsed(self) -> float:
+        return time.process_time() - self._start
+
+    def expired(self) -> bool:
+        return self.elapsed() >= self._limit

@@ -1,0 +1,137 @@
+"""Fluent construction helper for gate-level circuits.
+
+:class:`CircuitBuilder` wraps :class:`repro.circuit.netlist.Circuit` with
+auto-named intermediate signals, so synthesis code and tests can write::
+
+    b = CircuitBuilder("half_adder")
+    a, c = b.inputs("a", "c")
+    s = b.xor(a, c)
+    carry = b.and_(a, c)
+    b.outputs(s=s, carry=carry)
+    circuit = b.build()
+
+Every helper returns the name of the created node, which feeds directly
+into the next helper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from .._util import NameAllocator
+from ..errors import CircuitError
+from .gates import GateType, X
+from .netlist import Circuit
+
+
+class CircuitBuilder:
+    """Incrementally assembles a :class:`Circuit` with fresh-name support."""
+
+    def __init__(self, name: str = "circuit"):
+        self._circuit = Circuit(name)
+        self._names = NameAllocator()
+
+    # -- primary I/O -------------------------------------------------------
+
+    def input(self, name: str) -> str:
+        self._names.reserve(name)
+        self._circuit.add_input(name)
+        return name
+
+    def inputs(self, *names: str) -> Tuple[str, ...]:
+        return tuple(self.input(n) for n in names)
+
+    def output(self, node: str) -> None:
+        """Expose an existing node as a primary output."""
+        self._circuit.add_output(node)
+
+    def outputs(self, **named_nodes: str) -> None:
+        """Expose nodes as POs under explicit names.
+
+        If the PO name differs from the node name, a buffer is inserted
+        so the output carries the requested name (as SIS does when
+        writing mapped netlists).
+        """
+        for po_name, node in named_nodes.items():
+            if po_name == node:
+                self._circuit.add_output(node)
+            else:
+                buffered = self.gate(GateType.BUF, [node], name=po_name)
+                self._circuit.add_output(buffered)
+
+    # -- node creation -----------------------------------------------------
+
+    def gate(
+        self, gate: GateType, fanin: Sequence[str], name: Optional[str] = None
+    ) -> str:
+        node_name = self._fresh(name, gate.value)
+        self._circuit.add_gate(node_name, gate, fanin)
+        return node_name
+
+    def dff(self, d_input: str, init: int = X, name: Optional[str] = None) -> str:
+        node_name = self._fresh(name, "ff")
+        self._circuit.add_dff(node_name, d_input, init=init)
+        return node_name
+
+    def buf(self, a: str, name: Optional[str] = None) -> str:
+        return self.gate(GateType.BUF, [a], name)
+
+    def not_(self, a: str, name: Optional[str] = None) -> str:
+        return self.gate(GateType.NOT, [a], name)
+
+    def and_(self, *fanin: str, name: Optional[str] = None) -> str:
+        return self.gate(GateType.AND, fanin, name)
+
+    def or_(self, *fanin: str, name: Optional[str] = None) -> str:
+        return self.gate(GateType.OR, fanin, name)
+
+    def nand(self, *fanin: str, name: Optional[str] = None) -> str:
+        return self.gate(GateType.NAND, fanin, name)
+
+    def nor(self, *fanin: str, name: Optional[str] = None) -> str:
+        return self.gate(GateType.NOR, fanin, name)
+
+    def xor(self, *fanin: str, name: Optional[str] = None) -> str:
+        return self.gate(GateType.XOR, fanin, name)
+
+    def xnor(self, *fanin: str, name: Optional[str] = None) -> str:
+        return self.gate(GateType.XNOR, fanin, name)
+
+    def const0(self, name: Optional[str] = None) -> str:
+        return self.gate(GateType.CONST0, [], name)
+
+    def const1(self, name: Optional[str] = None) -> str:
+        return self.gate(GateType.CONST1, [], name)
+
+    def mux(self, select: str, if_zero: str, if_one: str, name: Optional[str] = None) -> str:
+        """2:1 multiplexer built from library primitives.
+
+        ``out = if_one`` when ``select == 1``, else ``if_zero``.  Used by
+        synthesis to realize explicit reset lines.
+        """
+        sel_n = self.not_(select)
+        path1 = self.and_(select, if_one)
+        path0 = self.and_(sel_n, if_zero)
+        return self.or_(path1, path0, name=name)
+
+    # -- finalization --------------------------------------------------------
+
+    def build(self, check: bool = True) -> Circuit:
+        """Return the finished circuit; validates structure by default."""
+        if check:
+            self._circuit.check()
+            if not self._circuit.outputs:
+                raise CircuitError(
+                    f"circuit {self._circuit.name!r} has no primary outputs"
+                )
+        return self._circuit
+
+    # -- internals -------------------------------------------------------------
+
+    def _fresh(self, name: Optional[str], base: str) -> str:
+        if name is not None:
+            if name in self._names:
+                raise CircuitError(f"node name {name!r} already used")
+            self._names.reserve(name)
+            return name
+        return self._names.fresh(f"{base}")

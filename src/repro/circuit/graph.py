@@ -1,0 +1,228 @@
+"""Graph traversals over sequential netlists.
+
+The ordering and cone utilities here are shared by the simulators, the
+synthesis cleanup passes, retiming, the ATPG engines, and the structural
+analyses.  Two views of a circuit matter:
+
+* the **combinational view**: DFF outputs are treated as pseudo-inputs
+  and DFF inputs as pseudo-outputs, which makes the graph a DAG —
+  simulators and PODEM operate on the topological order of this view;
+* the **register view**: combinational logic is collapsed away and only
+  PI → DFF → PO connectivity remains — sequential depth and cycle
+  analyses operate on this view (built in :mod:`repro.analysis`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..errors import CircuitError
+from .netlist import Circuit, Node, NodeKind
+
+
+def topological_order(circuit: Circuit) -> List[str]:
+    """Topological order of the combinational view.
+
+    Primary inputs and DFF outputs come first (in declaration order),
+    then gates ordered so every gate follows its fanins.  DFFs appear in
+    the ordering as sources only: their D-input dependency is *not* an
+    edge in the combinational view.
+
+    Raises :class:`CircuitError` on a combinational cycle.
+    """
+    indegree: Dict[str, int] = {}
+    for node in circuit.nodes():
+        if node.kind is NodeKind.GATE:
+            indegree[node.name] = len(node.fanin)
+        else:
+            indegree[node.name] = 0
+
+    ready = deque(name for name, deg in indegree.items() if deg == 0)
+    fanouts = circuit.fanouts()
+    order: List[str] = []
+    while ready:
+        name = ready.popleft()
+        order.append(name)
+        for reader in fanouts[name]:
+            reader_node = circuit.node(reader)
+            if reader_node.kind is not NodeKind.GATE:
+                continue
+            indegree[reader] -= 1
+            if indegree[reader] == 0:
+                ready.append(reader)
+    if len(order) != len(circuit):
+        stuck = [n for n, deg in indegree.items() if deg > 0]
+        raise CircuitError(
+            f"circuit {circuit.name!r} has a combinational cycle "
+            f"involving {sorted(stuck)[:5]}"
+        )
+    return order
+
+
+def levelize(circuit: Circuit) -> Dict[str, int]:
+    """Combinational level of every node.
+
+    PIs and DFF outputs are level 0; a gate's level is one more than the
+    maximum level of its fanins.  Used for level-ordered event-driven
+    simulation and for PODEM's distance heuristics.
+    """
+    level: Dict[str, int] = {}
+    for name in topological_order(circuit):
+        node = circuit.node(name)
+        if node.kind is NodeKind.GATE and node.fanin:
+            level[name] = 1 + max(level[f] for f in node.fanin)
+        else:
+            level[name] = 0
+    return level
+
+
+def transitive_fanin(
+    circuit: Circuit, roots: Iterable[str], through_dffs: bool = False
+) -> Set[str]:
+    """All nodes that can influence any of ``roots``.
+
+    With ``through_dffs=False`` (default) the walk stops at DFF outputs:
+    the result is the combinational input cone.  With ``through_dffs=True``
+    the walk continues through registers, giving the sequential cone.
+    """
+    seen: Set[str] = set()
+    stack = list(roots)
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        node = circuit.node(name)
+        if node.kind is NodeKind.DFF and not through_dffs:
+            continue
+        stack.extend(node.fanin)
+    return seen
+
+
+def transitive_fanout(
+    circuit: Circuit, roots: Iterable[str], through_dffs: bool = False
+) -> Set[str]:
+    """All nodes that any of ``roots`` can influence (dual of
+    :func:`transitive_fanin`)."""
+    fanouts = circuit.fanouts()
+    seen: Set[str] = set()
+    stack = list(roots)
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        node = circuit.node(name)
+        if node.kind is NodeKind.DFF and not through_dffs and name not in roots:
+            continue
+        stack.extend(fanouts[name])
+    return seen
+
+
+def combinational_outputs(circuit: Circuit) -> Tuple[str, ...]:
+    """Observation points of the combinational view: POs plus DFF D-inputs."""
+    points = list(circuit.outputs)
+    for dff in circuit.dffs():
+        points.append(dff.fanin[0])
+    return tuple(points)
+
+
+def register_adjacency(circuit: Circuit) -> Dict[str, Set[str]]:
+    """DFF-to-DFF connectivity: ``adj[q] = set of DFFs whose D-input is
+    combinationally reachable from DFF q's output``.
+
+    This is the graph on which sequential depth and cycle structure are
+    defined (combinational logic collapsed to edges).
+    """
+    fanouts = circuit.fanouts()
+    dff_of_d_input: Dict[str, List[str]] = {}
+    for dff in circuit.dffs():
+        dff_of_d_input.setdefault(dff.fanin[0], []).append(dff.name)
+
+    adjacency: Dict[str, Set[str]] = {}
+    for dff in circuit.dffs():
+        reached: Set[str] = set()
+        seen: Set[str] = set()
+        stack = [dff.name]
+        while stack:
+            name = stack.pop()
+            # A DFF feeding directly into another DFF: the driven node IS
+            # a D-input; record before deciding whether to continue.
+            for sink in dff_of_d_input.get(name, ()):
+                reached.add(sink)
+            for reader in fanouts[name]:
+                if reader in seen:
+                    continue
+                seen.add(reader)
+                reader_node = circuit.node(reader)
+                if reader_node.kind is NodeKind.DFF:
+                    reached.add(reader)
+                    continue
+                stack.append(reader)
+        adjacency[dff.name] = reached
+    return adjacency
+
+
+def pi_to_dff_edges(circuit: Circuit) -> Dict[str, Set[str]]:
+    """Map each primary input to the DFFs combinationally reachable from it."""
+    fanouts = circuit.fanouts()
+    result: Dict[str, Set[str]] = {}
+    for pi in circuit.inputs:
+        reached: Set[str] = set()
+        seen: Set[str] = set()
+        stack = [pi]
+        while stack:
+            name = stack.pop()
+            for reader in fanouts[name]:
+                if reader in seen:
+                    continue
+                seen.add(reader)
+                reader_node = circuit.node(reader)
+                if reader_node.kind is NodeKind.DFF:
+                    reached.add(reader)
+                    continue
+                stack.append(reader)
+        result[pi] = reached
+    return result
+
+
+def dff_to_po(circuit: Circuit) -> Dict[str, bool]:
+    """True for each DFF whose output combinationally reaches a PO."""
+    po_cone = transitive_fanin(circuit, circuit.outputs, through_dffs=False)
+    return {dff.name: dff.name in po_cone for dff in circuit.dffs()}
+
+
+def dead_nodes(circuit: Circuit) -> Set[str]:
+    """Nodes that influence no PO and no DFF (safe to sweep)."""
+    live = transitive_fanin(
+        circuit,
+        list(circuit.outputs) + [dff.name for dff in circuit.dffs()],
+        through_dffs=True,
+    )
+    return {node.name for node in circuit.nodes() if node.name not in live}
+
+
+def sweep_dead_nodes(circuit: Circuit) -> int:
+    """Remove dead gates/DFFs in place; returns how many were removed.
+
+    Primary inputs are never removed (the interface is part of the
+    specification), only internal logic.
+    """
+    removed = 0
+    while True:
+        dead = [
+            name
+            for name in dead_nodes(circuit)
+            if circuit.node(name).kind is not NodeKind.INPUT
+        ]
+        # Remove only fanout-free dead nodes this pass; iterate to drain chains.
+        progress = False
+        for name in dead:
+            if not circuit.fanout_of(name) and not circuit.is_output(name):
+                circuit.remove_node(name)
+                removed += 1
+                progress = True
+        if not progress:
+            break
+    return removed

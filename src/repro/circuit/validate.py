@@ -1,0 +1,123 @@
+"""Semantic lint checks for netlists.
+
+:func:`Circuit.check` guards hard structural invariants; this module adds
+softer diagnostics that synthesis output should satisfy before being fed
+to ATPG — the kinds of netlist defects that make 1990s test generators
+misbehave silently (floating logic, unobservable registers, fanin-free
+POs, uninitializable machines).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from .gates import X
+from .graph import dead_nodes, transitive_fanin
+from .netlist import Circuit, NodeKind
+
+
+@dataclasses.dataclass
+class LintIssue:
+    """One diagnostic: a severity (``error`` / ``warning``), the node or
+    feature involved, and a human-readable explanation."""
+
+    severity: str
+    subject: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.subject}: {self.message}"
+
+
+def lint(circuit: Circuit) -> List[LintIssue]:
+    """Run all soft checks; returns issues (empty list = clean)."""
+    issues: List[LintIssue] = []
+    issues.extend(_check_structure(circuit))
+    issues.extend(_check_dead_logic(circuit))
+    issues.extend(_check_initialization(circuit))
+    issues.extend(_check_io(circuit))
+    return issues
+
+
+def assert_clean(circuit: Circuit) -> None:
+    """Raise ``AssertionError`` listing any error-severity lint issues.
+
+    Used by the synthesis pipeline as a post-condition and by tests.
+    """
+    errors = [i for i in lint(circuit) if i.severity == "error"]
+    if errors:
+        rendered = "\n".join(str(i) for i in errors)
+        raise AssertionError(
+            f"circuit {circuit.name!r} failed lint:\n{rendered}"
+        )
+
+
+def _check_structure(circuit: Circuit) -> List[LintIssue]:
+    issues: List[LintIssue] = []
+    try:
+        circuit.check()
+    except Exception as exc:  # surfaced as a lint error with context
+        issues.append(LintIssue("error", circuit.name, str(exc)))
+    return issues
+
+
+def _check_dead_logic(circuit: Circuit) -> List[LintIssue]:
+    issues: List[LintIssue] = []
+    for name in sorted(dead_nodes(circuit)):
+        node = circuit.node(name)
+        if node.kind is NodeKind.INPUT:
+            issues.append(
+                LintIssue(
+                    "warning",
+                    name,
+                    "primary input influences no output or register",
+                )
+            )
+        else:
+            issues.append(
+                LintIssue(
+                    "warning", name, "dead logic: influences no output or register"
+                )
+            )
+    return issues
+
+
+def _check_initialization(circuit: Circuit) -> List[LintIssue]:
+    """Every experiment in this study assumes a known reset state.
+
+    A DFF with init=X in a circuit without any DFF at a known value means
+    the machine has no defined reset state — the paper's circuits always
+    have one (explicit reset line or power-up reset), so we flag it.
+    """
+    issues: List[LintIssue] = []
+    dffs = list(circuit.dffs())
+    if not dffs:
+        return issues
+    unknown = [d.name for d in dffs if d.init == X]
+    if unknown:
+        issues.append(
+            LintIssue(
+                "warning",
+                circuit.name,
+                f"{len(unknown)} of {len(dffs)} DFFs power up unknown "
+                f"(first: {unknown[0]!r}); ATPG will need a synchronizing "
+                "sequence",
+            )
+        )
+    return issues
+
+
+def _check_io(circuit: Circuit) -> List[LintIssue]:
+    issues: List[LintIssue] = []
+    if not circuit.outputs:
+        issues.append(LintIssue("error", circuit.name, "no primary outputs"))
+    po_cone = transitive_fanin(circuit, circuit.outputs, through_dffs=True)
+    for pi in circuit.inputs:
+        if pi not in po_cone:
+            issues.append(
+                LintIssue(
+                    "warning", pi, "primary input cannot influence any output"
+                )
+            )
+    return issues

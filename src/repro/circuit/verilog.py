@@ -1,0 +1,130 @@
+"""Structural Verilog netlist writer.
+
+Downstream users of the library live in Verilog-centric flows; this
+module emits a synthesizable structural module for any circuit: one
+``assign``/primitive instance per gate, one always-block register bank
+with synchronous behavior and an initial reset state (as an ``initial``
+block, matching the library's power-up-reset semantics).
+
+Writing only: the study never needs to *read* Verilog (BLIF is the
+interchange format, as in SIS), and a Verilog parser would be scope
+creep.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from typing import Dict, Optional, TextIO
+
+from ..circuit.gates import GateType, ONE
+from ..circuit.netlist import Circuit, NodeKind
+from ..errors import CircuitError
+
+_OPERATORS = {
+    GateType.AND: " & ",
+    GateType.OR: " | ",
+    GateType.XOR: " ^ ",
+}
+_INVERTED = {
+    GateType.NAND: " & ",
+    GateType.NOR: " | ",
+    GateType.XNOR: " ^ ",
+}
+
+_IDENTIFIER = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+
+def _escape(name: str) -> str:
+    """Verilog-legal identifier (escaped identifier when necessary)."""
+    if _IDENTIFIER.match(name):
+        return name
+    return f"\\{name} "  # escaped identifier: backslash + name + space
+
+
+def write_verilog(
+    circuit: Circuit,
+    stream: Optional[TextIO] = None,
+    clock: str = "clk",
+) -> str:
+    """Serialize ``circuit`` as a structural Verilog module."""
+    circuit.check()
+    out = io.StringIO()
+    module_name = re.sub(r"[^A-Za-z0-9_]", "_", circuit.name) or "circuit"
+
+    ports = [clock] + [_escape(pi) for pi in circuit.inputs]
+    output_ports = []
+    po_aliases: Dict[str, str] = {}
+    for index, po in enumerate(circuit.outputs):
+        alias = f"po{index}"
+        po_aliases[alias] = po
+        output_ports.append(alias)
+
+    out.write(f"module {module_name} (\n")
+    declarations = [f"  input wire {p}" for p in ports] + [
+        f"  output wire {p}" for p in output_ports
+    ]
+    out.write(",\n".join(declarations))
+    out.write("\n);\n\n")
+
+    for node in circuit.nodes():
+        if node.kind is NodeKind.GATE:
+            out.write(f"  wire {_escape(node.name)};\n")
+        elif node.kind is NodeKind.DFF:
+            out.write(f"  reg {_escape(node.name)};\n")
+    out.write("\n")
+
+    for node in circuit.nodes():
+        if node.kind is not NodeKind.GATE:
+            continue
+        out.write(
+            f"  assign {_escape(node.name)} = "
+            f"{_gate_expression(node)};\n"
+        )
+    out.write("\n")
+
+    dffs = list(circuit.dffs())
+    if dffs:
+        out.write("  initial begin\n")
+        for dff in dffs:
+            value = 1 if dff.init == ONE else 0
+            out.write(f"    {_escape(dff.name)} = 1'b{value};\n")
+        out.write("  end\n\n")
+        out.write(f"  always @(posedge {clock}) begin\n")
+        for dff in dffs:
+            out.write(
+                f"    {_escape(dff.name)} <= {_escape(dff.fanin[0])};\n"
+            )
+        out.write("  end\n\n")
+
+    for alias, po in po_aliases.items():
+        out.write(f"  assign {alias} = {_escape(po)};\n")
+    out.write("\nendmodule\n")
+
+    text = out.getvalue()
+    if stream is not None:
+        stream.write(text)
+    return text
+
+
+def _gate_expression(node) -> str:
+    gate = node.gate
+    fanin = [_escape(f) for f in node.fanin]
+    if gate is GateType.CONST0:
+        return "1'b0"
+    if gate is GateType.CONST1:
+        return "1'b1"
+    if gate is GateType.BUF:
+        return fanin[0]
+    if gate is GateType.NOT:
+        return f"~{fanin[0]}"
+    if gate in _OPERATORS:
+        return _OPERATORS[gate].join(fanin)
+    if gate in _INVERTED:
+        return f"~({_INVERTED[gate].join(fanin)})"
+    raise CircuitError(f"no Verilog emission rule for {gate!r}")
+
+
+def save_verilog(circuit: Circuit, path: str, clock: str = "clk") -> None:
+    with open(path, "w") as f:
+        write_verilog(circuit, f, clock=clock)

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Subsystem-specific errors
+refine it; they carry human-readable messages that name the offending
+object (node, state, file, ...) so failures in a long synthesis or ATPG
+pipeline can be localized without a debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CircuitError(ReproError):
+    """Structural problem in a gate-level netlist (bad fanin, duplicate
+    node names, dangling references, combinational loops, ...)."""
+
+
+class ParseError(ReproError):
+    """A netlist or FSM file could not be parsed.
+
+    Carries optional ``filename`` and ``lineno`` attributes so error
+    messages can point at the offending line.
+    """
+
+    def __init__(self, message: str, filename: str = "", lineno: int = 0):
+        location = ""
+        if filename:
+            location = f"{filename}:"
+        if lineno:
+            location = f"{location}{lineno}:"
+        if location:
+            message = f"{location} {message}"
+        super().__init__(message)
+        self.filename = filename
+        self.lineno = lineno
+
+
+class FsmError(ReproError):
+    """Inconsistent finite-state-machine description (unknown state,
+    conflicting transitions, unencodable machine, ...)."""
+
+
+class SynthesisError(ReproError):
+    """The synthesis pipeline could not produce a netlist."""
+
+
+class RetimingError(ReproError):
+    """Retiming could not be applied (infeasible period, no legal
+    register move, reset-state justification failure, ...)."""
+
+
+class SimulationError(ReproError):
+    """Invalid simulation request (wrong vector width, unknown node,
+    incompatible value encoding, ...)."""
+
+
+class FaultError(ReproError):
+    """Invalid fault specification or fault-simulation request."""
+
+
+class AtpgError(ReproError):
+    """A test-generation engine was misconfigured or encountered an
+    internal inconsistency (budget exhaustion is NOT an error: aborted
+    faults are reported in the result, mirroring the paper's fault
+    efficiency accounting)."""
+
+
+class AnalysisError(ReproError):
+    """A structural or state-space analysis could not be carried out."""

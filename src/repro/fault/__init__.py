@@ -1,0 +1,25 @@
+"""Stuck-at fault model, equivalence collapsing, and word-parallel
+sequential fault simulation (PROOFS substitute)."""
+
+from .model import (
+    CoverageSummary,
+    Fault,
+    FaultStatus,
+    full_fault_list,
+    summarize,
+)
+from .collapse import CollapseReport, collapse_faults
+from .simulator import FaultSimReport, FaultSimulator, TestSequence
+
+__all__ = [
+    "CollapseReport",
+    "CoverageSummary",
+    "Fault",
+    "FaultSimReport",
+    "FaultSimulator",
+    "FaultStatus",
+    "TestSequence",
+    "collapse_faults",
+    "full_fault_list",
+    "summarize",
+]

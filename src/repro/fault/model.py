@@ -1,0 +1,107 @@
+"""Single stuck-at fault model.
+
+Fault universe: a stuck-at-0 and stuck-at-1 fault on the output of every
+node (primary inputs, gates, DFF outputs), the classical line-fault
+model at stem granularity.  Fanout-branch faults are not modeled
+separately; equivalence collapsing through buffer/inverter chains (see
+:mod:`repro.fault.collapse`) reduces the universe the same way HITEC's
+fault-list preprocessing did.
+
+Fault coverage / fault efficiency accounting matches the paper:
+
+* ``fault coverage``  = detected / total,
+* ``fault efficiency`` = (detected + proven redundant) / total,
+
+with aborted (budget-exhausted) faults counting against both.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Sequence
+
+from ..circuit.gates import ONE, ZERO
+from ..circuit.netlist import Circuit
+from ..errors import FaultError
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Fault:
+    """One single stuck-at fault on a node's output line."""
+
+    node: str
+    stuck_at: int  # ZERO or ONE
+
+    def __post_init__(self):
+        if self.stuck_at not in (ZERO, ONE):
+            raise FaultError(
+                f"stuck_at must be 0 or 1, got {self.stuck_at!r}"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.node}/sa{self.stuck_at}"
+
+
+def full_fault_list(circuit: Circuit) -> List[Fault]:
+    """Both stuck-at faults on every node, in deterministic order."""
+    faults: List[Fault] = []
+    for node in circuit.nodes():
+        faults.append(Fault(node.name, ZERO))
+        faults.append(Fault(node.name, ONE))
+    return faults
+
+
+@dataclasses.dataclass
+class FaultStatus:
+    """Mutable bookkeeping for one fault during an ATPG/simulation run."""
+
+    fault: Fault
+    state: str = "untested"  # untested | detected | redundant | aborted
+    detected_by: int = -1  # index of the detecting test sequence
+
+    def is_open(self) -> bool:
+        return self.state == "untested"
+
+
+@dataclasses.dataclass
+class CoverageSummary:
+    """The paper's %FC / %FE pair plus raw counts."""
+
+    total: int
+    detected: int
+    redundant: int
+    aborted: int
+
+    @property
+    def fault_coverage(self) -> float:
+        if self.total == 0:
+            return 100.0
+        return 100.0 * self.detected / self.total
+
+    @property
+    def fault_efficiency(self) -> float:
+        if self.total == 0:
+            return 100.0
+        return 100.0 * (self.detected + self.redundant) / self.total
+
+    def __str__(self) -> str:
+        return (
+            f"FC={self.fault_coverage:.1f}% FE={self.fault_efficiency:.1f}% "
+            f"({self.detected} det / {self.redundant} red / "
+            f"{self.aborted} abort / {self.total} total)"
+        )
+
+
+def summarize(statuses: Iterable[FaultStatus]) -> CoverageSummary:
+    total = detected = redundant = aborted = 0
+    for status in statuses:
+        total += 1
+        if status.state == "detected":
+            detected += 1
+        elif status.state == "redundant":
+            redundant += 1
+        elif status.state == "aborted":
+            aborted += 1
+    return CoverageSummary(
+        total=total, detected=detected, redundant=redundant, aborted=aborted
+    )

@@ -1,0 +1,40 @@
+"""Finite-state-machine substrate: STG representation, KISS2 I/O, the
+benchmark suite, state minimization and state assignment."""
+
+from .machine import Fsm, Transition
+from .kiss import load_kiss, read_kiss, save_kiss, write_kiss
+from .dot import save_dot, write_dot
+from .generate import GeneratorSpec, generate_fsm, generate_minimal_fsm
+from .benchmarks import (
+    PAPER_FSMS,
+    BenchmarkSpec,
+    benchmark_fsm,
+    benchmark_names,
+    table1_rows,
+)
+from .minimize import MinimizationReport, minimize_fsm
+from .encode import Encoding, EncodingAlgorithm, encode_fsm
+
+__all__ = [
+    "BenchmarkSpec",
+    "Encoding",
+    "EncodingAlgorithm",
+    "Fsm",
+    "GeneratorSpec",
+    "MinimizationReport",
+    "PAPER_FSMS",
+    "Transition",
+    "benchmark_fsm",
+    "benchmark_names",
+    "encode_fsm",
+    "generate_fsm",
+    "generate_minimal_fsm",
+    "load_kiss",
+    "minimize_fsm",
+    "read_kiss",
+    "save_kiss",
+    "table1_rows",
+    "write_kiss",
+    "write_dot",
+    "save_dot",
+]

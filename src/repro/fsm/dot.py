@@ -1,0 +1,63 @@
+"""Graphviz DOT export of state transition graphs.
+
+Visual inspection of the benchmark machines (and of minimization or
+encoding results) is routinely useful; this writer emits a conventional
+DOT digraph: one node per state (reset state marked with a double
+circle), one edge per transition labeled ``inputs/outputs``.  Parallel
+transitions between the same state pair can optionally be merged into a
+multi-line label.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional, TextIO, Tuple
+
+from .machine import Fsm
+
+
+def write_dot(
+    fsm: Fsm,
+    stream: Optional[TextIO] = None,
+    merge_parallel_edges: bool = True,
+) -> str:
+    """Serialize the machine's STG as Graphviz DOT text."""
+    out = io.StringIO()
+    out.write(f'digraph "{fsm.name}" {{\n')
+    out.write("  rankdir=LR;\n")
+    out.write('  node [shape=circle, fontsize=10];\n')
+    out.write(
+        f'  "{fsm.reset_state}" [shape=doublecircle];\n'
+    )
+    for state in fsm.states:
+        if state != fsm.reset_state:
+            out.write(f'  "{state}";\n')
+
+    if merge_parallel_edges:
+        labels: Dict[Tuple[str, str], List[str]] = {}
+        order: List[Tuple[str, str]] = []
+        for t in fsm.transitions:
+            key = (t.src, t.dst)
+            if key not in labels:
+                labels[key] = []
+                order.append(key)
+            labels[key].append(f"{t.inputs}/{t.outputs}")
+        for src, dst in order:
+            label = "\\n".join(labels[(src, dst)])
+            out.write(f'  "{src}" -> "{dst}" [label="{label}"];\n')
+    else:
+        for t in fsm.transitions:
+            out.write(
+                f'  "{t.src}" -> "{t.dst}" '
+                f'[label="{t.inputs}/{t.outputs}"];\n'
+            )
+    out.write("}\n")
+    text = out.getvalue()
+    if stream is not None:
+        stream.write(text)
+    return text
+
+
+def save_dot(fsm: Fsm, path: str, **kwargs) -> None:
+    with open(path, "w") as f:
+        write_dot(fsm, f, **kwargs)

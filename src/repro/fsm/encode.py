@@ -1,0 +1,243 @@
+"""State assignment (the SIS ``jedi`` substitute).
+
+The paper synthesizes each FSM with three jedi encoding algorithms:
+
+* ``.ji`` — *input dominant*: states that are reached from common
+  predecessor states (and thus share "input" conditions in the encoded
+  next-state logic) receive nearby codes;
+* ``.jo`` — *output dominant*: states producing similar output patterns
+  receive nearby codes;
+* ``.jc`` — a *combination* of both affinity measures.
+
+jedi casts encoding as weighted graph embedding into the Boolean
+hypercube; we implement the same idea: build a state-affinity matrix for
+the chosen flavor, then greedily embed states into minimum-width codes
+so high-affinity pairs land at small Hamming distance.  The encoder also
+supports extra code bits and one-hot encodings, which the density-of-
+encoding ablation benchmarks exercise directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .._util import bits_needed, make_rng, popcount
+from ..errors import FsmError
+from .machine import Fsm
+
+
+class EncodingAlgorithm(enum.Enum):
+    """The three jedi flavors used in the paper, plus controls."""
+
+    INPUT_DOMINANT = "ji"
+    OUTPUT_DOMINANT = "jo"
+    COMBINED = "jc"
+    ONE_HOT = "onehot"
+    RANDOM = "random"
+
+
+@dataclasses.dataclass
+class Encoding:
+    """A state assignment: ``codes[state]`` is the integer code, of
+    ``width`` bits (little-endian bit order everywhere)."""
+
+    fsm_name: str
+    algorithm: EncodingAlgorithm
+    width: int
+    codes: Dict[str, int]
+
+    def code_bits(self, state: str) -> List[int]:
+        code = self.codes[state]
+        return [(code >> i) & 1 for i in range(self.width)]
+
+    def used_codes(self) -> set:
+        return set(self.codes.values())
+
+    def density(self) -> float:
+        """Fraction of the code space occupied by states — the *upper
+        bound* on the synthesized circuit's density of encoding."""
+        return len(self.codes) / float(1 << self.width)
+
+
+def encode_fsm(
+    fsm: Fsm,
+    algorithm: EncodingAlgorithm = EncodingAlgorithm.COMBINED,
+    extra_bits: int = 0,
+    seed: int = 0,
+) -> Encoding:
+    """Assign binary codes to the machine's states.
+
+    ``extra_bits`` widens the encoding beyond the minimum (an explicit
+    density-of-encoding control used by the ablation experiments);
+    ``seed`` only affects the RANDOM algorithm and tie-breaking.
+    """
+    if not fsm.states:
+        raise FsmError(f"fsm {fsm.name!r} has no states to encode")
+    if extra_bits < 0:
+        raise FsmError("extra_bits must be non-negative")
+
+    if algorithm is EncodingAlgorithm.ONE_HOT:
+        width = len(fsm.states) + extra_bits
+        codes = {s: 1 << i for i, s in enumerate(fsm.states)}
+        return Encoding(fsm.name, algorithm, width, codes)
+
+    width = bits_needed(len(fsm.states)) + extra_bits
+    if algorithm is EncodingAlgorithm.RANDOM:
+        rng = make_rng(seed)
+        pool = list(range(1 << width))
+        rng.shuffle(pool)
+        # Reset state keeps code 0: a synthesized machine resets into the
+        # all-zero register state, matching the synthesis convention.
+        pool.remove(0)
+        codes = {fsm.reset_state: 0}
+        rest = [s for s in fsm.states if s != fsm.reset_state]
+        for state, code in zip(rest, pool):
+            codes[state] = code
+        return Encoding(fsm.name, algorithm, width, codes)
+
+    affinity = _affinity_matrix(fsm, algorithm)
+    codes = _embed(fsm, affinity, width, seed)
+    return Encoding(fsm.name, algorithm, width, codes)
+
+
+# --------------------------------------------------------------------------
+# Affinity construction
+# --------------------------------------------------------------------------
+
+
+def _affinity_matrix(
+    fsm: Fsm, algorithm: EncodingAlgorithm
+) -> Dict[Tuple[str, str], float]:
+    """Symmetric pairwise affinity between states."""
+    affinity: Dict[Tuple[str, str], float] = {}
+
+    def bump(a: str, b: str, amount: float) -> None:
+        if a == b:
+            return
+        key = (a, b) if a < b else (b, a)
+        affinity[key] = affinity.get(key, 0.0) + amount
+
+    if algorithm in (
+        EncodingAlgorithm.INPUT_DOMINANT,
+        EncodingAlgorithm.COMBINED,
+    ):
+        # Input-dominant: successors of a common state want close codes —
+        # their rows share the same present-state literals in the encoded
+        # next-state cover, so adjacent codes merge cubes.
+        for state in fsm.states:
+            successors = [t.dst for t in fsm.transitions_from(state)]
+            for i, a in enumerate(successors):
+                for b in successors[i + 1 :]:
+                    bump(a, b, 1.0)
+        # States with common successors also benefit (their present-state
+        # literals can merge for the shared next-state bit functions).
+        predecessor_sets: Dict[str, List[str]] = {}
+        for t in fsm.transitions:
+            predecessor_sets.setdefault(t.dst, []).append(t.src)
+        for preds in predecessor_sets.values():
+            for i, a in enumerate(preds):
+                for b in preds[i + 1 :]:
+                    bump(a, b, 0.5)
+
+    if algorithm in (
+        EncodingAlgorithm.OUTPUT_DOMINANT,
+        EncodingAlgorithm.COMBINED,
+    ):
+        # Output-dominant: states whose outgoing transitions emit similar
+        # output patterns want close codes — the output cover's
+        # present-state cubes then merge.
+        signatures = {s: _output_signature(fsm, s) for s in fsm.states}
+        for i, a in enumerate(fsm.states):
+            for b in fsm.states[i + 1 :]:
+                similarity = _signature_similarity(
+                    signatures[a], signatures[b]
+                )
+                if similarity > 0:
+                    bump(a, b, similarity)
+    return affinity
+
+
+def _output_signature(fsm: Fsm, state: str) -> List[float]:
+    """Per-output-bit frequency of 1 across the state's transitions."""
+    outgoing = fsm.transitions_from(state)
+    if not outgoing:
+        return [0.5] * fsm.num_outputs
+    signature = []
+    for position in range(fsm.num_outputs):
+        ones = 0
+        known = 0
+        for t in outgoing:
+            char = t.outputs[position]
+            if char == "-":
+                continue
+            known += 1
+            if char == "1":
+                ones += 1
+        signature.append(ones / known if known else 0.5)
+    return signature
+
+
+def _signature_similarity(a: List[float], b: List[float]) -> float:
+    if not a:
+        return 0.0
+    agreement = sum(1.0 - abs(x - y) for x, y in zip(a, b))
+    return agreement / len(a)
+
+
+# --------------------------------------------------------------------------
+# Hypercube embedding
+# --------------------------------------------------------------------------
+
+
+def _embed(
+    fsm: Fsm,
+    affinity: Dict[Tuple[str, str], float],
+    width: int,
+    seed: int,
+) -> Dict[str, int]:
+    """Greedy weighted embedding of states into {0,1}^width.
+
+    The reset state is pinned to code 0.  Remaining states are placed in
+    decreasing order of total affinity to already-placed states; each
+    takes the free code minimizing the affinity-weighted Hamming
+    distance to its placed neighbors.  Ties break deterministically.
+    """
+    states = list(fsm.states)
+    rng = make_rng(seed)
+
+    def pair_affinity(a: str, b: str) -> float:
+        key = (a, b) if a < b else (b, a)
+        return affinity.get(key, 0.0)
+
+    codes: Dict[str, int] = {fsm.reset_state: 0}
+    free_codes = set(range(1, 1 << width))
+    unplaced = [s for s in states if s != fsm.reset_state]
+
+    while unplaced:
+        # Next state: strongest total tie to the placed set.
+        def attachment(state: str) -> Tuple[float, int]:
+            total = sum(pair_affinity(state, p) for p in codes)
+            return (total, -states.index(state))
+
+        unplaced.sort(key=attachment, reverse=True)
+        state = unplaced.pop(0)
+
+        best_code = None
+        best_cost = None
+        for code in sorted(free_codes):
+            cost = 0.0
+            for placed, placed_code in codes.items():
+                weight = pair_affinity(state, placed)
+                if weight:
+                    cost += weight * popcount(code ^ placed_code)
+            # Secondary objective: prefer low-weight codes so minimum-
+            # width encodings densely fill the low end of the code space.
+            key = (cost, popcount(code), code)
+            if best_cost is None or key < best_cost:
+                best_cost = key
+                best_code = code
+        codes[state] = best_code
+        free_codes.remove(best_code)
+    return codes

@@ -1,0 +1,195 @@
+"""Deterministic synthetic FSM generation.
+
+The original MCNC KISS2 benchmark files are not redistributable in this
+offline environment, so the benchmark suite (``repro.fsm.benchmarks``)
+synthesizes machines with the *paper's exact dimensions* — number of
+primary inputs, primary outputs and states from Table 1 — and with the
+structural character of real control-logic benchmarks:
+
+* every transition is guarded by a sparse input cube (one or two tested
+  input columns, everything else don't-care), like hand-written KISS
+  benchmarks;
+* every state is reachable from the reset state (spanning-tree
+  construction plus extra cross/back edges, so the STG is cyclic);
+* the machine is completely specified and deterministic;
+* generation is seeded and reproducible.
+
+Why the substitution is sound for this paper: the experiments depend on
+state counts, encoding width, reachable-set density and gate-level
+structure after synthesis — properties the generator controls — not on
+the specific MCNC transition tables (see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from .._util import make_rng
+from ..errors import FsmError
+from .machine import Fsm, Transition
+
+
+@dataclasses.dataclass
+class GeneratorSpec:
+    """Parameters for one synthetic machine."""
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    num_states: int
+    seed: int
+    max_children: int = 3  # spanning-tree fanout cap (branch budget is 4)
+
+
+def generate_fsm(spec: GeneratorSpec) -> Fsm:
+    """Build one synthetic, completely specified, reachable Mealy machine."""
+    if spec.num_states < 1:
+        raise FsmError("need at least one state")
+    if spec.num_inputs < 2:
+        raise FsmError("generator needs at least two inputs")
+    rng = make_rng(spec.seed)
+    states = [f"s{i}" for i in range(spec.num_states)]
+
+    # Spanning tree: guarantee reachability of every state from s0.
+    children: List[List[int]] = [[] for _ in range(spec.num_states)]
+    for i in range(1, spec.num_states):
+        candidates = [
+            p for p in range(i) if len(children[p]) < spec.max_children
+        ]
+        parent = rng.choice(candidates)
+        children[parent].append(i)
+
+    fsm = Fsm(
+        name=spec.name,
+        num_inputs=spec.num_inputs,
+        num_outputs=spec.num_outputs,
+        states=states,
+        reset_state=states[0],
+    )
+
+    for index, state in enumerate(states):
+        required = children[index]
+        # Branch count: 2 (one selector column) or 4 (two columns).
+        # Large machines lean harder on 2-way branching, like their MCNC
+        # counterparts, which keeps the transition count (and therefore
+        # the synthesized SOP) proportionate.
+        two_way_bias = 0.8 if spec.num_states > 60 else 0.5
+        if len(required) <= 1 and rng.random() < two_way_bias:
+            branches = 2
+        else:
+            branches = 4
+        if len(required) + 1 > branches:
+            branches = 4
+        selector_width = 1 if branches == 2 else 2
+        positions = sorted(rng.sample(range(spec.num_inputs), selector_width))
+
+        targets: List[int] = list(required)
+        while len(targets) < branches:
+            roll = rng.random()
+            if roll < 0.3 and targets:
+                targets.append(rng.choice(targets))  # repeat: mergeable cube
+            elif roll < 0.6:
+                targets.append(rng.randrange(spec.num_states))  # anywhere
+            elif roll < 0.8 and index > 0:
+                targets.append(rng.randrange(index))  # back edge (cycles)
+            elif roll < 0.92:
+                targets.append(index)  # self loop
+            else:
+                targets.append(0)  # return to reset
+        rng.shuffle(targets)
+
+        # Output patterns are sparse and mostly Moore-like, as in real
+        # control benchmarks: each state has a base pattern (mostly 0s,
+        # a few 1s, occasionally unspecified) that its transitions share,
+        # with a small per-transition Mealy perturbation.  Wide-output
+        # machines (scf has 54 POs) would otherwise synthesize into
+        # unrealistically large networks.
+        one_probability = max(0.2, min(0.5, 4.0 / spec.num_outputs))
+        base_pattern = []
+        for _ in range(spec.num_outputs):
+            roll = rng.random()
+            if roll < one_probability:
+                base_pattern.append("1")
+            elif roll < one_probability + 0.05:
+                base_pattern.append("-")
+            else:
+                base_pattern.append("0")
+        # Merge adjacent selector codes that share a target into a single
+        # cube with a don't-care selector bit — the shape real KISS
+        # benchmarks have, and what keeps the synthesized SOP compact.
+        groups: List[Tuple[List[int], int]] = []  # (codes, target)
+        if branches == 2:
+            if targets[0] == targets[1]:
+                groups = [([0, 1], targets[0])]
+            else:
+                groups = [([0], targets[0]), ([1], targets[1])]
+        else:
+            pairs = []
+            for low in (0, 2):
+                if targets[low] == targets[low + 1]:
+                    pairs.append(([low, low + 1], targets[low]))
+                else:
+                    pairs.append(([low], targets[low]))
+                    pairs.append(([low + 1], targets[low + 1]))
+            if (
+                len(pairs) == 2
+                and pairs[0][1] == pairs[1][1]
+                and len(pairs[0][0]) == 2
+            ):
+                groups = [([0, 1, 2, 3], pairs[0][1])]
+            else:
+                groups = pairs
+
+        for codes, target in groups:
+            cube = ["-"] * spec.num_inputs
+            for bit, position in enumerate(positions):
+                values = {(code >> bit) & 1 for code in codes}
+                if len(values) == 1:
+                    cube[position] = "1" if values.pop() else "0"
+            output_chars = list(base_pattern)
+            mealy_probability = min(0.08, 0.6 / spec.num_outputs)
+            for k in range(spec.num_outputs):
+                if rng.random() < mealy_probability:
+                    output_chars[k] = "1" if output_chars[k] != "1" else "0"
+            outputs = "".join(output_chars)
+            fsm.add_transition(
+                Transition(
+                    inputs="".join(cube),
+                    src=state,
+                    dst=states[target],
+                    outputs=outputs,
+                )
+            )
+
+    fsm.validate()
+    return fsm
+
+
+def generate_minimal_fsm(
+    spec: GeneratorSpec, max_attempts: int = 50
+) -> Fsm:
+    """Generate a machine that is already state-minimal.
+
+    The benchmark suite pins the paper's state counts (Table 1), so the
+    machine handed to the synthesis pipeline must not shrink under state
+    minimization.  Random machines occasionally contain an equivalent
+    state pair; we deterministically re-roll the seed until the machine
+    is minimal (typically the first attempt).
+    """
+    from .minimize import minimize_fsm
+
+    for attempt in range(max_attempts):
+        candidate_spec = dataclasses.replace(
+            spec, seed=spec.seed + attempt * 7919
+        )
+        fsm = generate_fsm(candidate_spec)
+        if len(fsm.reachable_states()) != fsm.num_states():
+            continue
+        minimized = minimize_fsm(fsm).fsm
+        if minimized.num_states() == fsm.num_states():
+            return fsm
+    raise FsmError(
+        f"could not generate a minimal {spec.num_states}-state machine "
+        f"for {spec.name!r} in {max_attempts} attempts"
+    )

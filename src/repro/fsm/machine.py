@@ -1,0 +1,220 @@
+"""Finite state machine (state transition graph) representation.
+
+The MCNC benchmarks the paper synthesizes from are Mealy machines in
+KISS2 form: each transition is guarded by an input *cube* (``0``/``1``/
+``-`` per input) and produces an output pattern (``0``/``1``/``-`` per
+output, ``-`` meaning unspecified).  :class:`Fsm` stores exactly that,
+plus a designated reset state.
+
+Determinism: a machine is *well-formed* when no two transitions from the
+same state have intersecting input cubes with conflicting next state or
+conflicting specified outputs; :meth:`Fsm.validate` enforces this.  A
+machine is *completely specified* when every (state, input assignment)
+matches a transition.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import FsmError
+from ..logic.cube import Cube
+
+
+@dataclasses.dataclass(frozen=True)
+class Transition:
+    """One STG edge: ``inputs`` is a cube string over the PI columns,
+    ``outputs`` a pattern over the PO columns (``-`` = unspecified)."""
+
+    inputs: str
+    src: str
+    dst: str
+    outputs: str
+
+    def input_cube(self) -> Cube:
+        return Cube.from_string(self.inputs)
+
+    def matches(self, assignment: int) -> bool:
+        """True if this transition fires for the given input minterm
+        (little-endian: input column i = bit i)."""
+        return self.input_cube().contains_minterm(assignment)
+
+
+class Fsm:
+    """A Mealy machine over named states."""
+
+    def __init__(
+        self,
+        name: str,
+        num_inputs: int,
+        num_outputs: int,
+        states: Sequence[str],
+        reset_state: str,
+        transitions: Iterable[Transition] = (),
+    ):
+        if len(set(states)) != len(states):
+            raise FsmError(f"fsm {name!r}: duplicate state names")
+        if reset_state not in states:
+            raise FsmError(
+                f"fsm {name!r}: reset state {reset_state!r} is not a state"
+            )
+        self.name = name
+        self.num_inputs = num_inputs
+        self.num_outputs = num_outputs
+        self.states: List[str] = list(states)
+        self.reset_state = reset_state
+        self.transitions: List[Transition] = []
+        for t in transitions:
+            self.add_transition(t)
+
+    # -- construction -----------------------------------------------------
+
+    def add_transition(self, transition: Transition) -> None:
+        if len(transition.inputs) != self.num_inputs:
+            raise FsmError(
+                f"fsm {self.name!r}: transition input cube "
+                f"{transition.inputs!r} has wrong width"
+            )
+        if len(transition.outputs) != self.num_outputs:
+            raise FsmError(
+                f"fsm {self.name!r}: transition output pattern "
+                f"{transition.outputs!r} has wrong width"
+            )
+        for state in (transition.src, transition.dst):
+            if state not in self.states:
+                raise FsmError(
+                    f"fsm {self.name!r}: unknown state {state!r} in transition"
+                )
+        for char in transition.inputs:
+            if char not in "01-":
+                raise FsmError(
+                    f"fsm {self.name!r}: bad input character {char!r}"
+                )
+        for char in transition.outputs:
+            if char not in "01-":
+                raise FsmError(
+                    f"fsm {self.name!r}: bad output character {char!r}"
+                )
+        self.transitions.append(transition)
+
+    # -- queries --------------------------------------------------------------
+
+    def num_states(self) -> int:
+        return len(self.states)
+
+    def transitions_from(self, state: str) -> List[Transition]:
+        return [t for t in self.transitions if t.src == state]
+
+    def step(self, state: str, assignment: int) -> Optional[Tuple[str, str]]:
+        """Fire the machine for one input minterm.
+
+        Returns ``(next_state, output_pattern)`` or ``None`` when the
+        behavior is unspecified for this (state, input).
+        """
+        for t in self.transitions_from(state):
+            if t.matches(assignment):
+                return t.dst, t.outputs
+        return None
+
+    def reachable_states(self) -> Set[str]:
+        """States reachable from the reset state along any transitions."""
+        seen = {self.reset_state}
+        stack = [self.reset_state]
+        adjacency: Dict[str, Set[str]] = {}
+        for t in self.transitions:
+            adjacency.setdefault(t.src, set()).add(t.dst)
+        while stack:
+            state = stack.pop()
+            for nxt in adjacency.get(state, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+    def is_completely_specified(self) -> bool:
+        """Every (state, input minterm) fires some transition.
+
+        Checked symbolically: the union of input cubes leaving each state
+        must be a tautology over the input space.
+        """
+        from ..logic.cube import Cover
+
+        for state in self.states:
+            cubes = [t.input_cube() for t in self.transitions_from(state)]
+            if not Cover(self.num_inputs, cubes).is_tautology():
+                return False
+        return True
+
+    # -- integrity ---------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise :class:`FsmError` on nondeterminism.
+
+        Two transitions from the same state whose input cubes intersect
+        must agree on the next state and on every *specified* output bit
+        (``-`` is compatible with anything).
+        """
+        by_state: Dict[str, List[Transition]] = {}
+        for t in self.transitions:
+            by_state.setdefault(t.src, []).append(t)
+        for state, outgoing in by_state.items():
+            for i, first in enumerate(outgoing):
+                cube_a = first.input_cube()
+                for second in outgoing[i + 1 :]:
+                    if not cube_a.intersects(second.input_cube()):
+                        continue
+                    if first.dst != second.dst:
+                        raise FsmError(
+                            f"fsm {self.name!r}: state {state!r} has "
+                            f"conflicting next states {first.dst!r} vs "
+                            f"{second.dst!r} on overlapping inputs "
+                            f"{first.inputs!r} / {second.inputs!r}"
+                        )
+                    for oa, ob in zip(first.outputs, second.outputs):
+                        if oa != "-" and ob != "-" and oa != ob:
+                            raise FsmError(
+                                f"fsm {self.name!r}: state {state!r} has "
+                                f"conflicting outputs on overlapping inputs "
+                                f"{first.inputs!r} / {second.inputs!r}"
+                            )
+
+    # -- transformation helpers ---------------------------------------------------
+
+    def renamed_states(self, mapping: Dict[str, str]) -> "Fsm":
+        """A copy with states renamed through ``mapping`` (total map)."""
+        new_states = [mapping[s] for s in self.states]
+        return Fsm(
+            name=self.name,
+            num_inputs=self.num_inputs,
+            num_outputs=self.num_outputs,
+            states=new_states,
+            reset_state=mapping[self.reset_state],
+            transitions=[
+                Transition(t.inputs, mapping[t.src], mapping[t.dst], t.outputs)
+                for t in self.transitions
+            ],
+        )
+
+    def restricted_to(self, keep: Set[str], name: Optional[str] = None) -> "Fsm":
+        """A copy containing only ``keep`` states and transitions among them."""
+        if self.reset_state not in keep:
+            raise FsmError("cannot drop the reset state")
+        return Fsm(
+            name=name or self.name,
+            num_inputs=self.num_inputs,
+            num_outputs=self.num_outputs,
+            states=[s for s in self.states if s in keep],
+            reset_state=self.reset_state,
+            transitions=[
+                t
+                for t in self.transitions
+                if t.src in keep and t.dst in keep
+            ],
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Fsm({self.name!r}, pi={self.num_inputs}, po={self.num_outputs}, "
+            f"states={len(self.states)}, transitions={len(self.transitions)})"
+        )

@@ -1,0 +1,179 @@
+"""State minimization (the SIS ``stamina`` substitute).
+
+Implements classical table-filling minimization for deterministic Mealy
+machines with cube-guarded transitions:
+
+1. For every state pair, enumerate the joint selector space — the union
+   of input columns any of the two states' guards test (everything else
+   is don't-care by construction) — and compare fired transitions.
+2. A pair is *distinguishable* if some joint assignment yields a
+   conflict on a specified output bit; otherwise the pair depends on its
+   successor pairs.
+3. Propagate distinguishability to a fixed point (worklist over inverse
+   dependencies), merge the remaining equivalent classes, and rebuild
+   the machine on class representatives.
+
+Unspecified behavior (no matching transition, or ``-`` output bits) is
+treated as compatible-with-anything, which is the conservative choice
+for the incompletely specified case and exact for completely specified
+machines (our generated suite is completely specified).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..errors import FsmError
+from .machine import Fsm, Transition
+
+
+@dataclasses.dataclass
+class MinimizationReport:
+    """Result of state minimization."""
+
+    fsm: Fsm
+    merged_classes: List[List[str]]  # classes with >= 2 members
+    state_map: Dict[str, str]  # original state -> representative
+
+    @property
+    def states_removed(self) -> int:
+        return sum(len(c) - 1 for c in self.merged_classes)
+
+
+def minimize_fsm(fsm: Fsm, name: Optional[str] = None) -> MinimizationReport:
+    """Merge equivalent states; returns the minimized machine and a map."""
+    fsm.validate()
+    states = fsm.states
+    pair_index = {
+        frozenset((a, b)): (a, b)
+        for a, b in itertools.combinations(states, 2)
+    }
+
+    # Precompute per-state transition tables (parsed cubes) so the pair
+    # comparison loop never rescans the full transition list.
+    tables = {state: _StateTable(fsm, state) for state in states}
+
+    distinguishable: Set[FrozenSet[str]] = set()
+    dependents: Dict[FrozenSet[str], List[FrozenSet[str]]] = {}
+
+    for pair_key, (a, b) in pair_index.items():
+        outcome = _compare_states(tables[a], tables[b])
+        if outcome is None:
+            distinguishable.add(pair_key)
+            continue
+        for successor_pair in outcome:
+            dependents.setdefault(successor_pair, []).append(pair_key)
+
+    # Propagate: if a successor pair is distinguishable, so is the pair.
+    worklist = list(distinguishable)
+    while worklist:
+        bad = worklist.pop()
+        for dependent in dependents.get(bad, ()):
+            if dependent not in distinguishable:
+                distinguishable.add(dependent)
+                worklist.append(dependent)
+
+    # Union-find over equivalent pairs.
+    parent: Dict[str, str] = {s: s for s in states}
+
+    def find(x: str) -> str:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for pair_key in pair_index:
+        if pair_key in distinguishable:
+            continue
+        a, b = pair_index[pair_key]
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            # Keep the state that appears first (stable representatives).
+            keep, drop = sorted((ra, rb), key=states.index)
+            parent[drop] = keep
+
+    state_map = {s: find(s) for s in states}
+    classes: Dict[str, List[str]] = {}
+    for s in states:
+        classes.setdefault(state_map[s], []).append(s)
+
+    kept_states = [s for s in states if state_map[s] == s]
+    new_name = name or fsm.name
+    minimized = Fsm(
+        name=new_name,
+        num_inputs=fsm.num_inputs,
+        num_outputs=fsm.num_outputs,
+        states=kept_states,
+        reset_state=state_map[fsm.reset_state],
+    )
+    seen_rows: Set[Tuple[str, str, str, str]] = set()
+    for t in fsm.transitions:
+        if state_map[t.src] != t.src:
+            continue  # only representative rows survive
+        row = (t.inputs, t.src, state_map[t.dst], t.outputs)
+        if row in seen_rows:
+            continue
+        seen_rows.add(row)
+        minimized.add_transition(Transition(*row))
+    minimized.validate()
+
+    merged = [members for members in classes.values() if len(members) > 1]
+    return MinimizationReport(
+        fsm=minimized, merged_classes=merged, state_map=state_map
+    )
+
+
+class _StateTable:
+    """Parsed outgoing transitions of one state: (mask, value, dst, out)."""
+
+    def __init__(self, fsm: Fsm, state: str):
+        self.state = state
+        self.rows: List[Tuple[int, int, str, str]] = []
+        self.used_mask = 0
+        for t in fsm.transitions_from(state):
+            cube = t.input_cube()
+            self.rows.append((cube.mask, cube.value, t.dst, t.outputs))
+            self.used_mask |= cube.mask
+
+    def fire(self, assignment: int) -> Optional[Tuple[str, str]]:
+        for mask, value, dst, outputs in self.rows:
+            if (assignment & mask) == value:
+                return dst, outputs
+        return None
+
+
+def _compare_states(
+    table_a: "_StateTable", table_b: "_StateTable"
+) -> Optional[Set[FrozenSet[str]]]:
+    """Compare two states over their joint selector space.
+
+    The joint space enumerates only the input columns either state's
+    guards actually test (everything else is provably irrelevant), which
+    keeps the enumeration tiny for sparse-cube machines.
+
+    Returns None if the states are directly distinguishable (output
+    conflict), otherwise the set of successor pairs their equivalence
+    depends on.
+    """
+    used = table_a.used_mask | table_b.used_mask
+    positions = [i for i in range(used.bit_length()) if (used >> i) & 1]
+    dependencies: Set[FrozenSet[str]] = set()
+    for bits in itertools.product((0, 1), repeat=len(positions)):
+        assignment = 0
+        for bit, position in zip(bits, positions):
+            assignment |= bit << position
+        step_a = table_a.fire(assignment)
+        step_b = table_b.fire(assignment)
+        if step_a is None or step_b is None:
+            continue  # unspecified behavior is compatible with anything
+        (dst_a, out_a), (dst_b, out_b) = step_a, step_b
+        for bit_a, bit_b in zip(out_a, out_b):
+            if bit_a != "-" and bit_b != "-" and bit_a != bit_b:
+                return None
+        if dst_a != dst_b:
+            dependencies.add(frozenset((dst_a, dst_b)))
+    # A pair depending on a distinguishable pair {x} (dst_a == dst_b)
+    # contributes nothing; filter singleton sets.
+    return {d for d in dependencies if len(d) == 2}

@@ -1,0 +1,68 @@
+"""Experiment harnesses regenerating the paper's Tables 1-8 and Figure 3.
+
+Usage::
+
+    from repro.harness import HarnessConfig, table2
+    table, runs = table2.generate(HarnessConfig.smoke())
+    print(table.render())
+
+or from the command line: ``python -m repro.harness smoke``.
+"""
+
+from .config import HarnessConfig, sample_faults
+from .suite import (
+    TABLE2_CIRCUITS,
+    TABLE3_CIRCUITS,
+    TABLE4_CIRCUITS,
+    TABLE7_CIRCUIT,
+    CircuitPair,
+    build_pair,
+    build_pairs,
+    clear_caches,
+    select_retiming,
+    synthesize_named,
+)
+from .tables import Column, Table
+from . import (
+    figure3,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+from .experiment import run_all
+from .report import curves_to_markdown, preformatted, table_to_markdown
+
+__all__ = [
+    "CircuitPair",
+    "Column",
+    "HarnessConfig",
+    "TABLE2_CIRCUITS",
+    "TABLE3_CIRCUITS",
+    "TABLE4_CIRCUITS",
+    "TABLE7_CIRCUIT",
+    "Table",
+    "build_pair",
+    "build_pairs",
+    "clear_caches",
+    "figure3",
+    "run_all",
+    "sample_faults",
+    "select_retiming",
+    "synthesize_named",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "table_to_markdown",
+    "curves_to_markdown",
+    "preformatted",
+]

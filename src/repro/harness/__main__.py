@@ -1,0 +1,25 @@
+"""CLI entry: ``python -m repro.harness [smoke|default|heavy]``."""
+
+import sys
+
+from .config import HarnessConfig
+from .experiment import run_all
+
+PRESETS = {
+    "smoke": HarnessConfig.smoke,
+    "default": HarnessConfig.default,
+    "heavy": HarnessConfig.heavy,
+}
+
+
+def main() -> int:
+    preset = sys.argv[1] if len(sys.argv) > 1 else "default"
+    if preset not in PRESETS:
+        print(f"unknown preset {preset!r}; choose from {sorted(PRESETS)}")
+        return 2
+    run_all(PRESETS[preset](), stream=sys.stdout)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,149 @@
+"""Shared machinery for the ATPG result tables (Tables 2, 3 and 4).
+
+Each table runs one engine over a set of original/retimed circuit pairs
+and reports %FC, %FE and the retimed/original CPU ratio.  Table 2
+(HITEC) additionally reports register counts and absolute CPU seconds;
+Tables 3 and 4 follow the paper in reporting only coverage figures and
+the CPU ratio.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..atpg.hitec import HitecEngine
+from ..atpg.result import AtpgResult, EffortBudget
+from ..atpg.sest import SestEngine
+from ..atpg.simbased import SimBasedEngine
+from ..circuit.netlist import Circuit
+from ..fault.collapse import collapse_faults
+from .config import HarnessConfig, sample_faults
+from .suite import CircuitPair, build_pair
+from .tables import Column, Table, pct, ratio
+
+EngineFactory = Callable[[Circuit, EffortBudget], object]
+
+
+def hitec_factory(circuit: Circuit, budget: EffortBudget):
+    return HitecEngine(circuit, budget=budget)
+
+
+def sest_factory(circuit: Circuit, budget: EffortBudget):
+    return SestEngine(circuit, budget=budget)
+
+
+def simbased_factory(circuit: Circuit, budget: EffortBudget):
+    return SimBasedEngine(circuit, budget=budget)
+
+
+@dataclasses.dataclass
+class PairRun:
+    """Engine results for one original/retimed pair."""
+
+    pair: CircuitPair
+    original: AtpgResult
+    retimed: AtpgResult
+
+    @property
+    def cpu_ratio(self) -> float:
+        baseline = max(self.original.cpu_seconds, 1e-6)
+        return self.retimed.cpu_seconds / baseline
+
+
+def run_engine_on_circuit(
+    circuit: Circuit, factory: EngineFactory, config: HarnessConfig
+) -> AtpgResult:
+    """One engine × circuit run with the config's fault sampling."""
+    faults = collapse_faults(circuit).representatives
+    faults = sample_faults(faults, config)
+    engine = factory(circuit, config.budget)
+    return engine.run(faults)
+
+
+def run_pair(
+    name: str, factory: EngineFactory, config: HarnessConfig
+) -> PairRun:
+    pair = build_pair(name, target_ratio=config.retime_target_ratio)
+    original = run_engine_on_circuit(
+        pair.original_circuit, factory, config
+    )
+    retimed = run_engine_on_circuit(pair.retimed_circuit, factory, config)
+    return PairRun(pair=pair, original=original, retimed=retimed)
+
+
+def hitec_table(
+    circuits: Tuple[str, ...], config: HarnessConfig
+) -> Tuple[Table, List[PairRun]]:
+    """Table 2's layout: one row per circuit (original then retimed)."""
+    rows: List[Dict] = []
+    runs: List[PairRun] = []
+    for name in circuits:
+        run = run_pair(name, hitec_factory, config)
+        runs.append(run)
+        rows.append(_hitec_row(name, run.pair.original_circuit, run.original))
+        retimed_row = _hitec_row(
+            f"{name}.re", run.pair.retimed_circuit, run.retimed
+        )
+        retimed_row["cpu_ratio"] = run.cpu_ratio
+        rows.append(retimed_row)
+    table = Table(
+        title="Table 2: HITEC ATPG results",
+        columns=[
+            Column("circuit", "circuit"),
+            Column("dffs", "#DFF"),
+            Column("fc", "%FC", pct),
+            Column("fe", "%FE", pct),
+            Column("cpu", "#CPU seconds", lambda v: f"{v:.1f}"),
+            Column("cpu_ratio", "CPU ratio", ratio),
+        ],
+        rows=rows,
+    )
+    return table, runs
+
+
+def _hitec_row(name: str, circuit: Circuit, result: AtpgResult) -> Dict:
+    return {
+        "circuit": name,
+        "dffs": circuit.num_dffs(),
+        "fc": result.fault_coverage,
+        "fe": result.fault_efficiency,
+        "cpu": result.cpu_seconds,
+    }
+
+
+def coverage_ratio_table(
+    title: str,
+    circuits: Tuple[str, ...],
+    factory: EngineFactory,
+    config: HarnessConfig,
+) -> Tuple[Table, List[PairRun]]:
+    """Tables 3/4's layout: one row per pair, coverages plus CPU ratio."""
+    rows: List[Dict] = []
+    runs: List[PairRun] = []
+    for name in circuits:
+        run = run_pair(name, factory, config)
+        runs.append(run)
+        rows.append(
+            {
+                "circuit": name,
+                "fc_orig": run.original.fault_coverage,
+                "fe_orig": run.original.fault_efficiency,
+                "fc_re": run.retimed.fault_coverage,
+                "fe_re": run.retimed.fault_efficiency,
+                "cpu_ratio": run.cpu_ratio,
+            }
+        )
+    table = Table(
+        title=title,
+        columns=[
+            Column("circuit", "circuit"),
+            Column("fc_orig", "%FC (orig)", pct),
+            Column("fe_orig", "%FE (orig)", pct),
+            Column("fc_re", "%FC (re)", pct),
+            Column("fe_re", "%FE (re)", pct),
+            Column("cpu_ratio", "CPU ratio", ratio),
+        ],
+        rows=rows,
+    )
+    return table, runs

@@ -1,0 +1,83 @@
+"""Harness configuration: how much effort each table regeneration spends.
+
+The paper burned >5000 CPU hours on a DECstation farm; the harness
+scales that to minutes while preserving every *relative* observation
+(who wins, roughly by what factor, where the collapses happen).  Three
+presets:
+
+* ``smoke``  — seconds per table; used by the pytest benchmarks so the
+  whole suite regenerates quickly.
+* ``default`` — a few minutes per ATPG table; what EXPERIMENTS.md
+  records.
+* ``heavy``  — larger budgets for closer-to-paper abort behavior.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from ..atpg.result import EffortBudget
+
+
+@dataclasses.dataclass
+class HarnessConfig:
+    """Effort knobs shared by the table harnesses."""
+
+    budget: EffortBudget
+    # Circuits with more collapsed faults than this get a deterministic
+    # fault sample (classical practice for very large circuits; scf's
+    # synthesized stand-in is several thousand gates).
+    max_faults: int = 800
+    fault_sample_seed: int = 97
+    # Limit the Table 2 suite (None = all 16 pairs).
+    circuits: Optional[Tuple[str, ...]] = None
+    retime_target_ratio: float = 3.5
+
+    @classmethod
+    def smoke(cls) -> "HarnessConfig":
+        return cls(
+            budget=EffortBudget(
+                max_backtracks=200,
+                max_frames=4,
+                max_justify_depth=10,
+                max_preimages=3,
+                per_fault_seconds=0.5,
+                total_seconds=40.0,
+                random_sequences=16,
+                random_length=25,
+            ),
+            max_faults=250,
+            circuits=("dk16.ji.sd", "s820.jc.sr"),
+        )
+
+    @classmethod
+    def default(cls) -> "HarnessConfig":
+        return cls(
+            budget=EffortBudget(
+                max_backtracks=600,
+                max_frames=6,
+                max_justify_depth=16,
+                max_preimages=4,
+                per_fault_seconds=2.0,
+                total_seconds=180.0,
+                random_sequences=48,
+                random_length=40,
+            ),
+            max_faults=600,
+        )
+
+    @classmethod
+    def heavy(cls) -> "HarnessConfig":
+        return cls(budget=EffortBudget.paper(), max_faults=2000)
+
+
+def sample_faults(faults, config: HarnessConfig):
+    """Deterministic fault sample when the list exceeds the cap."""
+    from .._util import make_rng
+
+    if len(faults) <= config.max_faults:
+        return list(faults)
+    rng = make_rng(config.fault_sample_seed)
+    indices = sorted(rng.sample(range(len(faults)), config.max_faults))
+    return [faults[i] for i in indices]

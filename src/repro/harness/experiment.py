@@ -1,0 +1,69 @@
+"""Run every experiment and emit an EXPERIMENTS-style report.
+
+``python -m repro.harness`` regenerates all eight tables plus Figure 3
+at the chosen effort level and prints them; the repository's
+EXPERIMENTS.md embeds one such run.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+from typing import Optional
+
+from .config import HarnessConfig
+from . import (
+    figure3,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+
+
+def run_all(
+    config: Optional[HarnessConfig] = None, stream=None
+) -> str:
+    """Regenerate every table/figure; returns the combined report text."""
+    config = config or HarnessConfig.default()
+    out = io.StringIO()
+
+    def emit(text: str) -> None:
+        print(text, file=out)
+        print("", file=out)
+        if stream is not None:
+            print(text, file=stream, flush=True)
+            print("", file=stream, flush=True)
+
+    start = time.time()
+    emit(table1.generate().render())
+
+    t2, runs = table2.generate(config)
+    emit(t2.render())
+
+    t3, _ = table3.generate(config)
+    emit(t3.render())
+
+    t4, _ = table4.generate(config)
+    emit(t4.render())
+
+    emit(table5.generate(config).render())
+    emit(table6.generate(config, runs=runs).render())
+    emit(table7.generate(config).render())
+
+    # Table 8 reuses Table 2's runs where its circuits overlap.
+    circuits = config.circuits or table8.DEFAULT_CIRCUITS
+    available = {run.pair.name: run for run in runs}
+    t8_runs = [available[name] for name in circuits if name in available]
+    if t8_runs:
+        emit(table8.generate(config, runs=t8_runs).render())
+    else:
+        emit(table8.generate(config).render())
+
+    emit(figure3.render(figure3.generate(config)))
+    emit(f"total harness time: {time.time() - start:.0f}s")
+    return out.getvalue()

@@ -1,0 +1,93 @@
+"""Figure 3: ATPG performance as a function of density of encoding.
+
+For the original circuit and each retimed version of the Table 7 sweep,
+run HITEC with per-fault checkpointing and emit the (CPU seconds,
+fault efficiency) series.  The paper's shape: the lower the density of
+encoding, the more CPU any given fault-efficiency level costs — the
+curves order by density.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.density import reachability_report
+from ..atpg.hitec import HitecEngine
+from ..fault.collapse import collapse_faults
+from .config import HarnessConfig, sample_faults
+from .suite import TABLE7_CIRCUIT
+from .table7 import sweep_circuits
+
+
+@dataclasses.dataclass
+class Curve:
+    """One Figure 3 series."""
+
+    circuit_name: str
+    density_of_encoding: float
+    points: List[Tuple[float, float]]  # (cpu seconds, fault efficiency %)
+
+    def final_efficiency(self) -> float:
+        return self.points[-1][1] if self.points else 0.0
+
+    def cpu_to_reach(self, efficiency: float) -> Optional[float]:
+        """CPU seconds until the run first reached the given FE level."""
+        for cpu, fe in self.points:
+            if fe >= efficiency:
+                return cpu
+        return None
+
+
+def generate(
+    config: Optional[HarnessConfig] = None,
+    circuit_name: str = TABLE7_CIRCUIT,
+    depths: Tuple[int, ...] = (1, 2),
+) -> List[Curve]:
+    config = config or HarnessConfig.default()
+    original, versions = sweep_circuits(config, circuit_name, depths)
+    circuits = [original.circuit] + [v.circuit for v in versions]
+    curves: List[Curve] = []
+    for circuit in circuits:
+        density = reachability_report(circuit).density_of_encoding
+        faults = sample_faults(
+            collapse_faults(circuit).representatives, config
+        )
+        result = HitecEngine(circuit, budget=config.budget).run(faults)
+        points = [
+            (cp.cpu_seconds, cp.fault_efficiency)
+            for cp in result.checkpoints
+        ]
+        curves.append(
+            Curve(
+                circuit_name=circuit.name,
+                density_of_encoding=density,
+                points=points,
+            )
+        )
+    return curves
+
+
+def render(curves: List[Curve]) -> str:
+    """ASCII rendering of the curves (final FE and CPU-to-level marks)."""
+    lines = [
+        "Figure 3: ATPG performance as a function of density of encoding"
+    ]
+    levels = (50.0, 75.0, 90.0, 95.0)
+    header = f"{'circuit':24s} {'density':>10s} " + " ".join(
+        f"cpu@{int(level)}%" .rjust(9) for level in levels
+    ) + "  final FE"
+    lines.append(header)
+    for curve in sorted(
+        curves, key=lambda c: -c.density_of_encoding
+    ):
+        marks = []
+        for level in levels:
+            cpu = curve.cpu_to_reach(level)
+            marks.append(f"{cpu:9.1f}" if cpu is not None else "        -")
+        lines.append(
+            f"{curve.circuit_name:24s} {curve.density_of_encoding:10.2e} "
+            + " ".join(marks)
+            + f"  {curve.final_efficiency():7.1f}%"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Markdown rendering for experiment tables.
+
+`EXPERIMENTS.md` and downstream writeups embed harness results; this
+module converts :class:`~repro.harness.tables.Table` objects (and
+Figure 3 curve sets) into GitHub-flavored markdown.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .figure3 import Curve
+from .tables import Table
+
+
+def table_to_markdown(table: Table) -> str:
+    """Render a table as a GFM pipe table (title as a bold caption)."""
+    headers = [column.title for column in table.columns]
+    lines = [f"**{table.title}**", ""]
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in table.rows:
+        cells = [column.render(row) for column in table.columns]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def curves_to_markdown(curves: Sequence[Curve]) -> str:
+    """Render Figure 3 curves as a markdown table of CPU-to-FE marks."""
+    levels = (50.0, 75.0, 90.0, 95.0)
+    headers = ["circuit", "density"] + [
+        f"cpu@{int(level)}%" for level in levels
+    ] + ["final FE"]
+    lines = [
+        "**Figure 3: ATPG performance as a function of density of "
+        "encoding**",
+        "",
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for curve in sorted(curves, key=lambda c: -c.density_of_encoding):
+        cells = [curve.circuit_name, f"{curve.density_of_encoding:.2e}"]
+        for level in levels:
+            cpu = curve.cpu_to_reach(level)
+            cells.append(f"{cpu:.1f}s" if cpu is not None else "—")
+        cells.append(f"{curve.final_efficiency():.1f}%")
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def preformatted(text: str) -> str:
+    """Wrap raw harness output in a fenced code block."""
+    return "```text\n" + text.rstrip("\n") + "\n```"

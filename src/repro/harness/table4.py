@@ -1,0 +1,29 @@
+"""Table 4: Sequential EST (PODEM + state learning) results."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .atpg_tables import PairRun, coverage_ratio_table, sest_factory
+from .config import HarnessConfig
+from .suite import TABLE4_CIRCUITS
+from .tables import Table
+
+
+def generate(
+    config: Optional[HarnessConfig] = None,
+) -> Tuple[Table, List[PairRun]]:
+    """Regenerate Table 4 (the learning engine on the paper's five SEST
+    circuits).
+
+    Expected shape: retimed circuits cost more and cover less; learning
+    softens but does not remove the degradation.
+    """
+    config = config or HarnessConfig.default()
+    circuits = config.circuits or TABLE4_CIRCUITS
+    return coverage_ratio_table(
+        "Table 4: Sequential EST ATPG results (learning engine)",
+        circuits,
+        sest_factory,
+        config,
+    )

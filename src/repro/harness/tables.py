@@ -1,0 +1,80 @@
+"""Plain-text table rendering for the experiment harnesses.
+
+Every table harness returns a :class:`Table`: an ordered list of rows
+(dicts) plus column metadata, renderable as the aligned ASCII tables the
+benches print and EXPERIMENTS.md embeds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .._util import format_engineering
+
+
+@dataclasses.dataclass
+class Column:
+    """One table column: key into the row dicts plus formatting."""
+
+    key: str
+    title: str
+    fmt: Optional[Callable[[Any], str]] = None
+
+    def render(self, row: Dict[str, Any]) -> str:
+        value = row.get(self.key, "")
+        if value is None or value == "":
+            return ""
+        if self.fmt is not None:
+            return self.fmt(value)
+        if isinstance(value, float):
+            return f"{value:.1f}"
+        return str(value)
+
+
+@dataclasses.dataclass
+class Table:
+    """A rendered experiment table."""
+
+    title: str
+    columns: List[Column]
+    rows: List[Dict[str, Any]]
+
+    def render(self) -> str:
+        headers = [c.title for c in self.columns]
+        body = [
+            [column.render(row) for column in self.columns]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in body))
+            if body
+            else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [self.title]
+        lines.append(
+            "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for rendered in body:
+            lines.append(
+                "  ".join(v.ljust(w) for v, w in zip(rendered, widths))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def eng(value: float) -> str:
+    """Engineering/scientific formatting matching the paper's tables."""
+    return format_engineering(value)
+
+
+def pct(value: float) -> str:
+    return f"{value:.1f}"
+
+
+def ratio(value: float) -> str:
+    return f"{value:.1f}"

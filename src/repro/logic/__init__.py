@@ -1,0 +1,39 @@
+"""Two-level and symbolic logic substrates: cubes/covers, espresso-style
+minimization, multi-level factoring, and BDDs."""
+
+from .cube import Cover, Cube, CubeError
+from .espresso import MinimizationResult, minimize, verify_minimization
+from .factor import (
+    DecompositionStyle,
+    ExtractionResult,
+    build_gate_tree,
+    extract_common_cubes,
+    instantiate_extraction,
+    sop_to_network,
+)
+from .bdd import BddError, BddManager
+from .bddcircuit import (
+    CircuitBdds,
+    combinationally_equivalent,
+    default_variable_order,
+)
+
+__all__ = [
+    "BddError",
+    "BddManager",
+    "CircuitBdds",
+    "Cover",
+    "Cube",
+    "CubeError",
+    "DecompositionStyle",
+    "ExtractionResult",
+    "MinimizationResult",
+    "build_gate_tree",
+    "combinationally_equivalent",
+    "default_variable_order",
+    "extract_common_cubes",
+    "instantiate_extraction",
+    "minimize",
+    "sop_to_network",
+    "verify_minimization",
+]

@@ -1,0 +1,380 @@
+"""Cube and cover representation for two-level (SOP) logic.
+
+A **cube** over ``n`` binary inputs is a product term; we store it as a
+pair of bit masks ``(mask, value)``:
+
+* bit ``i`` of ``mask``  — 1 iff input ``i`` appears as a literal;
+* bit ``i`` of ``value`` — the required polarity when the literal is
+  present (bits outside ``mask`` must be 0, keeping the representation
+  canonical so cubes compare with ``==``).
+
+A **cover** is an ordered list of cubes implementing the OR of its
+products.  This is the representation the espresso-style minimizer and
+the synthesis SOP pipeline operate on; it matches the textual PLA/KISS
+convention ``0``, ``1``, ``-`` per input column.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+
+
+class CubeError(ReproError):
+    """Malformed cube or cover operation."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Cube:
+    """One product term over ``width`` inputs (immutable)."""
+
+    width: int
+    mask: int
+    value: int
+
+    def __post_init__(self):
+        limit = (1 << self.width) - 1
+        if self.mask & ~limit:
+            raise CubeError(f"mask {self.mask:#x} exceeds width {self.width}")
+        if self.value & ~self.mask:
+            raise CubeError("value bits outside mask (non-canonical cube)")
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_string(cls, text: str) -> "Cube":
+        """Parse ``0``/``1``/``-`` per column; column 0 = input 0."""
+        mask = 0
+        value = 0
+        for i, char in enumerate(text):
+            if char == "0":
+                mask |= 1 << i
+            elif char == "1":
+                mask |= 1 << i
+                value |= 1 << i
+            elif char in "-xX2":
+                pass
+            else:
+                raise CubeError(f"bad cube character {char!r} in {text!r}")
+        return cls(width=len(text), mask=mask, value=value)
+
+    @classmethod
+    def universal(cls, width: int) -> "Cube":
+        """The cube with no literals (covers the whole space)."""
+        return cls(width=width, mask=0, value=0)
+
+    @classmethod
+    def minterm(cls, width: int, assignment: int) -> "Cube":
+        """The fully-specified cube for one input assignment."""
+        full = (1 << width) - 1
+        return cls(width=width, mask=full, value=assignment & full)
+
+    # -- queries --------------------------------------------------------------
+
+    def to_string(self) -> str:
+        chars = []
+        for i in range(self.width):
+            if not (self.mask >> i) & 1:
+                chars.append("-")
+            elif (self.value >> i) & 1:
+                chars.append("1")
+            else:
+                chars.append("0")
+        return "".join(chars)
+
+    def literal_count(self) -> int:
+        return bin(self.mask).count("1")
+
+    def num_minterms(self) -> int:
+        return 1 << (self.width - self.literal_count())
+
+    def literal(self, position: int) -> Optional[int]:
+        """Polarity of input ``position`` in this cube (None if absent)."""
+        if not (self.mask >> position) & 1:
+            return None
+        return (self.value >> position) & 1
+
+    def contains(self, other: "Cube") -> bool:
+        """True iff every minterm of ``other`` is a minterm of ``self``."""
+        self._check_width(other)
+        if self.mask & ~other.mask:
+            return False  # self constrains an input other leaves free
+        return (other.value & self.mask) == self.value
+
+    def contains_minterm(self, assignment: int) -> bool:
+        return (assignment & self.mask) == self.value
+
+    def intersects(self, other: "Cube") -> bool:
+        """True iff the cubes share at least one minterm."""
+        self._check_width(other)
+        common = self.mask & other.mask
+        return (self.value & common) == (other.value & common)
+
+    def intersection(self, other: "Cube") -> Optional["Cube"]:
+        """The shared sub-cube, or None if disjoint."""
+        if not self.intersects(other):
+            return None
+        return Cube(
+            width=self.width,
+            mask=self.mask | other.mask,
+            value=self.value | other.value,
+        )
+
+    def distance(self, other: "Cube") -> int:
+        """Number of inputs on which the cubes conflict (0 = intersecting)."""
+        self._check_width(other)
+        common = self.mask & other.mask
+        conflict = (self.value ^ other.value) & common
+        return bin(conflict).count("1")
+
+    # -- transformations --------------------------------------------------------
+
+    def expand_position(self, position: int) -> "Cube":
+        """Drop the literal at ``position`` (raise-to-don't-care)."""
+        bit = 1 << position
+        if not self.mask & bit:
+            raise CubeError(f"input {position} is already free in this cube")
+        return Cube(
+            width=self.width, mask=self.mask & ~bit, value=self.value & ~bit
+        )
+
+    def restrict_position(self, position: int, polarity: int) -> "Cube":
+        """Add (or overwrite) a literal at ``position``."""
+        bit = 1 << position
+        value = (self.value & ~bit) | (bit if polarity else 0)
+        return Cube(width=self.width, mask=self.mask | bit, value=value)
+
+    def cofactor(self, position: int, polarity: int) -> Optional["Cube"]:
+        """Shannon cofactor with respect to ``input[position] = polarity``.
+
+        Returns None when the cube vanishes (requires the other polarity);
+        otherwise the literal at ``position`` is removed.
+        """
+        bit = 1 << position
+        if self.mask & bit:
+            if bool(self.value & bit) != bool(polarity):
+                return None
+            return self.expand_position(position)
+        return self
+
+    def _check_width(self, other: "Cube") -> None:
+        if self.width != other.width:
+            raise CubeError(
+                f"cube width mismatch: {self.width} vs {other.width}"
+            )
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+
+class Cover:
+    """A sum of product terms over a fixed input width."""
+
+    def __init__(self, width: int, cubes: Iterable[Cube] = ()):
+        self.width = width
+        self.cubes: List[Cube] = []
+        for cube in cubes:
+            self.add(cube)
+
+    @classmethod
+    def from_strings(cls, width: int, rows: Iterable[str]) -> "Cover":
+        cover = cls(width)
+        for row in rows:
+            cube = Cube.from_string(row)
+            if cube.width != width:
+                raise CubeError(
+                    f"row {row!r} has width {cube.width}, expected {width}"
+                )
+            cover.add(cube)
+        return cover
+
+    @classmethod
+    def empty(cls, width: int) -> "Cover":
+        return cls(width)
+
+    @classmethod
+    def universe(cls, width: int) -> "Cover":
+        return cls(width, [Cube.universal(width)])
+
+    def add(self, cube: Cube) -> None:
+        if cube.width != self.width:
+            raise CubeError(
+                f"cube width {cube.width} does not match cover width "
+                f"{self.width}"
+            )
+        self.cubes.append(cube)
+
+    def __len__(self) -> int:
+        return len(self.cubes)
+
+    def __iter__(self) -> Iterator[Cube]:
+        return iter(self.cubes)
+
+    def __bool__(self) -> bool:
+        return bool(self.cubes)
+
+    def copy(self) -> "Cover":
+        return Cover(self.width, self.cubes)
+
+    def literal_count(self) -> int:
+        """Total literals — the classical two-level area estimate."""
+        return sum(c.literal_count() for c in self.cubes)
+
+    def covers_minterm(self, assignment: int) -> bool:
+        return any(c.contains_minterm(assignment) for c in self.cubes)
+
+    def evaluate(self, assignment: int) -> int:
+        return 1 if self.covers_minterm(assignment) else 0
+
+    def cofactor(self, position: int, polarity: int) -> "Cover":
+        result = Cover(self.width)
+        for cube in self.cubes:
+            reduced = cube.cofactor(position, polarity)
+            if reduced is not None:
+                result.add(reduced)
+        return result
+
+    def cofactor_cube(self, cube: Cube) -> "Cover":
+        """Cofactor by every literal of ``cube`` (the Shannon cofactor
+        F_c used for containment checks: c ⊆ F iff F_c is a tautology)."""
+        result = self
+        for position in range(self.width):
+            polarity = cube.literal(position)
+            if polarity is not None:
+                result = result.cofactor(position, polarity)
+        return result
+
+    def variables_used(self) -> List[int]:
+        used = 0
+        for cube in self.cubes:
+            used |= cube.mask
+        return [i for i in range(self.width) if (used >> i) & 1]
+
+    def is_tautology(self) -> bool:
+        """Exact tautology check by recursive Shannon splitting.
+
+        Fast paths: a literal-free cube is the universe; an empty cover
+        is not a tautology; a cover unate in every used variable is a
+        tautology iff it contains the universal cube (standard unate
+        reduction theorem).
+        """
+        return _tautology(self)
+
+    def contains_cube(self, cube: Cube) -> bool:
+        """True iff ``cube`` (all its minterms) is covered by this cover."""
+        return _tautology(self.cofactor_cube(cube))
+
+    def contains_cover(self, other: "Cover") -> bool:
+        return all(self.contains_cube(c) for c in other.cubes)
+
+    def single_cube_containment(self) -> "Cover":
+        """Drop every cube contained in another single cube (cheap prune)."""
+        kept: List[Cube] = []
+        # Larger cubes first so small ones get absorbed.
+        ordered = sorted(self.cubes, key=lambda c: c.literal_count())
+        for cube in ordered:
+            if any(other.contains(cube) for other in kept):
+                continue
+            kept.append(cube)
+        return Cover(self.width, kept)
+
+    def complement(self) -> "Cover":
+        """Exact complement by Shannon recursion.
+
+        Used to turn a set of *used* state codes into the unused-code
+        don't-care cover during synthesis (the ``extract_seq_dc``
+        analog), and by tests as an oracle.
+        """
+        return _complement(self)
+
+    def to_strings(self) -> List[str]:
+        return [c.to_string() for c in self.cubes]
+
+    def __repr__(self) -> str:
+        return f"Cover(width={self.width}, cubes={len(self.cubes)})"
+
+
+def _most_binate_variable(cover: Cover) -> Optional[int]:
+    """Pick the splitting variable: the one appearing in the most cubes,
+    preferring variables that appear in both polarities."""
+    counts = [[0, 0] for _ in range(cover.width)]
+    for cube in cover.cubes:
+        for position in range(cover.width):
+            polarity = cube.literal(position)
+            if polarity is not None:
+                counts[position][polarity] += 1
+    best = None
+    best_key = None
+    for position, (zeros, ones) in enumerate(counts):
+        total = zeros + ones
+        if total == 0:
+            continue
+        binate = min(zeros, ones)
+        key = (binate, total)
+        if best_key is None or key > best_key:
+            best_key = key
+            best = position
+    return best
+
+
+def _complement(cover: Cover) -> Cover:
+    if not cover.cubes:
+        return Cover.universe(cover.width)
+    for cube in cover.cubes:
+        if cube.mask == 0:
+            return Cover.empty(cover.width)
+    if len(cover.cubes) == 1:
+        # De Morgan on a single cube: one complemented literal per cube.
+        cube = cover.cubes[0]
+        result = Cover(cover.width)
+        for position in range(cover.width):
+            polarity = cube.literal(position)
+            if polarity is None:
+                continue
+            result.add(
+                Cube.universal(cover.width).restrict_position(
+                    position, 1 - polarity
+                )
+            )
+        return result
+    position = _most_binate_variable(cover)
+    if position is None:
+        return Cover.empty(cover.width)
+    low = _complement(cover.cofactor(position, 0))
+    high = _complement(cover.cofactor(position, 1))
+    result = Cover(cover.width)
+    for cube in low.cubes:
+        result.add(cube.restrict_position(position, 0))
+    for cube in high.cubes:
+        result.add(cube.restrict_position(position, 1))
+    return result.single_cube_containment()
+
+
+def _tautology(cover: Cover) -> bool:
+    if not cover.cubes:
+        return False
+    for cube in cover.cubes:
+        if cube.mask == 0:
+            return True
+    # Unate reduction: in a cover unate in every variable, tautology
+    # requires the universal cube, which we just ruled out.
+    position = _most_binate_variable(cover)
+    if position is None:
+        return False
+    counts_zero = sum(1 for c in cover.cubes if c.literal(position) == 0)
+    counts_one = sum(1 for c in cover.cubes if c.literal(position) == 1)
+    if counts_zero == 0 or counts_one == 0:
+        unate_everywhere = True
+        for var in cover.variables_used():
+            zeros = sum(1 for c in cover.cubes if c.literal(var) == 0)
+            ones = sum(1 for c in cover.cubes if c.literal(var) == 1)
+            if zeros and ones:
+                unate_everywhere = False
+                break
+        if unate_everywhere:
+            return False
+    return _tautology(cover.cofactor(position, 0)) and _tautology(
+        cover.cofactor(position, 1)
+    )

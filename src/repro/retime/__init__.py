@@ -1,0 +1,55 @@
+"""Retiming: Leiserson-Saxe period-driven retiming, atomic register
+moves, static timing, and bounded equivalence verification."""
+
+from .atomic import (
+    MoveResult,
+    can_move_backward,
+    can_move_forward,
+    justify_inputs,
+    move_backward,
+    move_forward,
+)
+from .core import (
+    HOST,
+    RetimedCircuit,
+    RetimingGraph,
+    achievable_periods,
+    apply_retiming,
+    build_retiming_graph,
+    feasible_retiming,
+    min_period_retiming,
+    retime_to_period,
+    retiming_sweep,
+)
+from .timing import TimingReport, arrival_times, clock_period, timing_report
+from .verify import (
+    EquivalenceReport,
+    assert_retiming_sound,
+    check_sequential_equivalence,
+)
+
+__all__ = [
+    "EquivalenceReport",
+    "HOST",
+    "MoveResult",
+    "RetimedCircuit",
+    "RetimingGraph",
+    "TimingReport",
+    "achievable_periods",
+    "apply_retiming",
+    "arrival_times",
+    "assert_retiming_sound",
+    "build_retiming_graph",
+    "can_move_backward",
+    "can_move_forward",
+    "check_sequential_equivalence",
+    "clock_period",
+    "feasible_retiming",
+    "justify_inputs",
+    "min_period_retiming",
+    "move_backward",
+    "move_forward",
+    "retime_to_period",
+    "retiming_sweep",
+    "timing_report",
+]

@@ -1,0 +1,196 @@
+"""Atomic retiming moves on netlists.
+
+These are exactly the paper's proof devices (Figure 1): a single
+register set moved backward or forward across one combinational node
+(the node's fanout stem included).  The Leiserson-Saxe engine in
+:mod:`repro.retime.core` decomposes a full retiming into a schedule of
+backward moves; the moves are also exposed directly so the Theorem 2-4
+property tests can exercise them one at a time.
+
+Initial (reset) values are maintained through every move:
+
+* **backward** across gate G: the registers at G's output (all of its
+  direct readers must be DFFs) are replaced by one fresh register per
+  fanin; the new registers' init values are *justified* — chosen so G
+  evaluates to the removed registers' init value.  When the removed
+  registers disagree on their init value (possible after synthesis
+  created parallel registers), the first one wins and the move reports
+  ``exact=False``; the retimed machine is then equivalent to the
+  original only after a one-cycle prefix, matching the paper's P ∪ T
+  padded-test discussion (§4.1, footnote 1).
+* **forward** across gate G: every fanin must be a register; G's readers
+  are rerouted through one fresh register whose init value is G
+  evaluated on the fanin registers' init values (always exact).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from .._util import NameAllocator
+from ..circuit.gates import GateType, ONE, X, ZERO, eval_gate
+from ..circuit.netlist import Circuit, NodeKind
+from ..errors import RetimingError
+
+
+@dataclasses.dataclass
+class MoveResult:
+    """Outcome of one atomic move."""
+
+    vertex: str
+    direction: str  # "backward" or "forward"
+    exact: bool  # False when init values had to be reconciled
+    added_dffs: List[str]
+    removed_dffs: List[str]
+
+
+def justify_inputs(gate: GateType, fanin_count: int, output: int) -> List[int]:
+    """Input values making ``gate`` produce ``output`` (all positions
+    assigned, since each gets a fresh register).  ``X`` maps to all-X."""
+    if output == X:
+        return [X] * fanin_count
+    if gate is GateType.BUF:
+        return [output]
+    if gate is GateType.NOT:
+        return [ONE if output == ZERO else ZERO]
+    if gate is GateType.AND:
+        return [output] * fanin_count
+    if gate is GateType.OR:
+        return [output] * fanin_count
+    if gate is GateType.NAND:
+        return [ZERO if output == ONE else ONE] * fanin_count
+    if gate is GateType.NOR:
+        return [ZERO if output == ONE else ONE] * fanin_count
+    if gate is GateType.XOR:
+        values = [ZERO] * fanin_count
+        if output == ONE:
+            values[0] = ONE
+        return values
+    if gate is GateType.XNOR:
+        values = [ZERO] * fanin_count
+        if output == ZERO:
+            values[0] = ONE
+        return values
+    raise RetimingError(f"cannot justify through gate type {gate!r}")
+
+
+def can_move_backward(circuit: Circuit, vertex: str) -> bool:
+    """A backward move across ``vertex`` is legal when every direct
+    reader is a DFF, the node is not itself a primary output (that edge
+    to the environment carries no register to take), and it has fanins
+    to receive the registers."""
+    node = circuit.node(vertex)
+    if node.kind is not NodeKind.GATE or not node.fanin:
+        return False
+    if circuit.is_output(vertex):
+        return False
+    readers = circuit.fanout_of(vertex)
+    if not readers:
+        return False
+    return all(
+        circuit.node(reader).kind is NodeKind.DFF for reader in readers
+    )
+
+
+def move_backward(circuit: Circuit, vertex: str) -> MoveResult:
+    """Move one register set backward across ``vertex`` (in place)."""
+    if not can_move_backward(circuit, vertex):
+        raise RetimingError(
+            f"backward move across {vertex!r} is not legal here"
+        )
+    node = circuit.node(vertex)
+    registers = list(circuit.fanout_of(vertex))
+    inits = [circuit.node(r).init for r in registers]
+    exact = all(i == inits[0] for i in inits)
+    output_value = inits[0]
+
+    names = NameAllocator(circuit.node_names())
+    input_values = justify_inputs(node.gate, len(node.fanin), output_value)
+    added: List[str] = []
+    new_fanin: List[str] = []
+    for position, (driver, init) in enumerate(zip(node.fanin, input_values)):
+        dff_name = names.fresh(f"{vertex}_r{position}")
+        circuit.add_dff(dff_name, driver, init=init)
+        added.append(dff_name)
+        new_fanin.append(dff_name)
+    circuit.replace_fanin(vertex, new_fanin)
+
+    for register in registers:
+        circuit.rewire_readers(register, vertex)
+        circuit.remove_node(register)
+    return MoveResult(
+        vertex=vertex,
+        direction="backward",
+        exact=exact,
+        added_dffs=added,
+        removed_dffs=registers,
+    )
+
+
+def can_move_forward(circuit: Circuit, vertex: str) -> bool:
+    """A forward move across ``vertex`` is legal when every fanin is a
+    DFF and the node is not a primary output (its edge to the
+    environment cannot absorb a register)."""
+    node = circuit.node(vertex)
+    if node.kind is not NodeKind.GATE or not node.fanin:
+        return False
+    if circuit.is_output(vertex):
+        return False
+    if not circuit.fanout_of(vertex):
+        return False
+    for driver in node.fanin:
+        driver_node = circuit.node(driver)
+        if driver_node.kind is not NodeKind.DFF:
+            return False
+        # Direct self-loop (v -> R -> v): bypassing R would create a
+        # combinational cycle; the backward move handles this shape.
+        if driver_node.fanin[0] == vertex:
+            return False
+    return True
+
+
+def move_forward(circuit: Circuit, vertex: str) -> MoveResult:
+    """Move one register set forward across ``vertex`` (in place).
+
+    Shared fanin registers (read by other logic too) are bypassed, not
+    deleted; registers left without readers are removed.
+    """
+    if not can_move_forward(circuit, vertex):
+        raise RetimingError(
+            f"forward move across {vertex!r} is not legal here"
+        )
+    node = circuit.node(vertex)
+    source_registers = list(node.fanin)
+    register_inits = [circuit.node(r).init for r in source_registers]
+    new_init = eval_gate(node.gate, register_inits)
+
+    # Bypass: the gate now reads the registers' D inputs directly.
+    circuit.replace_fanin(
+        vertex, [circuit.node(r).fanin[0] for r in source_registers]
+    )
+
+    names = NameAllocator(circuit.node_names())
+    dff_name = names.fresh(f"{vertex}_f")
+    # Create the output register, then reroute the gate's readers to it.
+    readers = list(circuit.fanout_of(vertex))
+    circuit.add_dff(dff_name, vertex, init=new_init)
+    for reader in readers:
+        reader_node = circuit.node(reader)
+        circuit.replace_fanin(
+            reader,
+            [dff_name if f == vertex else f for f in reader_node.fanin],
+        )
+
+    removed: List[str] = []
+    for register in dict.fromkeys(source_registers):
+        if not circuit.fanout_of(register) and not circuit.is_output(register):
+            circuit.remove_node(register)
+            removed.append(register)
+    return MoveResult(
+        vertex=vertex,
+        direction="forward",
+        exact=True,
+        added_dffs=[dff_name],
+        removed_dffs=removed,
+    )

@@ -1,0 +1,458 @@
+"""Leiserson-Saxe retiming.
+
+Pipeline:
+
+1. **Graph extraction** (:func:`build_retiming_graph`): gates become
+   vertices, DFF chains become edge weights; primary inputs and outputs
+   attach to a single host vertex with lag fixed at 0, so I/O latency is
+   preserved.
+2. **Feasibility / lag computation** (:func:`feasible_retiming`): the
+   FEAS relaxation algorithm — repeatedly compute combinational arrival
+   times Δ over the zero-weight subgraph and increment the lag of every
+   violating vertex.  Increments are restricted to vertices whose
+   zero-weight successors are also incremented (the host never is), so
+   edge weights stay non-negative throughout.
+3. **Minimum period** (:func:`min_period_retiming`): binary search over
+   the achievable period range.
+4. **Realization** (:func:`apply_retiming`): the lag vector is realized
+   as a schedule of *backward atomic moves* (every FEAS lag is >= 0),
+   each of which maintains register init values exactly or with a
+   reported one-cycle reconciliation (see :mod:`repro.retime.atomic`).
+
+The result is a new circuit with the same I/O behavior (after a bounded
+prefix reported in :class:`RetimedCircuit`), typically with registers
+pushed from the state rank into the combinational logic — the paper's
+mechanism for manufacturing hard-to-test circuits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..circuit.netlist import Circuit, NodeKind
+from ..errors import RetimingError
+from ..synth.library import DEFAULT_LIBRARY, GateLibrary
+from .atomic import can_move_backward, move_backward
+from .timing import clock_period
+
+HOST = "__host__"  # retained name prefix; the host is split below
+HOST_SRC = "__host_src__"  # drives primary inputs; lag pinned to 0
+HOST_SINK = "__host_sink__"  # absorbs primary outputs; lag pinned to 0
+_PINNED = (HOST_SRC, HOST_SINK)
+
+
+@dataclasses.dataclass
+class RetimingGraph:
+    """Vertex/edge view of a netlist for retiming.
+
+    ``edges`` maps (tail, head) -> register count (parallel connections
+    between the same pair always carry the same weight, so a dict is
+    lossless); ``delay`` maps vertex -> combinational delay.
+    """
+
+    vertices: List[str]
+    edges: Dict[Tuple[str, str], int]
+    delay: Dict[str, float]
+
+
+def build_retiming_graph(
+    circuit: Circuit, library: Optional[GateLibrary] = None
+) -> RetimingGraph:
+    """Extract the weighted retiming graph from a netlist."""
+    library = library or DEFAULT_LIBRARY
+    circuit.check()
+    vertices = [HOST_SRC, HOST_SINK] + [
+        node.name for node in circuit.nodes() if node.kind is NodeKind.GATE
+    ]
+    delay = {HOST_SRC: 0.0, HOST_SINK: 0.0}
+    for node in circuit.nodes():
+        if node.kind is NodeKind.GATE:
+            delay[node.name] = library.delay(node.gate, len(node.fanin))
+
+    edges: Dict[Tuple[str, str], int] = {}
+    fanouts = circuit.fanouts()
+    output_set = set(circuit.outputs)
+
+    def note_edge(tail: str, head: str, weight: int) -> None:
+        key = (tail, head)
+        existing = edges.get(key)
+        if existing is not None and existing != weight:
+            raise RetimingError(
+                f"parallel connections {tail}->{head} with different "
+                f"register counts ({existing} vs {weight}); retiming "
+                "graph would be lossy"
+            )
+        edges[key] = weight
+
+    max_chain = circuit.num_dffs() + 1
+
+    def walk_from(source_vertex: str, signal: str, weight: int) -> None:
+        """Record edges from ``source_vertex`` to every gate/host sink
+        reachable from ``signal`` through register chains."""
+        if weight > max_chain:
+            raise RetimingError(
+                f"register ring detected while walking from "
+                f"{source_vertex!r}; retiming graph is undefined"
+            )
+        if signal in output_set:
+            note_edge(source_vertex, HOST_SINK, weight)
+        for reader in fanouts[signal]:
+            reader_node = circuit.node(reader)
+            if reader_node.kind is NodeKind.DFF:
+                walk_from(source_vertex, reader, weight + 1)
+            else:
+                note_edge(source_vertex, reader, weight)
+
+    for node in circuit.nodes():
+        if node.kind is NodeKind.GATE:
+            walk_from(node.name, node.name, 0)
+        elif node.kind is NodeKind.INPUT:
+            walk_from(HOST_SRC, node.name, 0)
+    return RetimingGraph(vertices=vertices, edges=edges, delay=delay)
+
+
+def _zero_weight_arrivals(
+    graph: RetimingGraph, weights: Dict[Tuple[str, str], int]
+) -> Optional[Dict[str, float]]:
+    """Δ(v) = combinational arrival under the current weights, or None
+    when the zero-weight subgraph is cyclic (period infeasible)."""
+    zero_fanin: Dict[str, List[str]] = {v: [] for v in graph.vertices}
+    indegree = {v: 0 for v in graph.vertices}
+    for (tail, head), weight in weights.items():
+        if weight == 0:
+            zero_fanin[head].append(tail)
+            indegree[head] += 1
+    ready = [v for v in graph.vertices if indegree[v] == 0]
+    order: List[str] = []
+    zero_fanout: Dict[str, List[str]] = {v: [] for v in graph.vertices}
+    for (tail, head), weight in weights.items():
+        if weight == 0:
+            zero_fanout[tail].append(head)
+    while ready:
+        vertex = ready.pop()
+        order.append(vertex)
+        for head in zero_fanout[vertex]:
+            indegree[head] -= 1
+            if indegree[head] == 0:
+                ready.append(head)
+    if len(order) != len(graph.vertices):
+        return None  # zero-weight cycle
+    arrival: Dict[str, float] = {}
+    for vertex in order:
+        incoming = max(
+            (arrival[t] for t in zero_fanin[vertex]), default=0.0
+        )
+        arrival[vertex] = incoming + graph.delay[vertex]
+    return arrival
+
+
+def feasible_retiming(
+    graph: RetimingGraph, period: float
+) -> Optional[Dict[str, int]]:
+    """FEAS: lag vector achieving ``period``, or None if not achieved.
+
+    Lags are non-negative integers with lag(host) = 0; all retimed edge
+    weights are non-negative by construction.
+    """
+    lag = {v: 0 for v in graph.vertices}
+    max_iterations = 2 * len(graph.vertices) + 4
+
+    def current_weights() -> Dict[Tuple[str, str], int]:
+        weights = {}
+        for (tail, head), weight in graph.edges.items():
+            weights[(tail, head)] = weight + lag[head] - lag[tail]
+        return weights
+
+    for _ in range(max_iterations):
+        weights = current_weights()
+        arrival = _zero_weight_arrivals(graph, weights)
+        if arrival is None:
+            return None
+        violators = {
+            v
+            for v in graph.vertices
+            if v not in _PINNED and arrival[v] > period + 1e-9
+        }
+        if not violators:
+            if arrival[HOST_SINK] > period + 1e-9:
+                return None
+            return lag
+        # Restrict increments so no edge weight can go negative: a
+        # violator with a zero-weight edge to a non-incremented head
+        # (the host, or a pruned vertex) must be pruned too.
+        eligible = set(violators)
+        changed = True
+        while changed:
+            changed = False
+            for (tail, head), weight in weights.items():
+                if weight == 0 and tail in eligible and head not in eligible:
+                    eligible.discard(tail)
+                    changed = True
+        if not eligible:
+            return None
+        for vertex in eligible:
+            lag[vertex] += 1
+    return None
+
+
+def achievable_periods(
+    graph: RetimingGraph,
+    lower: float,
+    upper: float,
+    tolerance: float = 0.01,
+) -> float:
+    """Binary search for the minimum feasible period in [lower, upper]."""
+    if feasible_retiming(graph, lower) is not None:
+        return lower
+    best = upper
+    low, high = lower, upper
+    while high - low > tolerance:
+        mid = (low + high) / 2.0
+        if feasible_retiming(graph, mid) is not None:
+            best = mid
+            high = mid
+        else:
+            low = mid
+    return best
+
+
+@dataclasses.dataclass
+class RetimedCircuit:
+    """Result of applying a retiming."""
+
+    circuit: Circuit
+    lags: Dict[str, int]
+    target_period: float
+    achieved_period: float
+    moves: int
+    exact_prefix: int  # cycles before exact I/O equivalence (0 = exact)
+
+    @property
+    def added_dffs(self) -> int:
+        return self.circuit.num_dffs()
+
+
+def apply_retiming(
+    circuit: Circuit,
+    lags: Dict[str, int],
+    name: Optional[str] = None,
+    library: Optional[GateLibrary] = None,
+    target_period: float = 0.0,
+) -> RetimedCircuit:
+    """Realize a lag vector as a schedule of backward atomic moves.
+
+    Raises :class:`RetimingError` when the schedule deadlocks, which for
+    a lag vector produced by :func:`feasible_retiming` indicates a bug
+    (property-tested).
+    """
+    library = library or DEFAULT_LIBRARY
+    retimed = circuit.copy(name or f"{circuit.name}.re")
+    remaining = {
+        v: count
+        for v, count in lags.items()
+        if v not in _PINNED and count > 0
+    }
+    moves = 0
+    inexact_moves = 0
+    while remaining:
+        progressed = False
+        for vertex in list(remaining):
+            if not can_move_backward(retimed, vertex):
+                continue
+            result = move_backward(retimed, vertex)
+            if not result.exact:
+                inexact_moves += 1
+            moves += 1
+            remaining[vertex] -= 1
+            if remaining[vertex] == 0:
+                del remaining[vertex]
+            progressed = True
+        if not progressed:
+            stuck = sorted(remaining)[:5]
+            raise RetimingError(
+                f"retiming schedule deadlocked with lags remaining at "
+                f"{stuck} (of {len(remaining)} vertices)"
+            )
+    retimed.check()
+    return RetimedCircuit(
+        circuit=retimed,
+        lags=lags,
+        target_period=target_period,
+        achieved_period=clock_period(retimed, library),
+        moves=moves,
+        exact_prefix=inexact_moves,
+    )
+
+
+def retime_to_period(
+    circuit: Circuit,
+    period: float,
+    name: Optional[str] = None,
+    library: Optional[GateLibrary] = None,
+) -> RetimedCircuit:
+    """Retime ``circuit`` to meet ``period`` (raises if infeasible)."""
+    library = library or DEFAULT_LIBRARY
+    graph = build_retiming_graph(circuit, library)
+    lags = feasible_retiming(graph, period)
+    if lags is None:
+        raise RetimingError(
+            f"period {period} is infeasible for {circuit.name!r}"
+        )
+    return apply_retiming(
+        circuit, lags, name=name, library=library, target_period=period
+    )
+
+
+def min_period_retiming(
+    circuit: Circuit,
+    name: Optional[str] = None,
+    library: Optional[GateLibrary] = None,
+    tolerance: float = 0.01,
+) -> RetimedCircuit:
+    """Retime to the minimum achievable clock period."""
+    library = library or DEFAULT_LIBRARY
+    graph = build_retiming_graph(circuit, library)
+    original_period = clock_period(circuit, library)
+    max_gate = max(
+        (d for v, d in graph.delay.items() if v not in _PINNED), default=0.0
+    )
+    best = achievable_periods(
+        graph, lower=max_gate, upper=original_period, tolerance=tolerance
+    )
+    return retime_to_period(circuit, best, name=name, library=library)
+
+
+def backward_retime(
+    circuit: Circuit,
+    depth: int,
+    name: Optional[str] = None,
+    library: Optional[GateLibrary] = None,
+) -> RetimedCircuit:
+    """Push the register rank ``depth`` gate-levels backward.
+
+    Performs ``depth`` synchronized waves of backward atomic moves: each
+    wave moves registers across every gate whose fanout currently
+    consists solely of registers.  This is the retiming the experiment
+    harness uses to manufacture the paper's hard circuit class: it is a
+    legal retiming (a composition of atomic moves, so Theorems 1-4
+    apply), it preserves I/O behavior from reset (up to the reported
+    reconciliation prefix), and it multiplies the register count the way
+    SIS ``retime`` did on the paper's circuits (5 DFFs -> 19-28).
+
+    Why not period-driven: a synthesized FSM is a single register rank
+    on a single structural loop, so the maximum mean-cycle bound equals
+    the original period and Leiserson-Saxe minimum-period retiming is a
+    no-op under a symmetric delay model (the paper's own Table 7 shows
+    the period moving only 43.87 -> 41.51 ns while registers tripled).
+    Depth-controlled retiming exposes exactly the knob Table 7 sweeps:
+    deeper waves give more registers and a lower density of encoding.
+    """
+    library = library or DEFAULT_LIBRARY
+    if depth < 0:
+        raise RetimingError("retiming depth must be non-negative")
+    retimed = circuit.copy(name or f"{circuit.name}.re")
+    moves = 0
+    inexact_moves = 0
+    lags: Dict[str, int] = {}
+    for _ in range(depth):
+        wave = [
+            node.name
+            for node in retimed.nodes()
+            if node.kind is NodeKind.GATE
+            and can_move_backward(retimed, node.name)
+        ]
+        if not wave:
+            break
+        for vertex in wave:
+            if not can_move_backward(retimed, vertex):
+                continue  # an earlier move in this wave changed its fanout
+            result = move_backward(retimed, vertex)
+            moves += 1
+            lags[vertex] = lags.get(vertex, 0) + 1
+            if not result.exact:
+                inexact_moves += 1
+    retimed.check()
+    return RetimedCircuit(
+        circuit=retimed,
+        lags=lags,
+        target_period=clock_period(circuit, library),
+        achieved_period=clock_period(retimed, library),
+        moves=moves,
+        exact_prefix=inexact_moves,
+    )
+
+
+def backward_retiming_sweep(
+    circuit: Circuit,
+    depths: Sequence[int],
+    library: Optional[GateLibrary] = None,
+) -> List[RetimedCircuit]:
+    """Retimed versions at several backward depths (Table 7's
+    v1/v2/v3/full construction).  Versions whose register count repeats
+    a shallower depth are dropped (the wave saturated)."""
+    versions: List[RetimedCircuit] = []
+    seen: Set[int] = set()
+    for index, depth in enumerate(depths, start=1):
+        result = backward_retime(
+            circuit,
+            depth,
+            name=f"{circuit.name}.re.v{index}",
+            library=library,
+        )
+        dffs = result.circuit.num_dffs()
+        if dffs in seen or dffs == circuit.num_dffs():
+            continue
+        seen.add(dffs)
+        versions.append(result)
+    return versions
+
+
+def retiming_sweep(
+    circuit: Circuit,
+    num_points: int,
+    library: Optional[GateLibrary] = None,
+    tolerance: float = 0.01,
+) -> List[RetimedCircuit]:
+    """Retimed versions at ``num_points`` period targets between the
+    original period and the minimum — the paper's Table 7 construction
+    (s510.jo.sr.re.v1/v2/v3 + the full retiming).
+
+    Versions that end up with identical register counts are collapsed;
+    results are ordered by decreasing period (increasing aggressiveness).
+    """
+    library = library or DEFAULT_LIBRARY
+    graph = build_retiming_graph(circuit, library)
+    original_period = clock_period(circuit, library)
+    max_gate = max(
+        (d for v, d in graph.delay.items() if v not in _PINNED), default=0.0
+    )
+    minimum = achievable_periods(
+        graph, lower=max_gate, upper=original_period, tolerance=tolerance
+    )
+    if num_points < 2:
+        raise RetimingError("retiming_sweep needs at least two points")
+    versions: List[RetimedCircuit] = []
+    seen_dff_counts: Set[int] = set()
+    for i in range(num_points):
+        fraction = i / (num_points - 1)
+        target = original_period + (minimum - original_period) * fraction
+        lags = feasible_retiming(graph, target)
+        if lags is None:
+            continue
+        if not any(
+            count > 0 for v, count in lags.items() if v not in _PINNED
+        ):
+            continue  # identity retiming: skip, the original covers it
+        result = apply_retiming(
+            circuit,
+            lags,
+            name=f"{circuit.name}.re.v{i}",
+            library=library,
+            target_period=target,
+        )
+        if result.circuit.num_dffs() in seen_dff_counts:
+            continue
+        seen_dff_counts.add(result.circuit.num_dffs())
+        versions.append(result)
+    return versions

@@ -1,0 +1,98 @@
+"""Static timing analysis for synchronous netlists.
+
+Computes combinational arrival times under the gate library's delay
+model and derives the minimum clock period — the quantity retiming
+optimizes and the ``delay (nsec)`` column of the paper's Table 7.
+
+Model: single clock, edge-triggered DFFs with a clock-to-Q delay at
+their outputs and a setup time at their D inputs; paths are
+PI→(PO|DFF.D) and DFF.Q→(PO|DFF.D).  Primary inputs arrive at time 0.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from ..circuit.graph import topological_order
+from ..circuit.netlist import Circuit, NodeKind
+from ..synth.library import DEFAULT_LIBRARY, DFF_CLOCK_TO_Q, DFF_SETUP, GateLibrary
+
+
+@dataclasses.dataclass
+class TimingReport:
+    """Arrival times and the resulting clock period."""
+
+    arrival: Dict[str, float]  # combinational arrival time per node
+    period: float  # minimum clock period
+    critical_node: str  # endpoint node of the critical path
+
+    def critical_path(self, circuit: Circuit) -> List[str]:
+        """Trace one critical path backwards from the critical endpoint."""
+        path = [self.critical_node]
+        current = self.critical_node
+        while True:
+            node = circuit.node(current)
+            if node.kind is not NodeKind.GATE or not node.fanin:
+                break
+            predecessor = max(node.fanin, key=lambda f: self.arrival[f])
+            path.append(predecessor)
+            current = predecessor
+        path.reverse()
+        return path
+
+
+def arrival_times(
+    circuit: Circuit, library: Optional[GateLibrary] = None
+) -> Dict[str, float]:
+    """Combinational arrival time of every node (DFF outputs start at
+    clock-to-Q, PIs at 0)."""
+    library = library or DEFAULT_LIBRARY
+    arrival: Dict[str, float] = {}
+    for name in topological_order(circuit):
+        node = circuit.node(name)
+        if node.kind is NodeKind.INPUT:
+            arrival[name] = 0.0
+        elif node.kind is NodeKind.DFF:
+            arrival[name] = DFF_CLOCK_TO_Q
+        else:
+            gate_delay = library.delay(node.gate, len(node.fanin))
+            incoming = max(
+                (arrival[f] for f in node.fanin), default=0.0
+            )
+            arrival[name] = incoming + gate_delay
+    return arrival
+
+
+def timing_report(
+    circuit: Circuit, library: Optional[GateLibrary] = None
+) -> TimingReport:
+    """Full report: arrival times plus the clock period.
+
+    The period is the max over all register D-inputs (plus setup) and
+    all primary outputs of the combinational arrival time.
+    """
+    library = library or DEFAULT_LIBRARY
+    arrival = arrival_times(circuit, library)
+    period = 0.0
+    critical = ""
+    for dff in circuit.dffs():
+        endpoint = arrival[dff.fanin[0]] + DFF_SETUP
+        if endpoint > period:
+            period = endpoint
+            critical = dff.fanin[0]
+    for po in circuit.outputs:
+        if arrival[po] > period:
+            period = arrival[po]
+            critical = po
+    if not critical:
+        # Purely combinational zero-delay circuit (constants only).
+        critical = circuit.outputs[0] if circuit.outputs else ""
+    return TimingReport(arrival=arrival, period=period, critical_node=critical)
+
+
+def clock_period(
+    circuit: Circuit, library: Optional[GateLibrary] = None
+) -> float:
+    """Just the minimum clock period."""
+    return timing_report(circuit, library).period

@@ -1,0 +1,20 @@
+"""Logic simulation substrates: ternary compiled simulation and 64-way
+bit-parallel two-valued simulation."""
+
+from .logicsim import SimTrace, TernarySimulator, values_by_name
+from .parallel import (
+    WORD_BITS,
+    ParallelSimulator,
+    pack_patterns,
+    unpack_word,
+)
+
+__all__ = [
+    "ParallelSimulator",
+    "SimTrace",
+    "TernarySimulator",
+    "WORD_BITS",
+    "pack_patterns",
+    "unpack_word",
+    "values_by_name",
+]

@@ -1,0 +1,170 @@
+"""Bit-parallel two-valued simulation (64 patterns per word).
+
+The PROOFS-style fault simulator and the simulation-based ATPG both need
+to push many fully-specified patterns through a circuit cheaply.  This
+simulator packs one pattern per bit of a Python integer, evaluating each
+gate once per word with bitwise operations — the classical
+"parallel-pattern single-fault propagation" substrate.
+
+Values must be fully specified (0/1).  For unknown-value reasoning use
+:class:`repro.sim.logicsim.TernarySimulator`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..circuit.gates import ONE, ZERO, eval_gate2
+from ..circuit.graph import topological_order
+from ..circuit.netlist import Circuit, NodeKind
+from ..errors import SimulationError
+
+WORD_BITS = 64
+
+
+def pack_patterns(patterns: Sequence[Sequence[int]], position: int) -> int:
+    """Pack bit ``position`` of each pattern into one word (pattern i ->
+    bit i).  All values must be 0/1."""
+    word = 0
+    for i, pattern in enumerate(patterns):
+        bit = pattern[position]
+        if bit not in (ZERO, ONE):
+            raise SimulationError(
+                f"pattern {i} position {position} is {bit!r}; parallel "
+                "simulation requires fully specified values"
+            )
+        word |= bit << i
+    return word
+
+
+def unpack_word(word: int, count: int) -> List[int]:
+    """Inverse of :func:`pack_patterns` for one signal: bit i -> value i."""
+    return [(word >> i) & 1 for i in range(count)]
+
+
+class ParallelSimulator:
+    """Compiled word-parallel two-valued simulator for one circuit."""
+
+    def __init__(self, circuit: Circuit):
+        circuit.check()
+        self.circuit = circuit
+        self._order = topological_order(circuit)
+        self._index: Dict[str, int] = {n: i for i, n in enumerate(self._order)}
+        self._inputs = [self._index[n] for n in circuit.inputs]
+        self._outputs = [self._index[n] for n in circuit.outputs]
+        self._dff_names = circuit.dff_names()
+        self._dff_out = [self._index[n] for n in self._dff_names]
+        self._dff_d = [
+            self._index[circuit.node(n).fanin[0]] for n in self._dff_names
+        ]
+        self._plan: List[Tuple[int, object, List[int]]] = []
+        for name in self._order:
+            node = circuit.node(name)
+            if node.kind is NodeKind.GATE:
+                self._plan.append(
+                    (
+                        self._index[name],
+                        node.gate,
+                        [self._index[f] for f in node.fanin],
+                    )
+                )
+
+    @property
+    def num_dffs(self) -> int:
+        return len(self._dff_out)
+
+    def node_index(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SimulationError(f"no node named {name!r}") from None
+
+    def evaluate(
+        self,
+        pi_words: Sequence[int],
+        state_words: Sequence[int],
+        mask: int,
+        overrides: Optional[Dict[int, Tuple[int, int]]] = None,
+    ) -> List[int]:
+        """One combinational evaluation over packed words.
+
+        ``overrides`` maps node index -> ``(affected_bits, forced_word)``:
+        in the bit positions of ``affected_bits`` the node's value is
+        replaced by ``forced_word`` *after* the node is evaluated and
+        before any fanout reads it.  This is how the fault simulator runs
+        up to 64 machines per word, each with its own stuck-at fault: a
+        stuck-at-1 on node n affecting machine ``i`` is
+        ``overrides[n] = (1 << i, 1 << i)``.
+        """
+        if len(pi_words) != len(self._inputs):
+            raise SimulationError(
+                f"expected {len(self._inputs)} PI words, got {len(pi_words)}"
+            )
+        if len(state_words) != len(self._dff_out):
+            raise SimulationError(
+                f"expected {len(self._dff_out)} state words, got "
+                f"{len(state_words)}"
+            )
+        values = [0] * len(self._order)
+        for idx, word in zip(self._inputs, pi_words):
+            values[idx] = word & mask
+        for idx, word in zip(self._dff_out, state_words):
+            values[idx] = word & mask
+        if overrides:
+            for idx, (affected, forced) in overrides.items():
+                if idx in self._sources():
+                    values[idx] = (values[idx] & ~affected) | (
+                        forced & affected & mask
+                    )
+        for out_idx, gate, fanin_idx in self._plan:
+            word = eval_gate2(gate, [values[i] for i in fanin_idx], mask)
+            if overrides and out_idx in overrides:
+                affected, forced = overrides[out_idx]
+                word = (word & ~affected) | (forced & affected & mask)
+            values[out_idx] = word
+        return values
+
+    def _sources(self) -> set:
+        sources = getattr(self, "_source_set", None)
+        if sources is None:
+            sources = set(self._inputs) | set(self._dff_out)
+            self._source_set = sources
+        return sources
+
+    def step(
+        self,
+        pi_words: Sequence[int],
+        state_words: Sequence[int],
+        mask: int,
+        overrides: Optional[Dict[int, Tuple[int, int]]] = None,
+    ) -> Tuple[List[int], List[int]]:
+        """Apply one packed vector: returns ``(po_words, next_state_words)``."""
+        values = self.evaluate(pi_words, state_words, mask, overrides)
+        po_words = [values[i] for i in self._outputs]
+        next_state = [values[i] for i in self._dff_d]
+        return po_words, next_state
+
+    def run(
+        self,
+        vectors: Sequence[Sequence[int]],
+        initial_state: Sequence[int],
+        overrides: Optional[Dict[int, Tuple[int, int]]] = None,
+    ) -> Tuple[List[List[int]], List[int]]:
+        """Simulate a *single* pattern sequence on all bit positions at
+        once (every bit position sees the same vectors; used to carry one
+        good machine and 63 faulty machines — see the fault simulator).
+
+        Returns ``(po_words_per_cycle, final_state_words)``.
+        """
+        mask = (1 << WORD_BITS) - 1
+        state_words = [
+            (mask if bit == ONE else 0) for bit in initial_state
+        ]
+        po_trace: List[List[int]] = []
+        for vector in vectors:
+            pi_words = [mask if bit == ONE else 0 for bit in vector]
+            po_words, state_words = self.step(
+                pi_words, state_words, mask, overrides
+            )
+            po_trace.append(po_words)
+        return po_trace, state_words

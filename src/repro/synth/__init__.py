@@ -1,0 +1,39 @@
+"""Synthesis pipeline: FSM → encoded covers → minimized SOP →
+multi-level gate network mapped onto the library (SIS substitute)."""
+
+from .library import DEFAULT_LIBRARY, DFF_AREA, GateLibrary, GateSpec
+from .mapping import CircuitCost, circuit_cost, map_to_library
+from .scripts import (
+    SCRIPT_DELAY,
+    SCRIPT_RUGGED,
+    SynthesisScript,
+    circuit_name,
+    script_by_name,
+)
+from .synthesize import (
+    RESET_INPUT,
+    SynthesisResult,
+    behavioral_check,
+    build_covers,
+    synthesize,
+)
+
+__all__ = [
+    "CircuitCost",
+    "DEFAULT_LIBRARY",
+    "DFF_AREA",
+    "GateLibrary",
+    "GateSpec",
+    "RESET_INPUT",
+    "SCRIPT_DELAY",
+    "SCRIPT_RUGGED",
+    "SynthesisResult",
+    "SynthesisScript",
+    "behavioral_check",
+    "build_covers",
+    "circuit_cost",
+    "circuit_name",
+    "map_to_library",
+    "script_by_name",
+    "synthesize",
+]

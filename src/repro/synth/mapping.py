@@ -1,0 +1,105 @@
+"""Technology mapping: legalize a netlist against a gate library.
+
+The decomposition passes already target small gates, but transformations
+(retiming rebuilds, hand-built circuits, imported BLIF) can carry gates
+wider than the library allows.  :func:`map_to_library` splits any
+over-wide AND/OR/NAND/NOR/XOR/XNOR into a legal tree, preserving
+function, and leaves everything else untouched.
+
+Also home to :func:`circuit_cost`, the (area, delay) summary used by the
+experiment logs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from .._util import NameAllocator
+from ..circuit.gates import GateType
+from ..circuit.netlist import Circuit, NodeKind
+from ..errors import SynthesisError
+from .library import GateLibrary
+
+# How to split a wide gate: (inner-tree gate, root gate, invert-chain).
+# AND -> AND tree; NAND -> AND tree with NAND root; XOR -> XOR tree; etc.
+_SPLIT_PLAN: Dict[GateType, Tuple[GateType, GateType]] = {
+    GateType.AND: (GateType.AND, GateType.AND),
+    GateType.OR: (GateType.OR, GateType.OR),
+    GateType.NAND: (GateType.AND, GateType.NAND),
+    GateType.NOR: (GateType.OR, GateType.NOR),
+    GateType.XOR: (GateType.XOR, GateType.XOR),
+    GateType.XNOR: (GateType.XOR, GateType.XNOR),
+}
+
+
+def map_to_library(circuit: Circuit, library: GateLibrary) -> Circuit:
+    """Return a copy of ``circuit`` with every gate within the library's
+    fanin bound (wide gates become balanced trees of the same family)."""
+    mapped = circuit.copy()
+    names = NameAllocator(mapped.node_names())
+    # Collect first: we mutate while iterating otherwise.
+    wide = [
+        node.name
+        for node in mapped.nodes()
+        if node.kind is NodeKind.GATE
+        and node.gate in _SPLIT_PLAN
+        and len(node.fanin) > library.max_fanin(node.gate)
+    ]
+    for name in wide:
+        _split_gate(mapped, names, name, library)
+    mapped.check()
+    return mapped
+
+
+def _split_gate(
+    circuit: Circuit, names: NameAllocator, name: str, library: GateLibrary
+) -> None:
+    node = circuit.node(name)
+    inner_gate, root_gate = _SPLIT_PLAN[node.gate]
+    limit = library.max_fanin(root_gate)
+    if limit < 2:
+        raise SynthesisError(
+            f"library limits {root_gate.value} to fanin {limit}; cannot map"
+        )
+    operands: List[str] = list(node.fanin)
+    while len(operands) > limit:
+        grouped: List[str] = []
+        for start in range(0, len(operands), limit):
+            group = operands[start : start + limit]
+            if len(group) == 1:
+                grouped.append(group[0])
+            else:
+                inner_name = names.fresh(f"{name}_m")
+                circuit.add_gate(inner_name, inner_gate, group)
+                grouped.append(inner_name)
+        operands = grouped
+    # Retype the root: replace the original node's gate and fanin by
+    # rebuilding it (Node fields are mutable through the circuit API).
+    root = circuit.node(name)
+    root.gate = root_gate
+    circuit.replace_fanin(name, operands)
+
+
+@dataclasses.dataclass
+class CircuitCost:
+    """Area/size summary of a mapped circuit."""
+
+    area: float
+    gates: int
+    dffs: int
+    literals: int  # total gate fanin, the structural literal count
+
+
+def circuit_cost(circuit: Circuit, library: GateLibrary) -> CircuitCost:
+    literals = sum(
+        len(node.fanin)
+        for node in circuit.nodes()
+        if node.kind is NodeKind.GATE
+    )
+    return CircuitCost(
+        area=library.circuit_area(circuit),
+        gates=circuit.num_gates(),
+        dffs=circuit.num_dffs(),
+        literals=literals,
+    )

@@ -1,0 +1,71 @@
+"""Synthesis recipes: the ``script.rugged`` / ``script.delay`` substitutes.
+
+The paper synthesizes every FSM with one of two SIS scripts, producing
+differently structured logic for the same function:
+
+* ``script.rugged`` (``.sr``) — area-oriented: aggressive sharing via
+  algebraic extraction, chain-style gate decomposition;
+* ``script.delay`` (``.sd``)  — delay-oriented: balanced gate trees, no
+  cross-function extraction, sharing limited to input inverters.
+
+A :class:`SynthesisScript` bundles the knobs the pipeline consumes.  The
+circuit naming convention follows the paper: ``<fsm>.<j*>.<s*>`` where
+``.ji``/``.jo``/``.jc`` is the encoding algorithm and ``.sd``/``.sr``
+the script.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import SynthesisError
+from ..logic.factor import DecompositionStyle
+
+
+@dataclasses.dataclass(frozen=True)
+class SynthesisScript:
+    """One synthesis recipe."""
+
+    name: str  # "rugged" or "delay"
+    suffix: str  # ".sr" or ".sd"
+    style: DecompositionStyle
+    extract_common_cubes: bool
+    espresso_passes: int = 8
+
+
+SCRIPT_RUGGED = SynthesisScript(
+    name="rugged",
+    suffix="sr",
+    style=DecompositionStyle.area(),
+    extract_common_cubes=True,
+)
+
+SCRIPT_DELAY = SynthesisScript(
+    name="delay",
+    suffix="sd",
+    style=DecompositionStyle.delay(),
+    extract_common_cubes=False,
+)
+
+_SCRIPTS = {
+    "rugged": SCRIPT_RUGGED,
+    "delay": SCRIPT_DELAY,
+    "sr": SCRIPT_RUGGED,
+    "sd": SCRIPT_DELAY,
+}
+
+
+def script_by_name(name: str) -> SynthesisScript:
+    """Look up a script by full name or paper suffix (``sr``/``sd``)."""
+    try:
+        return _SCRIPTS[name.lstrip(".")]
+    except KeyError:
+        raise SynthesisError(
+            f"unknown synthesis script {name!r}; "
+            f"known: rugged (.sr), delay (.sd)"
+        ) from None
+
+
+def circuit_name(fsm_name: str, encoding_suffix: str, script_suffix: str) -> str:
+    """The paper's circuit naming: e.g. ``s510.jo.sr``."""
+    return f"{fsm_name}.{encoding_suffix.lstrip('.')}.{script_suffix.lstrip('.')}"

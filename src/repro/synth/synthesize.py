@@ -1,0 +1,311 @@
+"""FSM-to-netlist synthesis pipeline (the SIS flow substitute).
+
+Mirrors the paper's flow (§2.1):
+
+1. **state minimization** (``stamina`` → :mod:`repro.fsm.minimize`),
+2. **state assignment** (``jedi`` → :mod:`repro.fsm.encode`, minimum
+   code width, three algorithm flavors),
+3. **unused-code don't-cares** (``extract_seq_dc`` → cover complement),
+4. **two-level minimization** per next-state bit / output bit
+   (``espresso`` → :mod:`repro.logic.espresso`),
+5. **multi-level restructuring + mapping** (``script.rugged`` /
+   ``script.delay`` → :mod:`repro.logic.factor` driven by
+   :mod:`repro.synth.scripts`),
+6. optional **explicit reset line** (dk16/pma/s510/scf convention): a
+   ``reset`` primary input forces the next state to the reset code.
+
+DFFs power up in the reset-state code.  For explicit-reset circuits this
+matches asserting reset on the first cycle; for the others it models the
+hardware power-up reset the paper relies on ("HITEC was able to
+initialize each circuit in less than 2 CPU seconds").  Every engine in
+this library therefore starts from a *known* reset state, sidestepping
+the initialization problem the paper deliberately avoided (§2.1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from ..circuit.builder import CircuitBuilder
+from ..circuit.gates import ONE, ZERO, GateType
+from ..circuit.graph import sweep_dead_nodes
+from ..circuit.netlist import Circuit
+from ..errors import SynthesisError
+from ..fsm.encode import Encoding, EncodingAlgorithm, encode_fsm
+from ..fsm.machine import Fsm
+from ..fsm.minimize import minimize_fsm
+from ..logic.cube import Cover, Cube
+from ..logic.espresso import minimize as espresso_minimize
+from ..logic.factor import (
+    LiteralFactory,
+    extract_common_cubes,
+    instantiate_extraction,
+    sop_to_network,
+)
+from .library import DEFAULT_LIBRARY, GateLibrary
+from .mapping import map_to_library
+from .scripts import SynthesisScript, circuit_name
+
+RESET_INPUT = "reset"
+
+
+@dataclasses.dataclass
+class SynthesisResult:
+    """Everything the experiment harness needs about one synthesis run."""
+
+    circuit: Circuit
+    fsm: Fsm
+    encoding: Encoding
+    script: SynthesisScript
+    explicit_reset: bool
+    state_bit_names: List[str]  # DFF names, bit j at index j
+    sop_literals: int  # two-level cost after espresso
+
+    @property
+    def name(self) -> str:
+        return self.circuit.name
+
+
+def synthesize(
+    fsm: Fsm,
+    algorithm: EncodingAlgorithm,
+    script: SynthesisScript,
+    explicit_reset: bool = False,
+    extra_bits: int = 0,
+    library: Optional[GateLibrary] = None,
+    minimize_states: bool = True,
+    seed: int = 0,
+) -> SynthesisResult:
+    """Run the full pipeline; returns the mapped sequential circuit.
+
+    The circuit is named by the paper's convention (``fsm.jX.sY``).
+    """
+    library = library or DEFAULT_LIBRARY
+    if minimize_states:
+        fsm = minimize_fsm(fsm).fsm
+    encoding = encode_fsm(fsm, algorithm, extra_bits=extra_bits, seed=seed)
+    name = circuit_name(fsm.name, algorithm.value, script.suffix)
+
+    on_covers, dc_covers = build_covers(fsm, encoding)
+    minimized: List[Cover] = []
+    sop_literals = 0
+    for on, dc in zip(on_covers, dc_covers):
+        result = espresso_minimize(on, dc, max_passes=script.espresso_passes)
+        minimized.append(result.cover)
+        sop_literals += result.literals
+
+    circuit = _instantiate(
+        fsm, encoding, script, minimized, explicit_reset, name
+    )
+    circuit = map_to_library(circuit, library)
+    sweep_dead_nodes(circuit)
+    circuit.check()
+    return SynthesisResult(
+        circuit=circuit,
+        fsm=fsm,
+        encoding=encoding,
+        script=script,
+        explicit_reset=explicit_reset,
+        state_bit_names=[f"q{j}" for j in range(encoding.width)],
+        sop_literals=sop_literals,
+    )
+
+
+def build_covers(
+    fsm: Fsm, encoding: Encoding
+) -> Tuple[List[Cover], List[Cover]]:
+    """Two-level ON/DC covers for every function the circuit computes.
+
+    Function order: next-state bits 0..w-1, then output bits 0..po-1.
+    Cover input space: FSM inputs at columns 0..ni-1, present-state bits
+    at columns ni..ni+w-1 (little-endian code bits).
+    """
+    ni = fsm.num_inputs
+    width = ni + encoding.width
+    num_functions = encoding.width + fsm.num_outputs
+    on = [Cover(width) for _ in range(num_functions)]
+    dc = [Cover(width) for _ in range(num_functions)]
+
+    # Unused-code don't-cares (the extract_seq_dc analog): complement of
+    # the used-code set, widened over the input columns.
+    used = Cover(encoding.width)
+    for state in fsm.states:
+        used.add(Cube.minterm(encoding.width, encoding.codes[state]))
+    unused = used.complement()
+    for cube in unused.cubes:
+        widened = Cube(
+            width=width, mask=cube.mask << ni, value=cube.value << ni
+        )
+        for function_dc in dc:
+            function_dc.add(widened)
+
+    for t in fsm.transitions:
+        row = _transition_cube(t.inputs, encoding.codes[t.src], ni, encoding.width)
+        dst_code = encoding.codes[t.dst]
+        for j in range(encoding.width):
+            if (dst_code >> j) & 1:
+                on[j].add(row)
+        for k, char in enumerate(t.outputs):
+            if char == "1":
+                on[encoding.width + k].add(row)
+            elif char == "-":
+                dc[encoding.width + k].add(row)
+    return on, dc
+
+
+def _transition_cube(
+    input_cube: str, src_code: int, ni: int, state_width: int
+) -> Cube:
+    mask = 0
+    value = 0
+    for i, char in enumerate(input_cube):
+        if char == "0":
+            mask |= 1 << i
+        elif char == "1":
+            mask |= 1 << i
+            value |= 1 << i
+    for j in range(state_width):
+        bit = 1 << (ni + j)
+        mask |= bit
+        if (src_code >> j) & 1:
+            value |= bit
+    return Cube(width=ni + state_width, mask=mask, value=value)
+
+
+def _instantiate(
+    fsm: Fsm,
+    encoding: Encoding,
+    script: SynthesisScript,
+    covers: List[Cover],
+    explicit_reset: bool,
+    name: str,
+) -> Circuit:
+    """Build the gate-level netlist from the minimized covers."""
+    builder = CircuitBuilder(name)
+    input_names = [builder.input(f"x{i}") for i in range(fsm.num_inputs)]
+    reset_name = builder.input(RESET_INPUT) if explicit_reset else None
+    state_names = [f"q{j}" for j in range(encoding.width)]
+    # DFF output nodes must exist before the logic that reads them; we
+    # create them with placeholder D inputs and rewire at the end.
+    placeholder = builder.const0(name="_tie0")
+    reset_code = encoding.codes[fsm.reset_state]
+    for j, q_name in enumerate(state_names):
+        init = ONE if (reset_code >> j) & 1 else ZERO
+        builder.dff(placeholder, init=init, name=q_name)
+
+    literal_space = input_names + state_names
+    function_names = [f"_ns{j}" for j in range(encoding.width)] + [
+        f"z{k}" for k in range(fsm.num_outputs)
+    ]
+
+    if script.extract_common_cubes:
+        extraction = extract_common_cubes(covers)
+        outputs = instantiate_extraction(
+            builder,
+            extraction,
+            literal_space,
+            script.style,
+            output_names=function_names,
+        )
+    else:
+        literals = LiteralFactory(
+            builder,
+            literal_space,
+            share=script.style.share_literal_inverters,
+        )
+        outputs = [
+            sop_to_network(
+                builder,
+                cover,
+                literal_space,
+                script.style,
+                output_name=fn_name,
+                literals=literals,
+            )
+            for cover, fn_name in zip(covers, function_names)
+        ]
+
+    ns_nodes = outputs[: encoding.width]
+    po_nodes = outputs[encoding.width :]
+
+    # Explicit reset line: force the next state to the reset code while
+    # reset is asserted (one AND/OR per state bit — the mux simplifies
+    # because the forced value is a constant).
+    circuit = builder.build(check=False)
+    for j, q_name in enumerate(state_names):
+        d_node = ns_nodes[j]
+        if explicit_reset:
+            if (reset_code >> j) & 1:
+                d_node = builder.or_(reset_name, d_node, name=f"_d{j}")
+            else:
+                reset_n = _shared_reset_inverter(builder, reset_name)
+                d_node = builder.and_(reset_n, d_node, name=f"_d{j}")
+        circuit.replace_fanin(q_name, [d_node])
+
+    for po in po_nodes:
+        circuit.add_output(po)
+    return circuit
+
+
+_RESET_INV_CACHE_ATTR = "_reset_inverter_node"
+
+
+def _shared_reset_inverter(builder: CircuitBuilder, reset_name: str) -> str:
+    cached = getattr(builder, _RESET_INV_CACHE_ATTR, None)
+    if cached is None:
+        cached = builder.not_(reset_name)
+        setattr(builder, _RESET_INV_CACHE_ATTR, cached)
+    return cached
+
+
+def behavioral_check(
+    result: SynthesisResult,
+    num_sequences: int = 20,
+    sequence_length: int = 30,
+    seed: int = 99,
+) -> None:
+    """Simulate the circuit against the FSM on random input sequences.
+
+    Raises :class:`SynthesisError` on the first mismatch of a specified
+    output bit or of the encoded next state.  Used by tests and available
+    to callers as a paranoia switch.
+    """
+    from .._util import make_rng
+    from ..sim.logicsim import TernarySimulator
+
+    fsm = result.fsm
+    encoding = result.encoding
+    simulator = TernarySimulator(result.circuit)
+    rng = make_rng(seed)
+
+    for _ in range(num_sequences):
+        state = fsm.reset_state
+        circuit_state = simulator.initial_state()
+        for _ in range(sequence_length):
+            assignment = rng.randrange(1 << fsm.num_inputs)
+            vector = [(assignment >> i) & 1 for i in range(fsm.num_inputs)]
+            if result.explicit_reset:
+                vector = vector + [0]  # reset deasserted
+            step = fsm.step(state, assignment)
+            po_values, circuit_state = simulator.step(vector, circuit_state)
+            if step is None:
+                break  # unspecified behavior: nothing to compare
+            state, expected_outputs = step
+            for k, char in enumerate(expected_outputs):
+                if char == "-":
+                    continue
+                expected = ONE if char == "1" else ZERO
+                if po_values[k] != expected:
+                    raise SynthesisError(
+                        f"{result.name}: output z{k} mismatch "
+                        f"(expected {char}, got {po_values[k]})"
+                    )
+            expected_code = encoding.codes[state]
+            for j in range(encoding.width):
+                expected_bit = ONE if (expected_code >> j) & 1 else ZERO
+                if circuit_state[j] != expected_bit:
+                    raise SynthesisError(
+                        f"{result.name}: state bit q{j} mismatch entering "
+                        f"state {state!r}"
+                    )

@@ -1,0 +1,52 @@
+"""Rank correlation utilities."""
+
+import pytest
+
+from repro.analysis import (
+    density_cost_correlation,
+    pearson,
+    ranks,
+    spearman,
+)
+from repro.errors import AnalysisError
+
+
+class TestRanks:
+    def test_simple(self):
+        assert ranks([30.0, 10.0, 20.0]) == [3.0, 1.0, 2.0]
+
+    def test_ties_share_average(self):
+        assert ranks([5.0, 5.0, 1.0]) == [2.5, 2.5, 1.0]
+
+
+class TestCorrelation:
+    def test_perfect_positive(self):
+        assert spearman([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_perfect_negative_monotone_nonlinear(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        ys = [1000.0, 90.0, 3.0, 0.1]
+        assert spearman(xs, ys) == pytest.approx(-1.0)
+        assert pearson(xs, ys) > -1.0  # nonlinear: pearson is weaker
+
+    def test_constant_series(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            spearman([1, 2], [1, 2, 3])
+
+    def test_too_short_rejected(self):
+        with pytest.raises(AnalysisError):
+            spearman([1], [1])
+
+    def test_density_cost_is_negative_on_paper_shape(self):
+        """Table 7-shaped data: density down, CPU up -> strong negative."""
+        pairs = [
+            (0.73, 3822.0),
+            (0.28, 9000.0),
+            (2.3e-3, 60000.0),
+            (5.6e-5, 300000.0),
+            (1.8e-6, 1000000.0),
+        ]
+        assert density_cost_correlation(pairs) == pytest.approx(-1.0)

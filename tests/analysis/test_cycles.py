@@ -1,0 +1,95 @@
+"""Cycle metrics, including the paper's Figure 2 artifact."""
+
+import pytest
+
+from repro.analysis import (
+    count_dff_cycles,
+    count_path_cycles,
+    cycle_dff_sets,
+)
+from repro.circuit import CircuitBuilder, GateType, ZERO
+
+
+def figure2_original():
+    """The paper's Figure 2 (top): G1 and Gnot->G2 feed G3 -> Q1 -> Gbuf
+    -> Q2, which feeds back into G1 and Gnot."""
+    builder = CircuitBuilder("fig2")
+    a = builder.input("a")
+    q1 = builder.dff("g3", init=ZERO, name="q1")
+    q2 = builder.dff("gbuf", init=ZERO, name="q2")
+    g1 = builder.and_(a, q2, name="g1")
+    gnot = builder.not_(q2, name="gnot")
+    g2 = builder.and_(a, gnot, name="g2")
+    builder.or_(g1, g2, name="g3")
+    builder.buf(q1, name="gbuf")
+    builder.output(builder.buf(q2, name="y"))
+    circuit = builder.build(check=False)
+    circuit.check()
+    return circuit
+
+
+def figure2_retimed():
+    """Figure 2 (bottom): Q1 split into Q1a/Q1b behind G3."""
+    builder = CircuitBuilder("fig2re")
+    a = builder.input("a")
+    q1a = builder.dff("g1", init=ZERO, name="q1a")
+    q1b = builder.dff("g2", init=ZERO, name="q1b")
+    q2 = builder.dff("gbuf", init=ZERO, name="q2")
+    g1 = builder.and_(a, q2, name="g1")
+    gnot = builder.not_(q2, name="gnot")
+    g2 = builder.and_(a, gnot, name="g2")
+    builder.or_(q1a, q1b, name="g3")
+    builder.buf("g3", name="gbuf")
+    builder.output(builder.buf(q2, name="y"))
+    circuit = builder.build(check=False)
+    circuit.check()
+    return circuit
+
+
+class TestFigure2Artifact:
+    def test_subset_count_inflates(self):
+        """The DFF-subset algorithm sees 1 cycle before retiming and 2
+        after — the paper's exact demonstration."""
+        before = count_dff_cycles(figure2_original())
+        after = count_dff_cycles(figure2_retimed())
+        assert before.num_cycles == 1
+        assert after.num_cycles == 2
+
+    def test_actual_cycles_invariant(self):
+        """Theorem 3: the path-distinct count does not change (2 both
+        before and after)."""
+        assert count_path_cycles(figure2_original()) == count_path_cycles(
+            figure2_retimed()
+        ) == 2
+
+    def test_cycle_length_invariant(self):
+        """Theorem 4: both cycles have length 2 before and after."""
+        before = count_dff_cycles(figure2_original())
+        after = count_dff_cycles(figure2_retimed())
+        assert before.max_cycle_length == after.max_cycle_length == 2
+
+
+class TestBasics:
+    def test_toggle_self_cycle(self, toggle_circuit):
+        report = count_dff_cycles(toggle_circuit)
+        assert report.num_cycles == 1
+        assert report.max_cycle_length == 1
+
+    def test_counter_cycles(self, two_bit_counter):
+        report = count_dff_cycles(two_bit_counter)
+        # q0 self-loop, q1 self-loop: q0 -> q1 edge exists but no return
+        assert report.num_cycles == 2
+        assert report.max_cycle_length == 1
+
+    def test_acyclic_pipeline(self):
+        builder = CircuitBuilder("acyclic")
+        a = builder.input("a")
+        q = builder.dff(builder.not_(a), init=ZERO)
+        builder.output(builder.buf(q, name="y"))
+        report = count_dff_cycles(builder.build())
+        assert report.num_cycles == 0
+        assert report.max_cycle_length == 0
+
+    def test_cycle_sets(self, toggle_circuit):
+        sets = cycle_dff_sets(toggle_circuit)
+        assert sets == {frozenset({"q"})}

@@ -1,0 +1,56 @@
+"""Sequential depth: hand examples and exactness semantics."""
+
+import pytest
+
+from repro.analysis import max_sequential_depth, sequential_depth_report
+from repro.circuit import CircuitBuilder, GateType, ZERO
+
+
+def pipeline(depth):
+    builder = CircuitBuilder(f"pipe{depth}")
+    a = builder.input("a")
+    signal = a
+    for i in range(depth):
+        signal = builder.dff(builder.not_(signal), init=ZERO)
+    builder.output(builder.buf(signal, name="y"))
+    return builder.build()
+
+
+class TestHandExamples:
+    @pytest.mark.parametrize("depth", [0, 1, 3, 6])
+    def test_pipeline_depth(self, depth):
+        report = sequential_depth_report(pipeline(depth))
+        assert report.depth == depth
+        assert report.exact
+
+    def test_counter_depth(self, two_bit_counter):
+        # enable -> d0 -> q0 -> carry -> d1 -> q1 -> PO crosses 2 DFFs
+        assert max_sequential_depth(two_bit_counter) == 2
+
+    def test_toggle_depth(self, toggle_circuit):
+        assert max_sequential_depth(toggle_circuit) == 1
+
+    def test_combinational_circuit(self, half_adder):
+        assert max_sequential_depth(half_adder) == 0
+
+    def test_parallel_branches_not_summed(self):
+        """Two parallel single-register paths: depth is 1, not 2."""
+        builder = CircuitBuilder("par")
+        a = builder.input("a")
+        q1 = builder.dff(builder.not_(a), init=ZERO, name="q1")
+        q2 = builder.dff(builder.buf(a), init=ZERO, name="q2")
+        builder.output(builder.and_(q1, q2, name="y"))
+        assert max_sequential_depth(builder.build()) == 1
+
+
+class TestSynthesized:
+    def test_depth_bounded_by_registers(self, dk16_rugged):
+        report = sequential_depth_report(dk16_rugged.circuit)
+        assert 1 <= report.depth <= dk16_rugged.circuit.num_dffs()
+
+    def test_per_output_view(self, two_bit_counter):
+        per_output = __import__(
+            "repro.analysis", fromlist=["sequential_depth_per_output"]
+        ).sequential_depth_per_output(two_bit_counter)
+        assert per_output["q1"] == 2
+        assert per_output["q0"] == 1

@@ -1,0 +1,88 @@
+"""SCOAP testability measures."""
+
+import pytest
+
+from repro.analysis import INFINITY, scoap, testability_summary
+from repro.circuit import CircuitBuilder, GateType, ZERO
+
+
+class TestCombinational:
+    def test_and_gate_rules(self):
+        builder = CircuitBuilder("t")
+        a, b = builder.inputs("a", "b")
+        builder.output(builder.and_(a, b, name="g"))
+        report = scoap(builder.build())
+        assert report.cc0["a"] == 1.0
+        assert report.cc1["g"] == 3.0  # both inputs at 1 (+1)
+        assert report.cc0["g"] == 2.0  # cheapest single 0 (+1)
+
+    def test_xor_parity(self):
+        builder = CircuitBuilder("t")
+        a, b = builder.inputs("a", "b")
+        builder.output(builder.xor(a, b, name="g"))
+        report = scoap(builder.build())
+        assert report.cc1["g"] == 3.0  # one input 1, other 0
+        assert report.cc0["g"] == 3.0
+
+    def test_constants_uncontrollable_opposite(self):
+        builder = CircuitBuilder("t")
+        builder.input("a")
+        builder.output(builder.const0(name="z"))
+        report = scoap(builder.build())
+        assert report.cc0["z"] == 0.0
+        assert report.cc1["z"] >= INFINITY
+
+    def test_observability_of_po_is_zero(self, half_adder):
+        report = scoap(half_adder)
+        for po in half_adder.outputs:
+            assert report.observability[po] == 0.0
+
+    def test_observability_through_and(self):
+        builder = CircuitBuilder("t")
+        a, b = builder.inputs("a", "b")
+        builder.output(builder.and_(a, b, name="g"))
+        report = scoap(builder.build())
+        # seeing `a` needs b=1 (cc1=1) plus the gate (+1)
+        assert report.observability["a"] == 2.0
+
+
+class TestSequential:
+    def test_dff_adds_sequential_depth(self, two_bit_counter):
+        report = scoap(two_bit_counter)
+        assert report.sc1["q1"] >= report.sc1["q0"]
+        assert report.sc0["enable"] == 0.0
+
+    def test_unreachable_value_stays_infinite(self):
+        """q1 is fed by constant-0 logic: cc1 must stay infinite."""
+        builder = CircuitBuilder("t")
+        a = builder.input("a")
+        zero = builder.const0(name="z")
+        q = builder.dff(zero, init=ZERO, name="q")
+        builder.output(builder.and_(a, q, name="y"))
+        report = scoap(builder.build())
+        assert report.cc1["q"] >= INFINITY
+
+    def test_summary_scalars(self, dk16_rugged):
+        summary = testability_summary(dk16_rugged.circuit)
+        assert summary["mean_controllability"] > 0
+        assert summary["mean_observability"] >= 0
+
+    def test_retiming_barely_moves_scoap(self, dk16_rugged):
+        """The paper's thesis in SCOAP terms: the retimed circuit's
+        *structural* testability aggregates stay in the same ballpark
+        even though ATPG cost explodes (density is the real driver)."""
+        from repro.retime.core import backward_retime
+
+        retimed = backward_retime(dk16_rugged.circuit, 2).circuit
+        original = testability_summary(dk16_rugged.circuit)
+        after = testability_summary(retimed)
+        assert (
+            after["mean_controllability"]
+            < original["mean_controllability"] * 5
+        )
+
+    def test_hardest_lines_reported(self, dk16_rugged):
+        report = scoap(dk16_rugged.circuit)
+        hardest = report.hardest_lines(5)
+        assert len(hardest) == 5
+        assert hardest[0][1] >= hardest[-1][1]

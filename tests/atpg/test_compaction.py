@@ -1,0 +1,72 @@
+"""Test set compaction: coverage preservation and shrinkage."""
+
+import pytest
+
+from repro.atpg import (
+    EffortBudget,
+    HitecEngine,
+    TestSet,
+    compact_greedy_cover,
+    compact_reverse_order,
+)
+from repro.fault import FaultSimulator
+
+
+@pytest.fixture(scope="module")
+def dk16_testset(dk16_rugged):
+    result = HitecEngine(
+        dk16_rugged.circuit, budget=EffortBudget.quick()
+    ).run()
+    return dk16_rugged.circuit, result.test_set
+
+
+class TestCompaction:
+    @pytest.mark.parametrize(
+        "compact", [compact_reverse_order, compact_greedy_cover]
+    )
+    def test_coverage_preserved(self, dk16_testset, compact):
+        circuit, test_set = dk16_testset
+        report = compact(circuit, test_set)
+        simulator = FaultSimulator(circuit)
+        after = simulator.run(list(report.compacted))
+        assert set(after.detected) >= report.detected
+
+    @pytest.mark.parametrize(
+        "compact", [compact_reverse_order, compact_greedy_cover]
+    )
+    def test_never_grows(self, dk16_testset, compact):
+        circuit, test_set = dk16_testset
+        report = compact(circuit, test_set)
+        assert report.compacted_sequences <= report.original_sequences
+        assert report.compacted_vectors <= report.original_vectors
+        assert 0.0 <= report.vector_reduction_percent <= 100.0
+
+    def test_reverse_order_actually_compacts(self, dk16_testset):
+        """ATPG test sets carry redundant early sequences; the pass
+        must find at least some."""
+        circuit, test_set = dk16_testset
+        report = compact_reverse_order(circuit, test_set)
+        assert report.compacted_sequences < report.original_sequences
+
+    def test_redundant_duplicate_dropped(self, two_bit_counter):
+        test_set = TestSet()
+        test_set.add([[1]] * 6)
+        test_set.add([[1]] * 6)  # exact duplicate
+        report = compact_greedy_cover(two_bit_counter, test_set)
+        assert report.compacted_sequences == 1
+
+    def test_empty_test_set(self, two_bit_counter):
+        report = compact_reverse_order(two_bit_counter, TestSet())
+        assert report.compacted_sequences == 0
+        assert report.detected == set()
+
+    def test_application_order_preserved(self, two_bit_counter):
+        """Kept sequences stay in their original application order."""
+        test_set = TestSet()
+        test_set.add([[0]] * 3)
+        test_set.add([[1]] * 6)
+        report = compact_greedy_cover(two_bit_counter, test_set)
+        kept = list(report.compacted)
+        assert kept[-1] == [[1]] * 6  # order preserved
+        if len(kept) == 2:
+            assert kept[0] == [[0]] * 3

@@ -1,0 +1,102 @@
+"""Iterative-array model: unrolled semantics and fault injection."""
+
+import pytest
+
+from repro.circuit import D, DBAR, ONE, X, ZERO
+from repro.atpg import UnrolledModel, Variable
+from repro.fault import Fault
+from repro.sim import TernarySimulator
+from repro._util import make_rng
+
+
+class TestGoodMachine:
+    def test_unrolled_matches_sequential(self, two_bit_counter):
+        """Frame-by-frame values of the fault-free model must equal the
+        sequential simulator run from the same state."""
+        model = UnrolledModel(two_bit_counter, fault=None, max_frames=4)
+        model.set_frames(4)
+        for position in range(2):
+            model.assign(Variable("state", 0, position), ZERO)
+        for frame in range(4):
+            model.assign(Variable("pi", frame, 0), ONE)
+        frames = model.simulate()
+        reference = TernarySimulator(two_bit_counter)
+        state = (0, 0)
+        for frame in range(4):
+            for position, dff_index in enumerate(
+                model.dff_out_indices()
+            ):
+                assert frames[frame][dff_index] == state[position]
+            _, state = reference.step([1], state)
+
+    def test_unassigned_is_x(self, toggle_circuit):
+        model = UnrolledModel(toggle_circuit, fault=None, max_frames=2)
+        frames = model.simulate()
+        q_index = model.dff_out_indices()[0]
+        assert frames[0][q_index] == X
+
+    def test_assign_unassign(self, toggle_circuit):
+        model = UnrolledModel(toggle_circuit, fault=None, max_frames=2)
+        variable = Variable("state", 0, 0)
+        model.assign(variable, ONE)
+        assert model.value_of(variable) == ONE
+        model.unassign(variable)
+        assert model.value_of(variable) is None
+
+
+class TestFaultInjection:
+    def test_d_created_at_excited_site(self, toggle_circuit):
+        fault = Fault("q", ZERO)  # q stuck-at-0
+        model = UnrolledModel(toggle_circuit, fault, max_frames=2)
+        model.assign(Variable("state", 0, 0), ONE)  # good q = 1
+        frames = model.simulate()
+        q_index = model.index_of("q")
+        assert frames[0][q_index] == D
+
+    def test_no_d_when_not_excited(self, toggle_circuit):
+        fault = Fault("q", ZERO)
+        model = UnrolledModel(toggle_circuit, fault, max_frames=2)
+        model.assign(Variable("state", 0, 0), ZERO)  # good q = 0 = stuck
+        frames = model.simulate()
+        assert frames[0][model.index_of("q")] == ZERO
+
+    def test_fault_present_in_every_frame(self, toggle_circuit):
+        fault = Fault("d", ONE)  # D input stuck-at-1
+        model = UnrolledModel(toggle_circuit, fault, max_frames=3)
+        model.set_frames(3)
+        model.assign(Variable("state", 0, 0), ZERO)
+        for frame in range(3):
+            model.assign(Variable("pi", frame, 0), ZERO)
+        frames = model.simulate()
+        d_index = model.index_of("d")
+        # good d = enable XOR q = 0; faulty = 1 -> DBAR each frame 0; in
+        # later frames the faulty state diverges (faulty q becomes 1).
+        assert frames[0][d_index] == DBAR
+
+    def test_d_propagates_across_frames(self, two_bit_counter):
+        fault = Fault("d0", ZERO)
+        model = UnrolledModel(two_bit_counter, fault, max_frames=2)
+        model.set_frames(2)
+        for position in range(2):
+            model.assign(Variable("state", 0, position), ZERO)
+        model.assign(Variable("pi", 0, 0), ONE)  # good d0 = 1, faulty 0
+        model.assign(Variable("pi", 1, 0), ZERO)
+        frames = model.simulate()
+        q0_index = model.dff_out_indices()[0]
+        assert frames[1][q0_index] == D  # captured into the register
+
+
+class TestWindow:
+    def test_frame_growth_drops_stale_assignments(self, toggle_circuit):
+        model = UnrolledModel(toggle_circuit, fault=None, max_frames=3)
+        model.set_frames(3)
+        model.assign(Variable("pi", 2, 0), ONE)
+        model.set_frames(2)
+        assert model.value_of(Variable("pi", 2, 0)) is None
+
+    def test_bad_frame_count_rejected(self, toggle_circuit):
+        from repro.errors import AtpgError
+
+        model = UnrolledModel(toggle_circuit, fault=None, max_frames=2)
+        with pytest.raises(AtpgError):
+            model.set_frames(5)

@@ -1,0 +1,126 @@
+"""HITEC engine: end-to-end quality and claim soundness."""
+
+import pytest
+
+from repro.atpg import EffortBudget, HitecEngine
+from repro.fault import FaultSimulator
+from repro._util import make_rng
+
+
+@pytest.fixture(scope="module")
+def dk16_result(dk16_rugged):
+    return HitecEngine(
+        dk16_rugged.circuit, budget=EffortBudget.quick()
+    ).run()
+
+
+class TestQuality:
+    def test_high_coverage_on_original(self, dk16_result):
+        assert dk16_result.fault_coverage > 95.0
+
+    def test_counter_full_coverage(self, two_bit_counter):
+        result = HitecEngine(
+            two_bit_counter, budget=EffortBudget.quick()
+        ).run()
+        assert result.fault_efficiency == 100.0
+
+    def test_toggle_full_coverage(self, toggle_circuit):
+        result = HitecEngine(
+            toggle_circuit, budget=EffortBudget.quick()
+        ).run()
+        assert result.fault_efficiency == 100.0
+
+
+class TestSoundness:
+    def test_every_claimed_detection_is_real(
+        self, dk16_rugged, dk16_result
+    ):
+        """Independent fault simulation of the emitted test set must
+        detect every fault the engine marked detected."""
+        simulator = FaultSimulator(dk16_rugged.circuit)
+        detected_claims = [
+            fault
+            for fault, status in dk16_result.statuses.items()
+            if status.state == "detected"
+        ]
+        report = simulator.run(
+            list(dk16_result.test_set), faults=detected_claims
+        )
+        assert set(report.detected) == set(detected_claims)
+
+    def test_redundant_claims_survive_random_bombardment(
+        self, dk16_rugged, dk16_result
+    ):
+        """No fault marked redundant may be detected by heavy random
+        simulation."""
+        redundant = [
+            fault
+            for fault, status in dk16_result.statuses.items()
+            if status.state == "redundant"
+        ]
+        if not redundant:
+            pytest.skip("no redundant faults claimed on this circuit")
+        circuit = dk16_rugged.circuit
+        rng = make_rng(42)
+        sequences = [
+            [
+                [rng.randrange(2) for _ in circuit.inputs]
+                for _ in range(60)
+            ]
+            for _ in range(60)
+        ]
+        report = FaultSimulator(circuit).run(
+            sequences, faults=redundant, drop=False
+        )
+        assert report.detected == {}
+
+    def test_detected_by_indices_valid(self, dk16_result):
+        for status in dk16_result.statuses.values():
+            if status.state == "detected":
+                assert 0 <= status.detected_by < len(
+                    dk16_result.test_set
+                )
+
+
+class TestInstrumentation:
+    def test_checkpoints_monotone(self, dk16_result):
+        efficiencies = [
+            cp.fault_efficiency for cp in dk16_result.checkpoints
+        ]
+        assert efficiencies == sorted(efficiencies)
+        times = [cp.cpu_seconds for cp in dk16_result.checkpoints]
+        assert times == sorted(times)
+
+    def test_states_traversed_are_plausible(
+        self, dk16_rugged, dk16_result
+    ):
+        from repro.analysis import ReachableStates
+
+        reachable = ReachableStates(dk16_rugged.circuit)
+        for state in dk16_result.states_traversed:
+            assert reachable.contains(state)
+
+    def test_budget_enforced(self, dk16_rugged):
+        tiny = EffortBudget(
+            max_backtracks=5,
+            max_frames=2,
+            max_justify_depth=3,
+            max_preimages=2,
+            per_fault_seconds=0.05,
+            total_seconds=3.0,
+            random_sequences=0,
+            random_length=0,
+        )
+        result = HitecEngine(dk16_rugged.circuit, budget=tiny).run()
+        assert result.cpu_seconds < 20.0  # hard stop honored
+
+    def test_no_reset_state_rejected(self):
+        from repro.circuit import CircuitBuilder, X
+        from repro.errors import AtpgError
+
+        builder = CircuitBuilder("noreset")
+        a = builder.input("a")
+        q = builder.dff(a, init=X)
+        builder.output(q)
+        with pytest.raises(AtpgError):
+            HitecEngine(builder.build())

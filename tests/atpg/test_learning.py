@@ -1,0 +1,57 @@
+"""Illegal-state learning cache."""
+
+import pytest
+
+from repro.atpg import IllegalStateCache, cube_implies, cube_key
+
+
+class TestCubeAlgebra:
+    def test_key_is_order_insensitive(self):
+        assert cube_key({2: 1, 0: 0}) == cube_key({0: 0, 2: 1})
+
+    def test_implication(self):
+        general = cube_key({0: 1})
+        assert cube_implies({0: 1, 1: 0}, general)
+        assert not cube_implies({1: 0}, general)
+        assert not cube_implies({0: 0}, general)
+
+
+class TestCache:
+    def test_learn_and_hit(self):
+        cache = IllegalStateCache()
+        cache.learn({0: 1, 1: 0})
+        assert cache.is_illegal({0: 1, 1: 0, 2: 1})
+        assert not cache.is_illegal({0: 1, 1: 1})
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_universal_cube_never_learned(self):
+        cache = IllegalStateCache()
+        cache.learn({})
+        assert len(cache) == 0
+
+    def test_duplicates_ignored(self):
+        cache = IllegalStateCache()
+        cache.learn({0: 1})
+        cache.learn({0: 1})
+        assert len(cache) == 1
+
+    def test_capacity_bounded(self):
+        cache = IllegalStateCache(max_entries=3)
+        for i in range(10):
+            cache.learn({0: 1, 1: i % 2, 2: (i >> 1) % 2})
+        assert len(cache) <= 3
+
+
+class TestEngineIntegration:
+    def test_sest_learns_on_retimed_circuit(self, dk16_rugged):
+        from repro.atpg import EffortBudget, SestEngine
+        from repro.retime.core import backward_retime
+
+        retimed = backward_retime(dk16_rugged.circuit, 2).circuit
+        engine = SestEngine(retimed, budget=EffortBudget.quick())
+        engine.run()
+        stats = engine.learning_stats
+        assert stats is not None
+        # On a low-density circuit the engine must actually learn.
+        assert stats.cubes_learned + stats.hits > 0

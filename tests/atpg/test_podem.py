@@ -1,0 +1,113 @@
+"""PODEM search engines: fault tests and state justification."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder, ONE, X, ZERO
+from repro.atpg import (
+    FaultPodem,
+    JustifyPodem,
+    SearchMeter,
+    UnrolledModel,
+)
+from repro.fault import Fault, FaultSimulator
+
+
+def meter(backtracks=500):
+    return SearchMeter(backtracks, per_fault_seconds=5.0)
+
+
+class TestFaultPodem:
+    def test_combinational_test_found(self, half_adder):
+        fault = Fault("xor", ZERO)
+        model = UnrolledModel(half_adder, fault, max_frames=1)
+        search = FaultPodem(model, meter())
+        solutions = list(search.solutions())
+        assert solutions
+        assert search.outcome.exhausted
+        sim = FaultSimulator(half_adder, faults=[fault])
+        vectors = solutions[0].vectors(2)
+        assert sim.detects(vectors, fault)
+
+    def test_sequential_fault_needs_frames(self, two_bit_counter):
+        """A fault on d1 needs the counter in a state with q0=1."""
+        fault = Fault("d1", ZERO)
+        model = UnrolledModel(two_bit_counter, fault, max_frames=3)
+        model.set_frames(2)
+        search = FaultPodem(model, meter())
+        found = None
+        for solution in search.solutions():
+            found = solution
+            break
+        assert found is not None
+        # the excitation state requires q0 = 1 (carry into d1)
+        assert found.state_cube.get(0) == 1
+
+    def test_untestable_fault_exhausts(self):
+        """A stuck-at on a constant node matching its value: no test."""
+        builder = CircuitBuilder("const")
+        a = builder.input("a")
+        one = builder.const1(name="one")
+        builder.output(builder.and_(a, one, name="y"))
+        circuit = builder.build()
+        fault = Fault("one", ONE)  # stuck at its own value
+        model = UnrolledModel(circuit, fault, max_frames=1)
+        search = FaultPodem(model, meter())
+        assert list(search.solutions()) == []
+        assert search.outcome.exhausted
+
+    def test_budget_cut_reports_not_exhausted(self, dk16_rugged):
+        circuit = dk16_rugged.circuit
+        fault = Fault(circuit.dff_names()[0], ZERO)
+        model = UnrolledModel(circuit, fault, max_frames=4)
+        model.set_frames(4)
+        tight = SearchMeter(1, per_fault_seconds=5.0)
+        search = FaultPodem(model, tight)
+        # Drain whatever the one-backtrack budget allows.
+        for _ in search.solutions():
+            pass
+        assert not search.outcome.exhausted
+
+    def test_multiple_solutions_enumerated(self, half_adder):
+        fault = Fault("a", ZERO)
+        model = UnrolledModel(half_adder, fault, max_frames=1)
+        search = FaultPodem(model, meter())
+        solutions = list(search.solutions())
+        assert len(solutions) >= 2  # a=1,b=0 and a=1,b=1 both work
+
+
+class TestJustifyPodem:
+    def test_counter_state_justified(self, two_bit_counter):
+        """Target next state (1, 0): from (0,0) with enable=1."""
+        model = UnrolledModel(two_bit_counter, fault=None, max_frames=1)
+        search = JustifyPodem(model, meter(), {0: 1, 1: 0})
+        solution = next(iter(search.solutions()))
+        # enable must be 1 and q0 = 0 (else d0 = 0)
+        assert solution.pi_assignment.get((0, 0)) == 1
+        assert solution.state_cube.get(0) == 0
+
+    def test_unreachable_target_exhausts(self):
+        """d is hardwired 0: next state 1 is unjustifiable."""
+        builder = CircuitBuilder("stuck")
+        a = builder.input("a")
+        zero = builder.const0(name="z")
+        q = builder.dff(zero, init=ZERO, name="q")
+        builder.output(builder.and_(a, q, name="y"))
+        circuit = builder.build()
+        model = UnrolledModel(circuit, fault=None, max_frames=1)
+        search = JustifyPodem(model, meter(), {0: 1})
+        assert list(search.solutions()) == []
+        assert search.outcome.exhausted
+
+    def test_empty_cube_trivially_satisfied(self, two_bit_counter):
+        model = UnrolledModel(two_bit_counter, fault=None, max_frames=1)
+        search = JustifyPodem(model, meter(), {})
+        assert next(iter(search.solutions())) is not None
+
+    def test_requires_fault_free_model(self, two_bit_counter):
+        from repro.errors import AtpgError
+
+        model = UnrolledModel(
+            two_bit_counter, Fault("d0", ZERO), max_frames=1
+        )
+        with pytest.raises(AtpgError):
+            JustifyPodem(model, meter(), {0: 1})

@@ -1,0 +1,85 @@
+"""Standalone RTG utility."""
+
+import pytest
+
+from repro.atpg import RandomTestGenerator, RtgOptions, random_pattern_coverage
+from repro.errors import AtpgError
+from repro.fault import FaultSimulator
+
+
+class TestRtg:
+    def test_coverage_on_counter(self, two_bit_counter):
+        report = random_pattern_coverage(
+            two_bit_counter, RtgOptions(num_sequences=20, sequence_length=12)
+        )
+        assert report.coverage_percent() > 80.0
+        assert report.curve
+        assert report.curve[-1].faults_detected == len(report.detected)
+
+    def test_curve_monotone(self, dk16_rugged):
+        report = random_pattern_coverage(
+            dk16_rugged.circuit,
+            RtgOptions(num_sequences=12, sequence_length=20),
+        )
+        detected = [p.faults_detected for p in report.curve]
+        assert detected == sorted(detected)
+
+    def test_deterministic(self, two_bit_counter):
+        options = RtgOptions(num_sequences=8, sequence_length=10, seed=3)
+        a = random_pattern_coverage(two_bit_counter, options)
+        b = random_pattern_coverage(two_bit_counter, options)
+        assert a.detected == b.detected
+
+    def test_kept_sequences_detect(self, dk16_rugged):
+        report = random_pattern_coverage(
+            dk16_rugged.circuit,
+            RtgOptions(num_sequences=10, sequence_length=20),
+        )
+        simulator = FaultSimulator(dk16_rugged.circuit)
+        check = simulator.run(
+            list(report.test_set), faults=sorted(report.detected)
+        )
+        assert set(check.detected) == report.detected
+
+    def test_weighted_inputs(self, two_bit_counter):
+        """Weight enable to 0: the counter never moves, coverage tanks."""
+        frozen = random_pattern_coverage(
+            two_bit_counter,
+            RtgOptions(
+                num_sequences=10,
+                sequence_length=10,
+                weights={"enable": 0.0},
+            ),
+        )
+        free = random_pattern_coverage(
+            two_bit_counter,
+            RtgOptions(num_sequences=10, sequence_length=10),
+        )
+        assert frozen.coverage_percent() < free.coverage_percent()
+
+    def test_hold_probability_validated(self, two_bit_counter):
+        with pytest.raises(AtpgError):
+            RandomTestGenerator(
+                two_bit_counter, RtgOptions(hold_probability=1.0)
+            )
+
+    def test_bad_weight_rejected(self, two_bit_counter):
+        with pytest.raises(AtpgError):
+            RandomTestGenerator(
+                two_bit_counter, RtgOptions(weights={"enable": 2.0})
+            )
+
+    def test_hold_produces_correlated_sequences(self, two_bit_counter):
+        generator = RandomTestGenerator(
+            two_bit_counter,
+            RtgOptions(hold_probability=0.9, sequence_length=30, seed=1),
+        )
+        from repro._util import make_rng
+
+        sequence = generator._random_sequence(make_rng(1))
+        changes = sum(
+            1
+            for previous, current in zip(sequence, sequence[1:])
+            if previous != current
+        )
+        assert changes < 15  # strongly held

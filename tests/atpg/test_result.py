@@ -1,0 +1,51 @@
+"""Result/budget types."""
+
+import time
+
+import pytest
+
+from repro.atpg import Checkpoint, EffortBudget, Stopwatch, TestSet
+
+
+class TestBudget:
+    def test_presets_ordered(self):
+        quick = EffortBudget.quick()
+        paper = EffortBudget.paper()
+        assert quick.max_backtracks < paper.max_backtracks
+        assert quick.total_seconds < paper.total_seconds
+
+    def test_checkpoint_percentages(self):
+        checkpoint = Checkpoint(
+            cpu_seconds=1.0, detected=7, redundant=1, processed=9, total=10
+        )
+        assert checkpoint.fault_coverage == 70.0
+        assert checkpoint.fault_efficiency == 80.0
+
+    def test_checkpoint_empty_total(self):
+        checkpoint = Checkpoint(0.0, 0, 0, 0, 0)
+        assert checkpoint.fault_efficiency == 100.0
+
+
+class TestTestSet:
+    def test_add_copies(self):
+        test_set = TestSet()
+        vector = [0, 1]
+        test_set.add([vector])
+        vector[0] = 9
+        assert test_set.sequences[0][0] == [0, 1]
+
+    def test_counts(self):
+        test_set = TestSet()
+        test_set.add([[0], [1]])
+        test_set.add([[1]])
+        assert len(test_set) == 2
+        assert test_set.total_vectors() == 3
+
+
+class TestStopwatch:
+    def test_expiry(self):
+        watch = Stopwatch(0.0)
+        assert watch.expired()
+        generous = Stopwatch(3600.0)
+        assert not generous.expired()
+        assert generous.elapsed() >= 0.0

@@ -1,0 +1,54 @@
+"""Simulation-based (Attest-style) engine."""
+
+import pytest
+
+from repro.atpg import EffortBudget, SimBasedEngine, SimBasedOptions
+from repro.fault import FaultSimulator
+
+
+@pytest.fixture(scope="module")
+def dk16_simbased(dk16_rugged):
+    return SimBasedEngine(
+        dk16_rugged.circuit, budget=EffortBudget.quick()
+    ).run()
+
+
+class TestSimBased:
+    def test_decent_coverage_on_original(self, dk16_simbased):
+        assert dk16_simbased.fault_coverage > 70.0
+
+    def test_fe_equals_fc(self, dk16_simbased):
+        """The engine proves no redundancy, like the paper's Attest
+        rows where %FE == %FC."""
+        assert dk16_simbased.fault_efficiency == pytest.approx(
+            dk16_simbased.fault_coverage
+        )
+
+    def test_detections_are_real(self, dk16_rugged, dk16_simbased):
+        simulator = FaultSimulator(dk16_rugged.circuit)
+        claimed = [
+            fault
+            for fault, status in dk16_simbased.statuses.items()
+            if status.state == "detected"
+        ]
+        report = simulator.run(
+            list(dk16_simbased.test_set), faults=claimed
+        )
+        assert set(report.detected) == set(claimed)
+
+    def test_trimming_keeps_sequences_short(self, dk16_simbased):
+        lengths = [len(s) for s in dk16_simbased.test_set]
+        assert lengths  # emitted something
+        assert min(lengths) < 40  # at least some got trimmed
+
+    def test_stall_cutoff_bounds_runtime(self, two_bit_counter):
+        options = SimBasedOptions(
+            batch_size=4, sequence_length=8, stall_rounds=2
+        )
+        result = SimBasedEngine(
+            two_bit_counter,
+            budget=EffortBudget.quick(),
+            options=options,
+        ).run()
+        assert result.cpu_seconds < 30.0
+        assert result.fault_coverage > 80.0

@@ -1,0 +1,140 @@
+"""BLIF round-trip and parser behavior."""
+
+import itertools
+
+import pytest
+
+from repro.circuit import (
+    CircuitBuilder,
+    GateType,
+    ONE,
+    X,
+    ZERO,
+    read_blif,
+    write_blif,
+)
+from repro.errors import ParseError
+from repro.sim import TernarySimulator
+
+
+def functionally_equal(left, right, cycles=16):
+    """Compare two circuits by exhaustive/sequential simulation."""
+    sim_l, sim_r = TernarySimulator(left), TernarySimulator(right)
+    num_inputs = len(left.inputs)
+    state_l, state_r = sim_l.initial_state(), sim_r.initial_state()
+    for step in range(cycles):
+        vector = [(step * 7 + i * 3 + step // 2) % 2 for i in range(num_inputs)]
+        po_l, state_l = sim_l.step(vector, state_l)
+        po_r, state_r = sim_r.step(vector, state_r)
+        if po_l != po_r:
+            return False
+    return True
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "gate",
+        [
+            GateType.AND,
+            GateType.OR,
+            GateType.NAND,
+            GateType.NOR,
+            GateType.XOR,
+            GateType.XNOR,
+        ],
+    )
+    def test_single_gate(self, gate):
+        builder = CircuitBuilder("g")
+        a, b, c = builder.inputs("a", "b", "c")
+        builder.output(builder.gate(gate, [a, b, c], name="y"))
+        circuit = builder.build()
+        parsed = read_blif(write_blif(circuit))
+        sim_o, sim_p = TernarySimulator(circuit), TernarySimulator(parsed)
+        for bits in itertools.product((0, 1), repeat=3):
+            po_o, _ = sim_o.step(list(bits), [])
+            po_p, _ = sim_p.step(list(bits), [])
+            assert po_o == po_p, f"{gate} mismatch at {bits}"
+
+    def test_sequential_roundtrip(self, two_bit_counter):
+        parsed = read_blif(write_blif(two_bit_counter))
+        assert parsed.num_dffs() == 2
+        assert parsed.initial_state() == two_bit_counter.initial_state()
+        assert functionally_equal(two_bit_counter, parsed)
+
+    def test_constants_roundtrip(self):
+        builder = CircuitBuilder("c")
+        builder.input("a")
+        builder.output(builder.const1(name="one"))
+        builder.output(builder.const0(name="zero"))
+        parsed = read_blif(write_blif(builder.build()))
+        sim = TernarySimulator(parsed)
+        po, _ = sim.step([0], [])
+        assert po == (ONE, ZERO)
+
+    def test_model_name_preserved(self, half_adder):
+        assert read_blif(write_blif(half_adder)).name == "half_adder"
+
+
+class TestParser:
+    def test_offset_cover(self):
+        text = """.model off
+.inputs a b
+.outputs y
+.names a b y
+11 0
+.end
+"""
+        circuit = read_blif(text)
+        sim = TernarySimulator(circuit)
+        assert sim.step([1, 1], [])[0] == (ZERO,)
+        assert sim.step([0, 1], [])[0] == (ONE,)
+
+    def test_line_continuation(self):
+        text = ".model c\n.inputs a \\\n b\n.outputs y\n.names a b y\n11 1\n.end\n"
+        circuit = read_blif(text)
+        assert circuit.inputs == ("a", "b")
+
+    def test_comments_stripped(self):
+        text = "# header\n.model c # name\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n"
+        circuit = read_blif(text)
+        assert circuit.inputs == ("a",)
+
+    def test_latch_inits(self):
+        for init_char, expected in (("0", ZERO), ("1", ONE), ("2", X), ("3", X)):
+            text = (
+                ".model l\n.inputs a\n.outputs q\n"
+                f".latch a q re clk {init_char}\n.end\n"
+            )
+            assert read_blif(text).node("q").init == expected
+
+    def test_latch_missing_fields_rejected(self):
+        with pytest.raises(ParseError):
+            read_blif(".model l\n.inputs a\n.outputs q\n.latch a\n.end\n")
+
+    def test_mixed_cover_rejected(self):
+        text = ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n0 0\n.end\n"
+        with pytest.raises(ParseError, match="mixed"):
+            read_blif(text)
+
+    def test_bad_cube_width_rejected(self):
+        text = ".model m\n.inputs a b\n.outputs y\n.names a b y\n1 1\n.end\n"
+        with pytest.raises(ParseError):
+            read_blif(text)
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(ParseError, match="directive"):
+            read_blif(".model m\n.bogus\n.end\n")
+
+    def test_forward_references_allowed(self):
+        text = """.model fwd
+.inputs a
+.outputs y
+.names t y
+1 1
+.names a t
+0 1
+.end
+"""
+        circuit = read_blif(text)
+        sim = TernarySimulator(circuit)
+        assert sim.step([0], [])[0] == (ONE,)

@@ -1,0 +1,61 @@
+"""CircuitBuilder fluent API."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder, GateType, NodeKind, ONE, ZERO
+from repro.errors import CircuitError
+from repro.sim import TernarySimulator
+
+
+class TestBuilder:
+    def test_auto_names_unique(self):
+        builder = CircuitBuilder("t")
+        a, b = builder.inputs("a", "b")
+        g1 = builder.and_(a, b)
+        g2 = builder.and_(a, b)
+        assert g1 != g2
+
+    def test_explicit_name_collision_rejected(self):
+        builder = CircuitBuilder("t")
+        a, b = builder.inputs("a", "b")
+        builder.and_(a, b, name="g")
+        with pytest.raises(CircuitError):
+            builder.or_(a, b, name="g")
+
+    def test_outputs_renaming_inserts_buffer(self):
+        builder = CircuitBuilder("t")
+        a, b = builder.inputs("a", "b")
+        g = builder.and_(a, b)
+        builder.outputs(y=g)
+        circuit = builder.build()
+        assert "y" in circuit.outputs
+        assert circuit.node("y").gate is GateType.BUF
+
+    def test_build_requires_outputs(self):
+        builder = CircuitBuilder("t")
+        builder.input("a")
+        with pytest.raises(CircuitError):
+            builder.build()
+
+    def test_mux_semantics(self):
+        builder = CircuitBuilder("t")
+        s, d0, d1 = builder.inputs("s", "d0", "d1")
+        y = builder.mux(s, d0, d1)
+        builder.output(y)
+        circuit = builder.build()
+        sim = TernarySimulator(circuit)
+        for sel in (0, 1):
+            for v0 in (0, 1):
+                for v1 in (0, 1):
+                    po, _ = sim.step([sel, v0, v1], [])
+                    assert po[0] == (v1 if sel else v0)
+
+    def test_dff_and_constants(self):
+        builder = CircuitBuilder("t")
+        a = builder.input("a")
+        one = builder.const1()
+        q = builder.dff(builder.and_(a, one), init=ONE)
+        builder.output(q)
+        circuit = builder.build()
+        assert circuit.node(q).kind is NodeKind.DFF
+        assert circuit.node(q).init == ONE

@@ -1,0 +1,191 @@
+"""Gate semantics: ternary, five-valued D-calculus, bit-parallel."""
+
+import itertools
+
+import pytest
+
+from repro.circuit.gates import (
+    D,
+    DBAR,
+    FIVE_VALUES,
+    ONE,
+    TERNARY_VALUES,
+    X,
+    ZERO,
+    GateType,
+    char_to_ternary,
+    eval_gate,
+    eval_gate2,
+    eval_gate5,
+    five_join,
+    five_split,
+    ternary_and,
+    ternary_not,
+    ternary_or,
+    ternary_to_char,
+    ternary_xor,
+)
+
+LOGIC_GATES = [
+    GateType.AND,
+    GateType.OR,
+    GateType.NAND,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+]
+
+
+def python_reference(gate, bits):
+    if gate is GateType.AND:
+        return int(all(bits))
+    if gate is GateType.OR:
+        return int(any(bits))
+    if gate is GateType.NAND:
+        return int(not all(bits))
+    if gate is GateType.NOR:
+        return int(not any(bits))
+    if gate is GateType.XOR:
+        return sum(bits) % 2
+    if gate is GateType.XNOR:
+        return (sum(bits) + 1) % 2
+    raise AssertionError
+
+
+class TestTernaryPrimitives:
+    def test_not_table(self):
+        assert ternary_not(ZERO) == ONE
+        assert ternary_not(ONE) == ZERO
+        assert ternary_not(X) == X
+
+    def test_and_controlling_zero_dominates_x(self):
+        assert ternary_and([ZERO, X, ONE]) == ZERO
+
+    def test_and_all_ones(self):
+        assert ternary_and([ONE, ONE, ONE]) == ONE
+
+    def test_and_x_blocks(self):
+        assert ternary_and([ONE, X]) == X
+
+    def test_or_controlling_one_dominates_x(self):
+        assert ternary_or([X, ONE, ZERO]) == ONE
+
+    def test_or_all_zero(self):
+        assert ternary_or([ZERO, ZERO]) == ZERO
+
+    def test_or_x_blocks(self):
+        assert ternary_or([ZERO, X]) == X
+
+    def test_xor_poisoned_by_x(self):
+        assert ternary_xor([ONE, X]) == X
+
+    def test_xor_parity(self):
+        assert ternary_xor([ONE, ONE, ONE]) == ONE
+        assert ternary_xor([ONE, ONE]) == ZERO
+
+    def test_char_roundtrip(self):
+        for value in TERNARY_VALUES:
+            assert char_to_ternary(ternary_to_char(value)) == value
+
+    def test_char_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            char_to_ternary("q")
+
+
+class TestBinaryAgreement:
+    """Ternary evaluation restricted to 0/1 must equal Boolean logic."""
+
+    @pytest.mark.parametrize("gate", LOGIC_GATES)
+    @pytest.mark.parametrize("arity", [2, 3, 4])
+    def test_exhaustive(self, gate, arity):
+        for bits in itertools.product((0, 1), repeat=arity):
+            assert eval_gate(gate, list(bits)) == python_reference(
+                gate, bits
+            )
+
+    def test_not_buf(self):
+        assert eval_gate(GateType.NOT, [ZERO]) == ONE
+        assert eval_gate(GateType.BUF, [ONE]) == ONE
+
+    def test_constants(self):
+        assert eval_gate(GateType.CONST0, []) == ZERO
+        assert eval_gate(GateType.CONST1, []) == ONE
+
+
+class TestFiveValued:
+    def test_split_join_roundtrip(self):
+        for value in FIVE_VALUES:
+            good, faulty = five_split(value)
+            assert five_join(good, faulty) == value
+
+    def test_join_mixed_unknown_collapses_to_x(self):
+        assert five_join(ONE, X) == X
+        assert five_join(X, ZERO) == X
+
+    def test_d_semantics(self):
+        assert five_split(D) == (ONE, ZERO)
+        assert five_split(DBAR) == (ZERO, ONE)
+
+    @pytest.mark.parametrize("gate", LOGIC_GATES)
+    def test_agrees_with_pairwise_ternary(self, gate):
+        """eval_gate5 must equal ternary evaluation of the good and
+        faulty halves independently (exhaustive over 2 inputs)."""
+        for a in FIVE_VALUES:
+            for b in FIVE_VALUES:
+                combined = eval_gate5(gate, [a, b])
+                good = eval_gate(
+                    gate, [five_split(a)[0], five_split(b)[0]]
+                )
+                faulty = eval_gate(
+                    gate, [five_split(a)[1], five_split(b)[1]]
+                )
+                assert combined == five_join(good, faulty)
+
+    def test_d_through_and(self):
+        assert eval_gate5(GateType.AND, [D, ONE]) == D
+        assert eval_gate5(GateType.AND, [D, ZERO]) == ZERO
+        assert eval_gate5(GateType.NOT, [D]) == DBAR
+        assert eval_gate5(GateType.XOR, [D, DBAR]) == ONE
+
+
+class TestBitParallel:
+    @pytest.mark.parametrize("gate", LOGIC_GATES)
+    def test_matches_scalar(self, gate):
+        """Each bit lane of eval_gate2 must equal scalar evaluation."""
+        width = 8
+        mask = (1 << width) - 1
+        words = [0b10110010, 0b01110100, 0b11011001]
+        packed = eval_gate2(gate, words, mask)
+        for lane in range(width):
+            bits = [(w >> lane) & 1 for w in words]
+            assert (packed >> lane) & 1 == python_reference(gate, bits)
+
+    def test_not_and_const(self):
+        mask = 0xFF
+        assert eval_gate2(GateType.NOT, [0b1010], mask) == mask ^ 0b1010
+        assert eval_gate2(GateType.CONST1, [], mask) == mask
+        assert eval_gate2(GateType.CONST0, [], mask) == 0
+
+
+class TestGateProperties:
+    def test_controlling_values(self):
+        assert GateType.AND.controlling_value() == ZERO
+        assert GateType.NAND.controlling_value() == ZERO
+        assert GateType.OR.controlling_value() == ONE
+        assert GateType.NOR.controlling_value() == ONE
+        assert GateType.XOR.controlling_value() == X
+
+    def test_noncontrolling_values(self):
+        assert GateType.AND.noncontrolling_value() == ONE
+        assert GateType.NOR.noncontrolling_value() == ZERO
+
+    def test_inverting(self):
+        assert GateType.NAND.is_inverting
+        assert GateType.NOT.is_inverting
+        assert not GateType.AND.is_inverting
+
+    def test_fanin_limits(self):
+        assert GateType.NOT.min_fanin == 1
+        assert GateType.NOT.max_fanin == 1
+        assert GateType.AND.min_fanin == 2
+        assert GateType.CONST0.max_fanin == 0

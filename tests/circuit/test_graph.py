@@ -1,0 +1,118 @@
+"""Graph traversals on the combinational and register views."""
+
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    CircuitBuilder,
+    GateType,
+    ZERO,
+    dead_nodes,
+    levelize,
+    pi_to_dff_edges,
+    register_adjacency,
+    sweep_dead_nodes,
+    topological_order,
+    transitive_fanin,
+    transitive_fanout,
+)
+from repro.circuit.graph import combinational_outputs, dff_to_po
+
+
+@pytest.fixture
+def pipeline():
+    """a -> g1 -> q1 -> g2 -> q2 -> out ; q2 loops back into g1."""
+    builder = CircuitBuilder("pipe")
+    a = builder.input("a")
+    q1 = builder.dff("g1", init=ZERO, name="q1")
+    q2 = builder.dff("g2", init=ZERO, name="q2")
+    builder.gate(GateType.XOR, [a, q2], name="g1")
+    builder.gate(GateType.BUF, [q1], name="g2")
+    out = builder.buf(q2, name="out")
+    builder.output(out)
+    circuit = builder.build(check=False)
+    circuit.check()
+    return circuit
+
+
+class TestOrdering:
+    def test_topological_respects_fanin(self, pipeline):
+        order = topological_order(pipeline)
+        position = {name: i for i, name in enumerate(order)}
+        for node in pipeline.nodes():
+            if node.is_gate():
+                for fanin in node.fanin:
+                    assert position[fanin] < position[node.name]
+
+    def test_dffs_are_sources(self, pipeline):
+        order = topological_order(pipeline)
+        position = {name: i for i, name in enumerate(order)}
+        # q2 (a source in the combinational view) precedes g1 (its reader)
+        assert position["q2"] < position["g1"]
+
+    def test_levelize(self, pipeline):
+        levels = levelize(pipeline)
+        assert levels["a"] == 0
+        assert levels["q1"] == 0
+        assert levels["g1"] == 1
+        assert levels["out"] == 1
+
+
+class TestCones:
+    def test_transitive_fanin_stops_at_dffs(self, pipeline):
+        cone = transitive_fanin(pipeline, ["g1"])
+        assert cone == {"g1", "a", "q2"}
+
+    def test_transitive_fanin_through_dffs(self, pipeline):
+        cone = transitive_fanin(pipeline, ["g1"], through_dffs=True)
+        assert "g2" in cone and "q1" in cone
+
+    def test_transitive_fanout(self, pipeline):
+        cone = transitive_fanout(pipeline, ["a"])
+        assert "g1" in cone
+
+    def test_combinational_outputs(self, pipeline):
+        points = combinational_outputs(pipeline)
+        assert "out" in points
+        assert "g1" in points  # q1's D input
+        assert "g2" in points  # q2's D input
+
+
+class TestRegisterView:
+    def test_register_adjacency(self, pipeline):
+        adjacency = register_adjacency(pipeline)
+        assert adjacency["q1"] == {"q2"}
+        assert adjacency["q2"] == {"q1"}  # through g1
+
+    def test_pi_to_dff(self, pipeline):
+        edges = pi_to_dff_edges(pipeline)
+        assert edges["a"] == {"q1"}
+
+    def test_dff_to_po(self, pipeline):
+        observable = dff_to_po(pipeline)
+        assert observable["q2"] is True
+        assert observable["q1"] is False  # only through q2
+
+
+class TestDeadLogic:
+    def test_dead_node_detection_and_sweep(self):
+        builder = CircuitBuilder("dead")
+        a, b = builder.inputs("a", "b")
+        keep = builder.and_(a, b, name="keep")
+        builder.or_(a, b, name="dead1")
+        builder.not_("dead1", name="dead2")
+        builder.output(keep)
+        circuit = builder.build(check=False)
+        assert dead_nodes(circuit) >= {"dead1", "dead2"}
+        removed = sweep_dead_nodes(circuit)
+        assert removed == 2
+        assert "dead1" not in circuit
+        circuit.check()
+
+    def test_sweep_keeps_inputs(self):
+        builder = CircuitBuilder("x")
+        a, b = builder.inputs("a", "b")
+        builder.output(builder.buf(a, name="y"))
+        circuit = builder.build()
+        sweep_dead_nodes(circuit)
+        assert "b" in circuit.inputs

@@ -1,0 +1,187 @@
+"""Circuit structure: construction, mutation, integrity checks."""
+
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    GateType,
+    NodeKind,
+    ONE,
+    X,
+    ZERO,
+)
+from repro.errors import CircuitError
+
+
+def small_circuit():
+    circuit = Circuit("small")
+    circuit.add_input("a")
+    circuit.add_input("b")
+    circuit.add_gate("g", GateType.AND, ["a", "b"])
+    circuit.add_dff("q", "g", init=ZERO)
+    circuit.add_gate("out", GateType.OR, ["q", "a"])
+    circuit.add_output("out")
+    return circuit
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        circuit = small_circuit()
+        circuit.check()
+        assert len(circuit) == 5
+        assert circuit.num_gates() == 2
+        assert circuit.num_dffs() == 1
+        assert circuit.inputs == ("a", "b")
+        assert circuit.outputs == ("out",)
+
+    def test_duplicate_name_rejected(self):
+        circuit = small_circuit()
+        with pytest.raises(CircuitError):
+            circuit.add_gate("g", GateType.OR, ["a", "b"])
+
+    def test_empty_name_rejected(self):
+        circuit = Circuit("x")
+        with pytest.raises(CircuitError):
+            circuit.add_input("")
+
+    def test_bad_arity_rejected(self):
+        circuit = Circuit("x")
+        circuit.add_input("a")
+        with pytest.raises(CircuitError):
+            circuit.add_gate("g", GateType.AND, ["a"])
+        with pytest.raises(CircuitError):
+            circuit.add_gate("n", GateType.NOT, ["a", "a"])
+
+    def test_bad_init_rejected(self):
+        circuit = Circuit("x")
+        circuit.add_input("a")
+        with pytest.raises(CircuitError):
+            circuit.add_dff("q", "a", init=7)
+
+    def test_initial_state_order(self):
+        circuit = Circuit("x")
+        circuit.add_input("a")
+        circuit.add_dff("q1", "a", init=ONE)
+        circuit.add_dff("q0", "a", init=ZERO)
+        assert circuit.initial_state() == (ONE, ZERO)
+
+
+class TestIntegrity:
+    def test_undefined_fanin_caught(self):
+        circuit = Circuit("x")
+        circuit.add_input("a")
+        circuit.add_gate("g", GateType.AND, ["a", "ghost"])
+        circuit.add_output("g")
+        with pytest.raises(CircuitError, match="ghost"):
+            circuit.check()
+
+    def test_undefined_output_caught(self):
+        circuit = Circuit("x")
+        circuit.add_input("a")
+        circuit.add_output("nope")
+        with pytest.raises(CircuitError, match="nope"):
+            circuit.check()
+
+    def test_combinational_cycle_caught(self):
+        circuit = Circuit("x")
+        circuit.add_input("a")
+        circuit.add_gate("g1", GateType.AND, ["a", "g2"])
+        circuit.add_gate("g2", GateType.OR, ["g1", "a"])
+        circuit.add_output("g2")
+        with pytest.raises(CircuitError, match="cycle"):
+            circuit.check()
+
+    def test_cycle_through_dff_is_fine(self):
+        circuit = Circuit("x")
+        circuit.add_input("a")
+        circuit.add_gate("g", GateType.XOR, ["a", "q"])
+        circuit.add_dff("q", "g", init=ZERO)
+        circuit.add_output("q")
+        circuit.check()
+
+
+class TestMutation:
+    def test_replace_fanin(self):
+        circuit = small_circuit()
+        circuit.replace_fanin("out", ["q", "b"])
+        assert circuit.node("out").fanin == ("q", "b")
+        circuit.check()
+
+    def test_replace_fanin_arity_checked(self):
+        circuit = small_circuit()
+        with pytest.raises(CircuitError):
+            circuit.replace_fanin("q", ["a", "b"])
+
+    def test_cannot_set_pi_fanin(self):
+        circuit = small_circuit()
+        with pytest.raises(CircuitError):
+            circuit.replace_fanin("a", ["b"])
+
+    def test_remove_leaf(self):
+        circuit = Circuit("x")
+        circuit.add_input("a")
+        circuit.add_gate("dead", GateType.BUF, ["a"])
+        circuit.add_gate("g", GateType.BUF, ["a"])
+        circuit.add_output("g")
+        circuit.remove_node("dead")
+        assert "dead" not in circuit
+
+    def test_remove_driver_refused(self):
+        circuit = small_circuit()
+        with pytest.raises(CircuitError):
+            circuit.remove_node("g")  # drives q
+
+    def test_remove_output_refused(self):
+        circuit = small_circuit()
+        with pytest.raises(CircuitError):
+            circuit.remove_node("out")
+
+    def test_rewire_readers(self):
+        circuit = small_circuit()
+        circuit.rewire_readers("q", "a")
+        assert "q" not in circuit.node("out").fanin
+        assert circuit.fanout_of("q") == ()
+
+    def test_rewire_updates_outputs(self):
+        circuit = small_circuit()
+        circuit.rewire_readers("out", "g")
+        assert circuit.outputs == ("g",)
+
+    def test_set_init(self):
+        circuit = small_circuit()
+        circuit.set_init("q", ONE)
+        assert circuit.node("q").init == ONE
+        with pytest.raises(CircuitError):
+            circuit.set_init("g", ONE)
+
+
+class TestFanoutsAndCopy:
+    def test_fanouts(self):
+        circuit = small_circuit()
+        assert set(circuit.fanout_of("a")) == {"g", "out"}
+        assert circuit.fanout_of("out") == ()
+
+    def test_fanout_cache_invalidation(self):
+        circuit = small_circuit()
+        circuit.fanouts()
+        circuit.add_gate("extra", GateType.NOT, ["a"])
+        assert "extra" in circuit.fanout_of("a")
+
+    def test_copy_is_deep(self):
+        circuit = small_circuit()
+        clone = circuit.copy("clone")
+        clone.replace_fanin("out", ["q", "b"])
+        assert circuit.node("out").fanin == ("q", "a")
+        assert clone.name == "clone"
+
+    def test_copy_preserves_everything(self):
+        circuit = small_circuit()
+        clone = circuit.copy()
+        assert clone.inputs == circuit.inputs
+        assert clone.outputs == circuit.outputs
+        assert clone.initial_state() == circuit.initial_state()
+        assert clone.node_names() == circuit.node_names()
+
+    def test_stats(self):
+        stats = small_circuit().stats()
+        assert stats == {"inputs": 2, "outputs": 1, "gates": 2, "dffs": 1}

@@ -1,0 +1,97 @@
+"""Cleanup transformations: function preservation and effectiveness."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import (
+    CircuitBuilder,
+    GateType,
+    ONE,
+    ZERO,
+    cleanup,
+    collapse_buffers,
+    propagate_constants,
+)
+from tests.helpers import random_circuit, sequences_match
+
+
+class TestConstantPropagation:
+    def test_and_with_zero_folds(self):
+        builder = CircuitBuilder("t")
+        a = builder.input("a")
+        zero = builder.const0(name="z")
+        g = builder.and_(a, zero, name="g")
+        builder.output(g)
+        circuit = builder.build()
+        assert propagate_constants(circuit) >= 1
+        assert circuit.node("g").gate is GateType.CONST0
+
+    def test_or_neutral_input_dropped(self):
+        builder = CircuitBuilder("t")
+        a, b = builder.inputs("a", "b")
+        zero = builder.const0(name="z")
+        g = builder.or_(a, b, zero, name="g")
+        builder.output(g)
+        circuit = builder.build()
+        propagate_constants(circuit)
+        assert circuit.node("g").fanin == ("a", "b")
+
+    def test_nand_degenerates_to_not(self):
+        builder = CircuitBuilder("t")
+        a = builder.input("a")
+        one = builder.const1(name="o")
+        g = builder.nand(a, one, name="g")
+        builder.output(g)
+        circuit = builder.build()
+        propagate_constants(circuit)
+        assert circuit.node("g").gate is GateType.NOT
+        assert circuit.node("g").fanin == ("a",)
+
+    def test_chain_folds_transitively(self):
+        builder = CircuitBuilder("t")
+        a = builder.input("a")
+        one = builder.const1(name="o")
+        n = builder.not_(one, name="n")  # = 0
+        g = builder.and_(a, n, name="g")  # = 0
+        builder.output(g)
+        circuit = builder.build()
+        propagate_constants(circuit)
+        assert circuit.node("g").gate is GateType.CONST0
+
+
+class TestBufferCollapse:
+    def test_chain_collapsed(self):
+        builder = CircuitBuilder("t")
+        a = builder.input("a")
+        b1 = builder.buf(a)
+        b2 = builder.buf(b1)
+        g = builder.not_(b2, name="y")
+        builder.output(g)
+        circuit = builder.build()
+        assert collapse_buffers(circuit) == 2
+        assert circuit.node("y").fanin == ("a",)
+
+    def test_output_buffer_kept(self):
+        builder = CircuitBuilder("t")
+        a = builder.input("a")
+        builder.output(builder.buf(a, name="y"))
+        circuit = builder.build()
+        assert collapse_buffers(circuit) == 0
+        assert "y" in circuit
+
+
+class TestCleanup:
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_cleanup_preserves_behavior(self, seed):
+        circuit = random_circuit(seed)
+        reference = circuit.copy("ref")
+        cleanup(circuit)
+        assert sequences_match(reference, circuit)
+
+    def test_cleanup_shrinks_synthesized_circuit(self, dk16_delay):
+        circuit = dk16_delay.circuit.copy("clean")
+        before = len(circuit)
+        counts = cleanup(circuit)
+        assert len(circuit) <= before
+        assert counts["buffers"] >= 0

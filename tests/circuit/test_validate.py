@@ -1,0 +1,37 @@
+"""Lint diagnostics."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder, X, ZERO, assert_clean, lint
+
+
+class TestLint:
+    def test_clean_circuit(self, two_bit_counter):
+        issues = lint(two_bit_counter)
+        assert [i for i in issues if i.severity == "error"] == []
+        assert_clean(two_bit_counter)
+
+    def test_dead_input_flagged(self):
+        builder = CircuitBuilder("t")
+        a, unused = builder.inputs("a", "unused")
+        builder.output(builder.buf(a))
+        issues = lint(builder.build())
+        assert any(i.subject == "unused" for i in issues)
+
+    def test_unknown_init_flagged(self):
+        builder = CircuitBuilder("t")
+        a = builder.input("a")
+        q = builder.dff(a, init=X)
+        builder.output(q)
+        issues = lint(builder.build())
+        assert any("unknown" in i.message for i in issues)
+
+    def test_no_outputs_is_error(self):
+        builder = CircuitBuilder("t")
+        a = builder.input("a")
+        builder.buf(a)
+        circuit = builder.build(check=False)
+        issues = lint(circuit)
+        assert any(i.severity == "error" for i in issues)
+        with pytest.raises(AssertionError):
+            assert_clean(circuit)

@@ -1,0 +1,67 @@
+"""Structural Verilog writer."""
+
+import re
+
+import pytest
+
+from repro.circuit import CircuitBuilder, GateType, ONE, ZERO, write_verilog
+
+
+class TestVerilogWriter:
+    def test_half_adder_structure(self, half_adder):
+        text = write_verilog(half_adder)
+        assert "module half_adder" in text
+        assert "input wire a" in text
+        assert "output wire po0" in text
+        assert "^" in text  # XOR
+        assert "&" in text  # AND
+        assert "endmodule" in text
+
+    def test_sequential_parts(self, two_bit_counter):
+        text = write_verilog(two_bit_counter)
+        assert "reg q0;" in text
+        assert "always @(posedge clk)" in text
+        assert "q0 <= d0;" in text
+        assert "initial begin" in text
+        assert "q0 = 1'b0;" in text
+
+    def test_nonzero_init(self):
+        builder = CircuitBuilder("init1")
+        a = builder.input("a")
+        q = builder.dff(a, init=ONE, name="q")
+        builder.output(q)
+        text = write_verilog(builder.build())
+        assert "q = 1'b1;" in text
+
+    def test_inverted_gates(self):
+        builder = CircuitBuilder("inv")
+        a, b = builder.inputs("a", "b")
+        builder.output(builder.nand(a, b, name="y"))
+        text = write_verilog(builder.build())
+        assert "~(a & b)" in text
+
+    def test_constants(self):
+        builder = CircuitBuilder("c")
+        builder.input("a")
+        builder.output(builder.const1(name="one"))
+        text = write_verilog(builder.build())
+        assert "1'b1" in text
+
+    def test_awkward_names_escaped(self):
+        builder = CircuitBuilder("esc")
+        a = builder.input("a")
+        weird = builder.buf(a, name="node.with.dots")
+        builder.output(weird)
+        text = write_verilog(builder.build())
+        assert "\\node.with.dots " in text
+
+    def test_custom_clock_name(self, two_bit_counter):
+        text = write_verilog(two_bit_counter, clock="CK")
+        assert "always @(posedge CK)" in text
+
+    def test_every_gate_assigned_once(self, dk16_rugged):
+        text = write_verilog(dk16_rugged.circuit)
+        assigns = re.findall(r"^  assign ", text, flags=re.M)
+        gates = dk16_rugged.circuit.num_gates()
+        outputs = len(dk16_rugged.circuit.outputs)
+        assert len(assigns) == gates + outputs

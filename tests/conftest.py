@@ -1,0 +1,73 @@
+"""Shared fixtures: small hand-built circuits and cached synthesized
+benchmarks (session-scoped; synthesis is deterministic)."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder, GateType, ONE, ZERO
+from repro.fsm import EncodingAlgorithm, benchmark_fsm
+from repro.synth import SCRIPT_DELAY, SCRIPT_RUGGED, synthesize
+
+
+@pytest.fixture
+def half_adder():
+    builder = CircuitBuilder("half_adder")
+    a, b = builder.inputs("a", "b")
+    s = builder.xor(a, b)
+    carry = builder.and_(a, b)
+    builder.outputs(s=s, carry=carry)
+    return builder.build()
+
+
+@pytest.fixture
+def toggle_circuit():
+    """One DFF toggling when enable=1; q observable."""
+    builder = CircuitBuilder("toggle")
+    enable = builder.input("enable")
+    q = builder.dff("d", init=ZERO, name="q")
+    d = builder.xor(enable, q, name="d")
+    builder.output(q)
+    circuit = builder.build(check=False)
+    circuit.check()
+    return circuit
+
+
+@pytest.fixture
+def two_bit_counter():
+    """2-bit counter with enable; both bits observable."""
+    builder = CircuitBuilder("counter2")
+    enable = builder.input("enable")
+    q0 = builder.dff("d0", init=ZERO, name="q0")
+    q1 = builder.dff("d1", init=ZERO, name="q1")
+    d0 = builder.xor(enable, q0, name="d0")
+    carry = builder.and_(enable, q0)
+    d1 = builder.xor(carry, q1, name="d1")
+    builder.output(q0)
+    builder.output(q1)
+    circuit = builder.build(check=False)
+    circuit.check()
+    return circuit
+
+
+def _build(name, algorithm, script, explicit_reset):
+    return synthesize(
+        benchmark_fsm(name), algorithm, script, explicit_reset=explicit_reset
+    )
+
+
+@pytest.fixture(scope="session")
+def dk16_rugged():
+    return _build(
+        "dk16", EncodingAlgorithm.INPUT_DOMINANT, SCRIPT_RUGGED, True
+    )
+
+
+@pytest.fixture(scope="session")
+def dk16_delay():
+    return _build(
+        "dk16", EncodingAlgorithm.INPUT_DOMINANT, SCRIPT_DELAY, True
+    )
+
+
+@pytest.fixture(scope="session")
+def s820_rugged():
+    return _build("s820", EncodingAlgorithm.COMBINED, SCRIPT_RUGGED, False)

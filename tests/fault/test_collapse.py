@@ -1,0 +1,89 @@
+"""Fault equivalence collapsing, validated behaviorally."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder, GateType, ONE, ZERO
+from repro.fault import FaultSimulator, Fault, collapse_faults
+from repro._util import make_rng
+
+
+def inverter_chain():
+    builder = CircuitBuilder("chain")
+    a = builder.input("a")
+    n1 = builder.not_(a, name="n1")
+    n2 = builder.not_(n1, name="n2")
+    q = builder.dff(n2, init=ZERO, name="q")
+    builder.output(q)
+    return builder.build()
+
+
+class TestCollapse:
+    def test_chain_collapses(self):
+        report = collapse_faults(inverter_chain())
+        assert report.collapse_ratio < 1.0
+        # a/sa0 ≡ n1/sa1 ≡ n2/sa0
+        assert report.class_of[Fault("a", ZERO)] == report.class_of[
+            Fault("n2", ZERO)
+        ]
+        assert report.class_of[Fault("a", ZERO)] == report.class_of[
+            Fault("n1", ONE)
+        ]
+
+    def test_branch_points_not_collapsed(self):
+        builder = CircuitBuilder("branch")
+        a = builder.input("a")
+        builder.output(builder.not_(a, name="n1"))
+        builder.output(builder.buf(a, name="b1"))
+        report = collapse_faults(builder.build())
+        # `a` drives two readers: its faults stay distinct from both.
+        assert report.class_of[Fault("a", ZERO)] == Fault("a", ZERO)
+
+    def test_and_controlling_input_collapse(self):
+        builder = CircuitBuilder("and")
+        a, b = builder.inputs("a", "b")
+        g = builder.and_(a, b, name="g")
+        builder.output(g)
+        report = collapse_faults(builder.build())
+        assert report.class_of[Fault("a", ZERO)] == report.class_of[
+            Fault("g", ZERO)
+        ]
+        assert report.class_of[Fault("a", ONE)] != report.class_of[
+            Fault("g", ONE)
+        ]
+
+    def test_representatives_cover_all_classes(self, dk16_rugged):
+        report = collapse_faults(dk16_rugged.circuit)
+        assert set(report.class_of.values()) == set(
+            report.representatives
+        )
+
+    def test_equivalence_is_behavioral(self, dk16_rugged):
+        """Faults in one class must be detected by exactly the same
+        random sequences (spot-check on a few classes)."""
+        circuit = dk16_rugged.circuit
+        report = collapse_faults(circuit)
+        by_class = {}
+        for fault, representative in report.class_of.items():
+            by_class.setdefault(representative, []).append(fault)
+        interesting = [
+            members for members in by_class.values() if len(members) > 1
+        ][:5]
+        simulator = FaultSimulator(circuit)
+        rng = make_rng(3)
+        sequences = [
+            [
+                [rng.randrange(2) for _ in circuit.inputs]
+                for _ in range(20)
+            ]
+            for _ in range(10)
+        ]
+        for members in interesting:
+            detections = []
+            for fault in members:
+                report_f = FaultSimulator(circuit, faults=[fault]).run(
+                    sequences, drop=False
+                )
+                detections.append(
+                    frozenset(report_f.detected.values())
+                )
+            assert len(set(detections)) == 1, members

@@ -1,0 +1,50 @@
+"""Fault model and coverage accounting."""
+
+import pytest
+
+from repro.circuit import ONE, ZERO
+from repro.errors import FaultError
+from repro.fault import (
+    CoverageSummary,
+    Fault,
+    FaultStatus,
+    full_fault_list,
+    summarize,
+)
+
+
+class TestFault:
+    def test_str(self):
+        assert str(Fault("g1", ZERO)) == "g1/sa0"
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(FaultError):
+            Fault("g1", 2)
+
+    def test_ordering_deterministic(self):
+        faults = [Fault("b", ONE), Fault("a", ZERO)]
+        assert sorted(faults)[0].node == "a"
+
+    def test_full_list_covers_every_node(self, two_bit_counter):
+        faults = full_fault_list(two_bit_counter)
+        assert len(faults) == 2 * len(two_bit_counter)
+        assert Fault("q0", ZERO) in faults
+        assert Fault("enable", ONE) in faults
+
+
+class TestAccounting:
+    def test_paper_formulas(self):
+        statuses = [FaultStatus(Fault(f"n{i}", ZERO)) for i in range(10)]
+        for status in statuses[:7]:
+            status.state = "detected"
+        statuses[7].state = "redundant"
+        statuses[8].state = "aborted"
+        summary = summarize(statuses)
+        assert summary.fault_coverage == 70.0
+        assert summary.fault_efficiency == 80.0
+        assert summary.aborted == 1
+
+    def test_empty_is_hundred_percent(self):
+        summary = summarize([])
+        assert summary.fault_coverage == 100.0
+        assert summary.fault_efficiency == 100.0

@@ -1,0 +1,42 @@
+"""DOT export."""
+
+from repro.fsm import Fsm, Transition, benchmark_fsm, write_dot
+
+
+def tiny():
+    return Fsm(
+        "tiny", 1, 1, ["s0", "s1"], "s0",
+        [
+            Transition("0", "s0", "s0", "0"),
+            Transition("1", "s0", "s1", "1"),
+            Transition("-", "s1", "s0", "0"),
+        ],
+    )
+
+
+class TestDot:
+    def test_structure(self):
+        text = write_dot(tiny())
+        assert text.startswith('digraph "tiny"')
+        assert '"s0" [shape=doublecircle];' in text
+        assert '"s0" -> "s1" [label="1/1"];' in text
+        assert text.rstrip().endswith("}")
+
+    def test_parallel_edges_merged(self):
+        fsm = Fsm(
+            "p", 2, 1, ["a"], "a",
+            [
+                Transition("0-", "a", "a", "0"),
+                Transition("1-", "a", "a", "1"),
+            ],
+        )
+        merged = write_dot(fsm)
+        assert merged.count('"a" -> "a"') == 1
+        assert "\\n" in merged
+        unmerged = write_dot(fsm, merge_parallel_edges=False)
+        assert unmerged.count('"a" -> "a"') == 2
+
+    def test_benchmark_exports(self):
+        text = write_dot(benchmark_fsm("dk16"))
+        assert text.count("->") == len(benchmark_fsm("dk16").transitions) or \
+            text.count("->") <= len(benchmark_fsm("dk16").transitions)

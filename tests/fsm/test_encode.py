@@ -1,0 +1,86 @@
+"""State assignment invariants across all algorithms."""
+
+import pytest
+
+from repro.errors import FsmError
+from repro.fsm import (
+    EncodingAlgorithm,
+    GeneratorSpec,
+    encode_fsm,
+    generate_fsm,
+)
+from repro._util import bits_needed
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return generate_fsm(GeneratorSpec("enc", 4, 3, 11, seed=4))
+
+
+ALL_ALGORITHMS = list(EncodingAlgorithm)
+
+
+class TestEncoding:
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_codes_distinct(self, machine, algorithm):
+        encoding = encode_fsm(machine, algorithm)
+        assert len(encoding.used_codes()) == machine.num_states()
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        [
+            EncodingAlgorithm.INPUT_DOMINANT,
+            EncodingAlgorithm.OUTPUT_DOMINANT,
+            EncodingAlgorithm.COMBINED,
+            EncodingAlgorithm.RANDOM,
+        ],
+    )
+    def test_minimum_width(self, machine, algorithm):
+        encoding = encode_fsm(machine, algorithm)
+        assert encoding.width == bits_needed(11)
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        [
+            EncodingAlgorithm.INPUT_DOMINANT,
+            EncodingAlgorithm.OUTPUT_DOMINANT,
+            EncodingAlgorithm.COMBINED,
+            EncodingAlgorithm.RANDOM,
+        ],
+    )
+    def test_reset_state_gets_code_zero(self, machine, algorithm):
+        encoding = encode_fsm(machine, algorithm)
+        assert encoding.codes[machine.reset_state] == 0
+
+    def test_one_hot(self, machine):
+        encoding = encode_fsm(machine, EncodingAlgorithm.ONE_HOT)
+        assert encoding.width == 11
+        assert all(
+            bin(code).count("1") == 1
+            for code in encoding.codes.values()
+        )
+
+    def test_extra_bits_lower_density(self, machine):
+        tight = encode_fsm(machine, EncodingAlgorithm.COMBINED)
+        loose = encode_fsm(
+            machine, EncodingAlgorithm.COMBINED, extra_bits=3
+        )
+        assert loose.width == tight.width + 3
+        assert loose.density() < tight.density()
+
+    def test_algorithms_differ(self, machine):
+        ji = encode_fsm(machine, EncodingAlgorithm.INPUT_DOMINANT)
+        jo = encode_fsm(machine, EncodingAlgorithm.OUTPUT_DOMINANT)
+        assert ji.codes != jo.codes  # different affinity, different layout
+
+    def test_negative_extra_bits_rejected(self, machine):
+        with pytest.raises(FsmError):
+            encode_fsm(machine, EncodingAlgorithm.COMBINED, extra_bits=-1)
+
+    def test_code_bits_little_endian(self, machine):
+        encoding = encode_fsm(machine, EncodingAlgorithm.COMBINED)
+        state = machine.states[3]
+        bits = encoding.code_bits(state)
+        assert sum(bit << i for i, bit in enumerate(bits)) == (
+            encoding.codes[state]
+        )

@@ -1,0 +1,65 @@
+"""Synthetic FSM generation invariants."""
+
+import pytest
+
+from repro.fsm import GeneratorSpec, generate_fsm, generate_minimal_fsm
+from repro.fsm.benchmarks import PAPER_FSMS, benchmark_fsm, table1_rows
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        spec = GeneratorSpec("t", 4, 3, 10, seed=5)
+        a, b = generate_fsm(spec), generate_fsm(spec)
+        assert [
+            (t.inputs, t.src, t.dst, t.outputs) for t in a.transitions
+        ] == [(t.inputs, t.src, t.dst, t.outputs) for t in b.transitions]
+
+    def test_dimensions(self):
+        fsm = generate_fsm(GeneratorSpec("t", 6, 4, 15, seed=9))
+        assert fsm.num_inputs == 6
+        assert fsm.num_outputs == 4
+        assert fsm.num_states() == 15
+
+    def test_completely_specified_and_deterministic(self):
+        fsm = generate_fsm(GeneratorSpec("t", 5, 3, 12, seed=3))
+        fsm.validate()
+        assert fsm.is_completely_specified()
+
+    def test_all_states_reachable(self):
+        fsm = generate_fsm(GeneratorSpec("t", 4, 2, 20, seed=11))
+        assert len(fsm.reachable_states()) == 20
+
+    def test_minimal_generation(self):
+        from repro.fsm.minimize import minimize_fsm
+
+        fsm = generate_minimal_fsm(GeneratorSpec("t", 4, 3, 12, seed=2))
+        assert minimize_fsm(fsm).fsm.num_states() == 12
+
+
+class TestBenchmarkSuite:
+    def test_table1_dimensions_match_paper(self):
+        expected = {
+            "dk16": (3, 3, 27),
+            "pma": (7, 8, 24),
+            "s510": (20, 7, 47),
+            "s820": (18, 19, 25),
+            "s832": (18, 19, 25),
+            "scf": (27, 54, 121),
+        }
+        for name, pi, po, states in table1_rows():
+            assert expected[name] == (pi, po, states)
+
+    def test_benchmarks_cached(self):
+        assert benchmark_fsm("pma") is benchmark_fsm("pma")
+
+    def test_unknown_benchmark_rejected(self):
+        from repro.errors import FsmError
+
+        with pytest.raises(FsmError):
+            benchmark_fsm("nope")
+
+    def test_explicit_reset_flags(self):
+        assert PAPER_FSMS["dk16"].explicit_reset
+        assert PAPER_FSMS["s510"].explicit_reset
+        assert not PAPER_FSMS["s820"].explicit_reset
+        assert not PAPER_FSMS["s832"].explicit_reset

@@ -1,0 +1,76 @@
+"""KISS2 format I/O."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.fsm import benchmark_fsm, read_kiss, write_kiss
+
+SAMPLE = """.i 2
+.o 1
+.s 2
+.r s0
+0- s0 s0 0
+1- s0 s1 1
+-- s1 s0 0
+.e
+"""
+
+
+class TestRead:
+    def test_sample(self):
+        fsm = read_kiss(SAMPLE, "sample")
+        assert fsm.num_inputs == 2
+        assert fsm.num_states() == 2
+        assert fsm.reset_state == "s0"
+
+    def test_reset_defaults_to_first_source(self):
+        text = ".i 1\n.o 1\n1 first second 1\n0 first first 0\n"
+        assert read_kiss(text).reset_state == "first"
+
+    def test_comments_and_blank_lines(self):
+        text = "# hdr\n.i 1\n.o 1\n\n1 a a 1 # trailing\n0 a a 0\n"
+        assert read_kiss(text).num_states() == 1
+
+    def test_missing_io_rejected(self):
+        with pytest.raises(ParseError):
+            read_kiss("1 a a 1\n")
+
+    def test_state_count_mismatch_rejected(self):
+        text = ".i 1\n.o 1\n.s 5\n1 a a 1\n0 a a 0\n"
+        with pytest.raises(ParseError, match="states"):
+            read_kiss(text)
+
+    def test_term_count_mismatch_rejected(self):
+        text = ".i 1\n.o 1\n.p 9\n1 a a 1\n"
+        with pytest.raises(ParseError):
+            read_kiss(text)
+
+    def test_star_state_rejected(self):
+        text = ".i 1\n.o 1\n1 * a 1\n"
+        with pytest.raises(ParseError, match="ANY"):
+            read_kiss(text)
+
+    def test_bad_row_rejected(self):
+        with pytest.raises(ParseError):
+            read_kiss(".i 1\n.o 1\n1 a a\n")
+
+
+class TestRoundTrip:
+    def test_sample_roundtrip(self):
+        fsm = read_kiss(SAMPLE, "sample")
+        again = read_kiss(write_kiss(fsm), "sample")
+        assert again.states == fsm.states
+        assert len(again.transitions) == len(fsm.transitions)
+        assert again.reset_state == fsm.reset_state
+
+    def test_benchmark_roundtrip(self):
+        fsm = benchmark_fsm("dk16")
+        again = read_kiss(write_kiss(fsm), "dk16")
+        assert again.num_states() == fsm.num_states()
+        for t_a, t_b in zip(fsm.transitions, again.transitions):
+            assert (t_a.inputs, t_a.src, t_a.dst, t_a.outputs) == (
+                t_b.inputs,
+                t_b.src,
+                t_b.dst,
+                t_b.outputs,
+            )

@@ -1,0 +1,124 @@
+"""FSM representation and validation."""
+
+import pytest
+
+from repro.errors import FsmError
+from repro.fsm import Fsm, Transition
+
+
+def tiny_fsm():
+    return Fsm(
+        name="tiny",
+        num_inputs=2,
+        num_outputs=1,
+        states=["s0", "s1"],
+        reset_state="s0",
+        transitions=[
+            Transition("0-", "s0", "s0", "0"),
+            Transition("1-", "s0", "s1", "1"),
+            Transition("--", "s1", "s0", "0"),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_valid_machine(self):
+        fsm = tiny_fsm()
+        fsm.validate()
+        assert fsm.num_states() == 2
+        assert fsm.is_completely_specified()
+
+    def test_unknown_reset_rejected(self):
+        with pytest.raises(FsmError):
+            Fsm("x", 1, 1, ["a"], "nope")
+
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(FsmError):
+            Fsm("x", 1, 1, ["a", "a"], "a")
+
+    def test_wrong_cube_width_rejected(self):
+        fsm = tiny_fsm()
+        with pytest.raises(FsmError):
+            fsm.add_transition(Transition("0", "s0", "s1", "1"))
+
+    def test_bad_characters_rejected(self):
+        fsm = tiny_fsm()
+        with pytest.raises(FsmError):
+            fsm.add_transition(Transition("0z", "s0", "s1", "1"))
+
+    def test_unknown_state_rejected(self):
+        fsm = tiny_fsm()
+        with pytest.raises(FsmError):
+            fsm.add_transition(Transition("00", "ghost", "s1", "1"))
+
+
+class TestSemantics:
+    def test_step(self):
+        fsm = tiny_fsm()
+        assert fsm.step("s0", 0b00) == ("s0", "0")
+        assert fsm.step("s0", 0b01) == ("s1", "1")
+        assert fsm.step("s1", 0b11) == ("s0", "0")
+
+    def test_step_unspecified(self):
+        fsm = Fsm(
+            "p", 1, 1, ["a"], "a",
+            [Transition("1", "a", "a", "1")],
+        )
+        assert fsm.step("a", 0) is None
+        assert not fsm.is_completely_specified()
+
+    def test_reachable_states(self):
+        fsm = Fsm(
+            "r", 1, 1, ["a", "b", "island"], "a",
+            [
+                Transition("-", "a", "b", "0"),
+                Transition("-", "b", "a", "1"),
+                Transition("-", "island", "a", "0"),
+            ],
+        )
+        assert fsm.reachable_states() == {"a", "b"}
+
+    def test_nondeterminism_detected(self):
+        fsm = Fsm(
+            "n", 2, 1, ["a", "b"], "a",
+            [
+                Transition("1-", "a", "a", "0"),
+                Transition("-1", "a", "b", "0"),
+            ],
+        )
+        with pytest.raises(FsmError, match="conflicting next states"):
+            fsm.validate()
+
+    def test_output_conflict_detected(self):
+        fsm = Fsm(
+            "o", 2, 1, ["a"], "a",
+            [
+                Transition("1-", "a", "a", "0"),
+                Transition("-1", "a", "a", "1"),
+            ],
+        )
+        with pytest.raises(FsmError, match="conflicting outputs"):
+            fsm.validate()
+
+    def test_dash_outputs_compatible(self):
+        fsm = Fsm(
+            "d", 2, 1, ["a"], "a",
+            [
+                Transition("1-", "a", "a", "-"),
+                Transition("-1", "a", "a", "1"),
+            ],
+        )
+        fsm.validate()  # no conflict: '-' matches anything
+
+
+class TestTransformations:
+    def test_renamed_states(self):
+        fsm = tiny_fsm().renamed_states({"s0": "A", "s1": "B"})
+        assert fsm.reset_state == "A"
+        assert fsm.step("A", 1) == ("B", "1")
+
+    def test_restricted_to(self):
+        fsm = tiny_fsm().restricted_to({"s0"})
+        assert fsm.num_states() == 1
+        with pytest.raises(FsmError):
+            tiny_fsm().restricted_to({"s1"})

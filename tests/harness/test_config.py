@@ -1,0 +1,41 @@
+"""Harness configuration and fault sampling."""
+
+import pytest
+
+from repro.fault import Fault
+from repro.harness import HarnessConfig, sample_faults
+
+
+class TestPresets:
+    def test_smoke_smaller_than_default(self):
+        smoke = HarnessConfig.smoke()
+        default = HarnessConfig.default()
+        assert smoke.budget.total_seconds < default.budget.total_seconds
+        assert smoke.max_faults < default.max_faults
+        assert smoke.circuits is not None
+        assert default.circuits is None
+
+    def test_heavy_is_paper_budget(self):
+        heavy = HarnessConfig.heavy()
+        assert heavy.budget.max_backtracks >= 1000
+
+
+class TestSampling:
+    def _faults(self, count):
+        return [Fault(f"n{i}", i % 2) for i in range(count)]
+
+    def test_under_cap_untouched(self):
+        config = HarnessConfig.smoke()
+        faults = self._faults(config.max_faults)
+        assert sample_faults(faults, config) == faults
+
+    def test_over_cap_sampled_deterministically(self):
+        config = HarnessConfig.smoke()
+        faults = self._faults(config.max_faults * 3)
+        first = sample_faults(faults, config)
+        second = sample_faults(faults, config)
+        assert first == second
+        assert len(first) == config.max_faults
+        # Sampling preserves original relative order.
+        positions = [faults.index(f) for f in first]
+        assert positions == sorted(positions)

@@ -1,0 +1,39 @@
+"""Figure 3 curve utilities (rendering tested; generation is exercised
+by the smoke benches)."""
+
+from repro.harness.figure3 import Curve, render
+
+
+def sample_curves():
+    return [
+        Curve("dense", 0.8, [(0.5, 40.0), (1.0, 80.0), (2.0, 97.0)]),
+        Curve("sparse", 1e-5, [(1.0, 20.0), (10.0, 55.0)]),
+    ]
+
+
+class TestCurve:
+    def test_cpu_to_reach(self):
+        dense = sample_curves()[0]
+        assert dense.cpu_to_reach(50.0) == 1.0
+        assert dense.cpu_to_reach(95.0) == 2.0
+        assert dense.cpu_to_reach(99.0) is None
+
+    def test_final_efficiency(self):
+        dense, sparse = sample_curves()
+        assert dense.final_efficiency() == 97.0
+        assert sparse.final_efficiency() == 55.0
+        assert Curve("empty", 0.1, []).final_efficiency() == 0.0
+
+
+class TestRender:
+    def test_render_orders_by_density(self):
+        text = render(list(reversed(sample_curves())))
+        lines = text.splitlines()
+        assert lines[0].startswith("Figure 3")
+        dense_line = next(l for l in lines if l.startswith("dense"))
+        sparse_line = next(l for l in lines if l.startswith("sparse"))
+        assert lines.index(dense_line) < lines.index(sparse_line)
+
+    def test_unreached_levels_dashed(self):
+        text = render(sample_curves())
+        assert "-" in text

@@ -1,0 +1,40 @@
+"""Markdown report rendering."""
+
+from repro.harness.figure3 import Curve
+from repro.harness.report import (
+    curves_to_markdown,
+    preformatted,
+    table_to_markdown,
+)
+from repro.harness.tables import Column, Table
+
+
+class TestMarkdown:
+    def test_pipe_table(self):
+        table = Table(
+            title="Demo",
+            columns=[Column("a", "alpha"), Column("b", "beta")],
+            rows=[{"a": 1, "b": "x"}],
+        )
+        markdown = table_to_markdown(table)
+        lines = markdown.splitlines()
+        assert lines[0] == "**Demo**"
+        assert lines[2] == "| alpha | beta |"
+        assert lines[3] == "|---|---|"
+        assert lines[4] == "| 1 | x |"
+
+    def test_curves(self):
+        curves = [
+            Curve("dense", 0.8, [(1.0, 60.0), (2.0, 96.0)]),
+            Curve("sparse", 1e-4, [(5.0, 40.0)]),
+        ]
+        markdown = curves_to_markdown(curves)
+        assert "| dense |" in markdown
+        assert "—" in markdown  # sparse never reaches 50%
+        first_data_row = markdown.splitlines()[4]
+        assert first_data_row.startswith("| dense")  # density ordering
+
+    def test_preformatted(self):
+        block = preformatted("hello\n")
+        assert block.startswith("```text\nhello")
+        assert block.endswith("```")

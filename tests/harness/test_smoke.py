@@ -1,0 +1,53 @@
+"""End-to-end harness smoke tests (tiny budgets).
+
+The full-table shape assertions live in benchmarks/; these tests only
+prove the harness machinery runs end to end and produces well-formed
+rows.
+"""
+
+import pytest
+
+from repro.atpg import EffortBudget
+from repro.harness import HarnessConfig, table2, table5, table7
+
+
+def tiny_config():
+    return HarnessConfig(
+        budget=EffortBudget(
+            max_backtracks=80,
+            max_frames=3,
+            max_justify_depth=6,
+            max_preimages=2,
+            per_fault_seconds=0.3,
+            total_seconds=15.0,
+            random_sequences=12,
+            random_length=20,
+        ),
+        max_faults=120,
+        circuits=("dk16.ji.sd",),
+    )
+
+
+class TestHarnessSmoke:
+    def test_table2_rows_well_formed(self):
+        table, runs = table2.generate(tiny_config())
+        assert len(table.rows) == 2
+        original, retimed = table.rows
+        assert original["circuit"] == "dk16.ji.sd"
+        assert retimed["circuit"] == "dk16.ji.sd.re"
+        assert retimed["dffs"] > original["dffs"]
+        assert retimed["cpu_ratio"] > 0
+        assert 0 <= original["fc"] <= 100
+
+    def test_table5_invariance(self):
+        table = table5.generate(tiny_config())
+        for row in table.rows:
+            assert row["invariant"] == "yes"
+            assert row["cycles_re"] >= row["cycles_orig"]
+
+    def test_table7_density_monotone(self):
+        table = table7.generate(tiny_config(), depths=(1, 2))
+        densities = [row["density"] for row in table.rows]
+        assert densities == sorted(densities, reverse=True)
+        dffs = [row["dffs"] for row in table.rows]
+        assert dffs == sorted(dffs)

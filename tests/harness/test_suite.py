@@ -1,0 +1,44 @@
+"""Harness circuit suite."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.harness import (
+    TABLE2_CIRCUITS,
+    build_pair,
+    select_retiming,
+    synthesize_named,
+)
+from repro.harness.suite import parse_circuit_name
+
+
+class TestNaming:
+    def test_parse(self):
+        assert parse_circuit_name("s510.jo.sr") == ("s510", "jo", "sr")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ReproError):
+            parse_circuit_name("s510.zz.sr")
+        with pytest.raises(ReproError):
+            parse_circuit_name("s510")
+
+    def test_table2_names_all_parse(self):
+        for name in TABLE2_CIRCUITS:
+            parse_circuit_name(name)
+
+
+class TestBuilding:
+    def test_synthesis_cached(self):
+        assert synthesize_named("dk16.ji.sd") is synthesize_named(
+            "dk16.ji.sd"
+        )
+
+    def test_pair_register_growth_in_band(self):
+        pair = build_pair("dk16.ji.sd")
+        original = pair.original_circuit.num_dffs()
+        retimed = pair.retimed_circuit.num_dffs()
+        assert original < retimed <= original * 7
+
+    def test_select_retiming_grows_registers(self, dk16_rugged):
+        result = select_retiming(dk16_rugged.circuit)
+        assert result.circuit.num_dffs() > dk16_rugged.circuit.num_dffs()

@@ -1,0 +1,39 @@
+"""Table rendering and the Table 1 harness."""
+
+from repro.harness import table1
+from repro.harness.tables import Column, Table, eng
+
+
+class TestRendering:
+    def test_alignment_and_headers(self):
+        table = Table(
+            title="T",
+            columns=[Column("a", "alpha"), Column("b", "beta")],
+            rows=[{"a": 1, "b": "xy"}, {"a": 22, "b": ""}],
+        )
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0] == "T"
+        assert "alpha" in lines[1] and "beta" in lines[1]
+        assert len(lines) == 5
+
+    def test_custom_formatter(self):
+        table = Table(
+            title="T",
+            columns=[Column("v", "value", eng)],
+            rows=[{"v": 524288.0}],
+        )
+        assert "5.24E5" in table.render()
+
+    def test_engineering_format(self):
+        assert eng(0.84) == "0.84"
+        assert eng(2.0e-4) == "2E-4"
+        assert eng(32) == "32"
+        assert eng(2.68e8) == "2.68E8"
+
+
+class TestTable1:
+    def test_matches_paper_exactly(self):
+        table = table1.generate()
+        assert all(row["match"] == "yes" for row in table.rows)
+        assert len(table.rows) == 6

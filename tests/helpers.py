@@ -1,0 +1,51 @@
+"""Shared test helpers: deterministic random circuit generation and
+simulation-based functional comparison."""
+
+from repro._util import make_rng
+from repro.circuit import CircuitBuilder, GateType
+from repro.sim import TernarySimulator
+
+
+def random_circuit(seed, num_inputs=4, num_gates=12, num_dffs=2):
+    """A random valid sequential circuit (deterministic per seed)."""
+    rng = make_rng(seed)
+    builder = CircuitBuilder(f"rand{seed}")
+    signals = [builder.input(f"x{i}") for i in range(num_inputs)]
+    dff_names = [f"q{j}" for j in range(num_dffs)]
+    signals.extend(dff_names)
+    gates = [
+        GateType.AND,
+        GateType.OR,
+        GateType.NAND,
+        GateType.NOR,
+        GateType.XOR,
+        GateType.NOT,
+    ]
+    created = []
+    for _ in range(num_gates):
+        gate = rng.choice(gates)
+        arity = 1 if gate is GateType.NOT else rng.randint(2, 3)
+        fanin = [rng.choice(signals + created) for _ in range(arity)]
+        created.append(builder.gate(gate, fanin))
+    circuit = builder._circuit
+    for name in dff_names:
+        circuit.add_dff(name, rng.choice(created), init=rng.randrange(2))
+    for _ in range(2):
+        circuit.add_output(rng.choice(created))
+    circuit.check()
+    return circuit
+
+
+def sequences_match(left, right, seed=0, num_sequences=8, length=20):
+    """Compare PO traces of two circuits with identical PI interfaces."""
+    rng = make_rng(seed)
+    sim_l, sim_r = TernarySimulator(left), TernarySimulator(right)
+    for _ in range(num_sequences):
+        state_l, state_r = sim_l.initial_state(), sim_r.initial_state()
+        for _ in range(length):
+            vector = [rng.randrange(2) for _ in left.inputs]
+            po_l, state_l = sim_l.step(vector, state_l)
+            po_r, state_r = sim_r.step(vector, state_r)
+            if po_l != po_r:
+                return False
+    return True

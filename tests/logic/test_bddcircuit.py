@@ -1,0 +1,68 @@
+"""Circuit-to-BDD bridge: node functions must match simulation."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import CircuitBuilder, GateType, ONE, ZERO
+from repro.logic.bddcircuit import (
+    CircuitBdds,
+    combinationally_equivalent,
+)
+from repro.sim import TernarySimulator
+from repro._util import make_rng
+from tests.helpers import random_circuit
+
+
+class TestCircuitBdds:
+    @given(st.integers(min_value=0, max_value=400))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_simulation(self, seed):
+        circuit = random_circuit(seed)
+        bdds = CircuitBdds(circuit)
+        simulator = TernarySimulator(circuit)
+        rng = make_rng(seed + 1)
+        for _ in range(8):
+            pi = [rng.randrange(2) for _ in circuit.inputs]
+            state = [rng.randrange(2) for _ in circuit.dff_names()]
+            values = simulator.evaluate(pi, state)
+            assignment = dict(zip(circuit.inputs, pi))
+            assignment.update(zip(circuit.dff_names(), state))
+            for po in circuit.outputs:
+                expected = simulator.node_value(values, po)
+                got = bdds.manager.evaluate(bdds.node_fn[po], assignment)
+                assert got == expected
+
+    def test_next_state_functions(self, two_bit_counter):
+        bdds = CircuitBdds(two_bit_counter)
+        functions = dict(bdds.next_state_functions())
+        m = bdds.manager
+        # d0 = enable XOR q0
+        expected_d0 = m.xor(m.var("enable"), m.var("q0"))
+        assert functions["q0"] == expected_d0
+
+
+class TestEquivalence:
+    def test_same_circuit_equivalent(self, two_bit_counter):
+        assert combinationally_equivalent(
+            two_bit_counter, two_bit_counter.copy()
+        )
+
+    def test_restructured_equivalent(self):
+        left = CircuitBuilder("l")
+        a, b, c = left.inputs("a", "b", "c")
+        left.output(left.and_(left.and_(a, b), c))
+        right = CircuitBuilder("r")
+        a, b, c = right.inputs("a", "b", "c")
+        right.output(right.and_(a, right.and_(b, c)))
+        assert combinationally_equivalent(left.build(), right.build())
+
+    def test_different_function_not_equivalent(self):
+        left = CircuitBuilder("l")
+        a, b = left.inputs("a", "b")
+        left.output(left.and_(a, b))
+        right = CircuitBuilder("r")
+        a, b = right.inputs("a", "b")
+        right.output(right.or_(a, b))
+        assert not combinationally_equivalent(left.build(), right.build())

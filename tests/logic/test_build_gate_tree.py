@@ -1,0 +1,69 @@
+"""Gate tree construction: fanin bounds and depth characteristics."""
+
+import itertools
+
+import pytest
+
+from repro.circuit import CircuitBuilder, GateType, levelize
+from repro.logic.factor import DecompositionStyle, build_gate_tree
+from repro.sim import TernarySimulator
+
+
+def build(op_count, style, gate=GateType.AND):
+    builder = CircuitBuilder("t")
+    inputs = [builder.input(f"x{i}") for i in range(op_count)]
+    out = build_gate_tree(builder, gate, inputs, style, name="y")
+    builder.output(out)
+    return builder.build()
+
+
+class TestGateTree:
+    @pytest.mark.parametrize("op_count", [1, 2, 4, 5, 9, 16])
+    @pytest.mark.parametrize("balanced", [True, False])
+    def test_function_is_wide_and(self, op_count, balanced):
+        style = DecompositionStyle(max_fanin=4, balanced_trees=balanced)
+        circuit = build(op_count, style)
+        sim = TernarySimulator(circuit)
+        # all-ones -> 1; single zero -> 0
+        assert sim.step([1] * op_count, [])[0] == (1,)
+        if op_count > 1:
+            vector = [1] * op_count
+            vector[op_count // 2] = 0
+            assert sim.step(vector, [])[0] == (0,)
+
+    @pytest.mark.parametrize("op_count", [5, 9, 16])
+    def test_fanin_bound(self, op_count):
+        for balanced in (True, False):
+            style = DecompositionStyle(
+                max_fanin=3, balanced_trees=balanced
+            )
+            circuit = build(op_count, style)
+            for node in circuit.gates():
+                assert len(node.fanin) <= 3
+
+    def test_balanced_shallower_than_chain(self):
+        balanced = build(16, DecompositionStyle(max_fanin=2, balanced_trees=True))
+        chained = build(16, DecompositionStyle(max_fanin=2, balanced_trees=False))
+        assert max(levelize(balanced).values()) < max(
+            levelize(chained).values()
+        )
+
+    def test_single_operand_named_output_buffered(self):
+        builder = CircuitBuilder("t")
+        a = builder.input("a")
+        out = build_gate_tree(
+            builder,
+            GateType.OR,
+            [a],
+            DecompositionStyle.delay(),
+            name="y",
+        )
+        assert out == "y"
+        assert builder._circuit.node("y").gate is GateType.BUF
+
+    def test_empty_operands_rejected(self):
+        builder = CircuitBuilder("t")
+        with pytest.raises(ValueError):
+            build_gate_tree(
+                builder, GateType.AND, [], DecompositionStyle.delay()
+            )

@@ -1,0 +1,116 @@
+"""Multi-level decomposition: function preservation and structure."""
+
+import itertools
+
+import pytest
+
+from repro.circuit import CircuitBuilder
+from repro.logic.cube import Cover
+from repro.logic.factor import (
+    DecompositionStyle,
+    extract_common_cubes,
+    instantiate_extraction,
+    sop_to_network,
+)
+from repro.sim import TernarySimulator
+
+
+def build_and_truth(cover, style, width):
+    builder = CircuitBuilder("t")
+    inputs = [builder.input(f"x{i}") for i in range(width)]
+    out = sop_to_network(builder, cover, inputs, style, output_name="y")
+    builder.output(out)
+    circuit = builder.build()
+    simulator = TernarySimulator(circuit)
+    return [
+        simulator.step(list(bits), [])[0][0]
+        for bits in itertools.product((0, 1), repeat=width)
+    ], circuit
+
+
+COVERS = [
+    ["11--", "--11", "0--0"],
+    ["1---"],
+    ["0101", "1010"],
+    ["----"],
+]
+
+
+class TestSopToNetwork:
+    @pytest.mark.parametrize("rows", COVERS)
+    @pytest.mark.parametrize(
+        "style", [DecompositionStyle.delay(), DecompositionStyle.area()]
+    )
+    def test_function_preserved(self, rows, style):
+        cover = Cover.from_strings(4, rows)
+        truth, _ = build_and_truth(cover, style, 4)
+        for a, bits in enumerate(itertools.product((0, 1), repeat=4)):
+            minterm = sum(bit << i for i, bit in enumerate(bits))
+            assert truth[a] == cover.evaluate(minterm), (rows, bits)
+
+    def test_empty_cover_is_constant_zero(self):
+        truth, _ = build_and_truth(
+            Cover.empty(3), DecompositionStyle.delay(), 3
+        )
+        assert set(truth) == {0}
+
+    def test_universal_cube_is_constant_one(self):
+        truth, _ = build_and_truth(
+            Cover.from_strings(3, ["---"]), DecompositionStyle.delay(), 3
+        )
+        assert set(truth) == {1}
+
+    def test_fanin_bound_respected(self):
+        cover = Cover.from_strings(8, ["11111111"])
+        _, circuit = build_and_truth(cover, DecompositionStyle(max_fanin=3), 8)
+        for node in circuit.gates():
+            assert len(node.fanin) <= 3
+
+    def test_styles_differ_structurally(self):
+        cover = Cover.from_strings(6, ["111111", "000000", "10-01-"])
+        _, delay_c = build_and_truth(cover, DecompositionStyle.delay(), 6)
+        _, area_c = build_and_truth(cover, DecompositionStyle.area(), 6)
+        from repro.circuit import levelize
+
+        # Balanced trees are never deeper than chains.
+        assert max(levelize(delay_c).values()) <= max(
+            levelize(area_c).values()
+        )
+
+
+class TestExtraction:
+    def test_common_cube_extracted(self):
+        covers = [
+            Cover.from_strings(4, ["11-0", "11-1"]),
+            Cover.from_strings(4, ["110-"]),
+        ]
+        result = extract_common_cubes(covers)
+        assert result.extracted  # (x0 AND x1) occurs everywhere
+
+    def test_function_preserved_after_extraction(self):
+        rows_per_output = [["11--", "--11"], ["11-1", "1-1-"]]
+        covers = [Cover.from_strings(4, rows) for rows in rows_per_output]
+        result = extract_common_cubes(covers)
+        builder = CircuitBuilder("e")
+        inputs = [builder.input(f"x{i}") for i in range(4)]
+        outs = instantiate_extraction(
+            builder,
+            result,
+            inputs,
+            DecompositionStyle.area(),
+            output_names=["y0", "y1"],
+        )
+        for out in outs:
+            builder.output(out)
+        circuit = builder.build()
+        simulator = TernarySimulator(circuit)
+        for bits in itertools.product((0, 1), repeat=4):
+            minterm = sum(bit << i for i, bit in enumerate(bits))
+            po, _ = simulator.step(list(bits), [])
+            for k, cover in enumerate(covers):
+                assert po[k] == cover.evaluate(minterm), (bits, k)
+
+    def test_no_extraction_below_min_occurrences(self):
+        covers = [Cover.from_strings(3, ["1--", "-1-"])]
+        result = extract_common_cubes(covers)
+        assert result.extracted == []

@@ -1,0 +1,156 @@
+"""Atomic retiming moves: legality, init justification, equivalence."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import CircuitBuilder, GateType, ONE, X, ZERO, eval_gate
+from repro.errors import RetimingError
+from repro.retime import (
+    can_move_backward,
+    can_move_forward,
+    justify_inputs,
+    move_backward,
+    move_forward,
+)
+from tests.helpers import sequences_match
+
+
+def registered_and():
+    """a,b -> AND g -> DFF q -> PO (backward move across g is legal)."""
+    builder = CircuitBuilder("rand")
+    a, b = builder.inputs("a", "b")
+    g = builder.and_(a, b, name="g")
+    q = builder.dff(g, init=ZERO, name="q")
+    builder.output(q)
+    return builder.build()
+
+
+class TestJustifyInputs:
+    @pytest.mark.parametrize(
+        "gate",
+        [
+            GateType.AND,
+            GateType.OR,
+            GateType.NAND,
+            GateType.NOR,
+            GateType.XOR,
+            GateType.XNOR,
+        ],
+    )
+    @pytest.mark.parametrize("arity", [2, 3])
+    @pytest.mark.parametrize("output", [ZERO, ONE])
+    def test_justification_correct(self, gate, arity, output):
+        inputs = justify_inputs(gate, arity, output)
+        assert len(inputs) == arity
+        assert eval_gate(gate, inputs) == output
+
+    def test_x_output_gives_x_inputs(self):
+        assert justify_inputs(GateType.AND, 3, X) == [X, X, X]
+
+    def test_not_buf(self):
+        assert eval_gate(GateType.NOT, justify_inputs(GateType.NOT, 1, ONE)) == ONE
+        assert justify_inputs(GateType.BUF, 1, ZERO) == [ZERO]
+
+
+class TestBackwardMove:
+    def test_legality(self):
+        circuit = registered_and()
+        assert can_move_backward(circuit, "g")
+        assert not can_move_backward(circuit, "q")
+
+    def test_po_driver_cannot_move(self):
+        builder = CircuitBuilder("po")
+        a, b = builder.inputs("a", "b")
+        g = builder.and_(a, b, name="g")
+        builder.output(g)
+        circuit = builder.build()
+        assert not can_move_backward(circuit, "g")
+
+    def test_move_structure(self):
+        circuit = registered_and()
+        result = move_backward(circuit, "g")
+        circuit.check()
+        assert result.exact
+        assert circuit.num_dffs() == 2  # one register per fanin
+        assert "q" not in circuit
+        assert circuit.is_output("g")
+
+    def test_move_preserves_behavior(self):
+        original = registered_and()
+        retimed = registered_and()
+        move_backward(retimed, "g")
+        assert sequences_match(original, retimed)
+
+    def test_inexact_reported_for_conflicting_inits(self):
+        builder = CircuitBuilder("conf")
+        a, b = builder.inputs("a", "b")
+        g = builder.and_(a, b, name="g")
+        q0 = builder.dff(g, init=ZERO, name="q0")
+        q1 = builder.dff(g, init=ONE, name="q1")
+        builder.output(builder.or_(q0, q1, name="y"))
+        circuit = builder.build()
+        result = move_backward(circuit, "g")
+        assert not result.exact
+
+    def test_illegal_move_raises(self):
+        circuit = registered_and()
+        with pytest.raises(RetimingError):
+            move_backward(circuit, "q")
+
+    def test_self_loop_backward(self):
+        builder = CircuitBuilder("loop")
+        a = builder.input("a")
+        g = builder.gate(GateType.XOR, [a, "q"], name="g")
+        q = builder.dff(g, init=ZERO, name="q")
+        builder.output(builder.buf(q, name="y"))
+        circuit = builder.build(check=False)
+        circuit.check()
+        # q also feeds y's buffer, so g's readers are {q}: wait, q reads g
+        # and y reads q -> g's only reader is q (a DFF): legal.
+        original = circuit.copy()
+        result = move_backward(circuit, "g")
+        circuit.check()
+        assert sequences_match(original, circuit)
+
+
+class TestForwardMove:
+    def test_forward_move_counter(self):
+        """Registers at XOR inputs move forward across it."""
+        builder = CircuitBuilder("fwd")
+        a = builder.input("a")
+        qa = builder.dff(a, init=ZERO, name="qa")
+        qb = builder.dff(a, init=ONE, name="qb")
+        g = builder.and_(qa, qb, name="g")
+        builder.output(builder.buf(g, name="y"))
+        circuit = builder.build()
+        assert can_move_forward(circuit, "g")
+        original = circuit.copy()
+        result = move_forward(circuit, "g")
+        circuit.check()
+        assert result.exact
+        # new init = AND(0, 1) = 0
+        new_dff = circuit.node(result.added_dffs[0])
+        assert new_dff.init == ZERO
+        assert sequences_match(original, circuit)
+
+    def test_forward_requires_all_register_fanins(self):
+        circuit = registered_and()
+        assert not can_move_forward(circuit, "g")  # fanins are PIs
+
+    def test_shared_fanin_register_preserved(self):
+        builder = CircuitBuilder("shared")
+        a = builder.input("a")
+        qa = builder.dff(a, init=ZERO, name="qa")
+        qb = builder.dff(a, init=ZERO, name="qb")
+        g = builder.and_(qa, qb, name="g")
+        other = builder.not_(qa, name="other")
+        builder.output(builder.buf(g, name="y"))
+        builder.output(other)
+        circuit = builder.build()
+        original = circuit.copy()
+        move_forward(circuit, "g")
+        circuit.check()
+        assert "qa" in circuit  # still read by `other`
+        assert sequences_match(original, circuit)

@@ -1,0 +1,125 @@
+"""Leiserson-Saxe retiming: graph extraction, FEAS, realization."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder, GateType, ZERO
+from repro.errors import RetimingError
+from repro.retime import (
+    HOST,
+    build_retiming_graph,
+    check_sequential_equivalence,
+    clock_period,
+    feasible_retiming,
+    min_period_retiming,
+    retime_to_period,
+)
+from repro.retime.core import HOST_SINK, HOST_SRC, backward_retime, backward_retiming_sweep
+from tests.helpers import sequences_match
+
+
+def pipeline_candidate():
+    """in -> G1 -> G2 -> [R][R] -> out: two registers at the end; min-
+    period retiming should spread them between the gates."""
+    builder = CircuitBuilder("pipe")
+    a = builder.input("a")
+    g1 = builder.not_(a, name="g1")
+    g2 = builder.not_(g1, name="g2")
+    r1 = builder.dff(g2, init=ZERO, name="r1")
+    r2 = builder.dff(r1, init=ZERO, name="r2")
+    builder.output(builder.buf(r2, name="y"))
+    return builder.build()
+
+
+class TestGraph:
+    def test_pipeline_graph(self):
+        circuit = pipeline_candidate()
+        graph = build_retiming_graph(circuit)
+        assert HOST_SRC in graph.vertices
+        assert HOST_SINK in graph.vertices
+        assert graph.edges[("g1", "g2")] == 0
+        assert graph.edges[("g2", "y")] == 2  # through r1, r2
+        assert graph.edges[(HOST_SRC, "g1")] == 0
+        assert graph.edges[("y", HOST_SINK)] == 0
+
+    def test_feedback_weights(self, toggle_circuit):
+        graph = build_retiming_graph(toggle_circuit)
+        assert graph.edges[("d", "d")] == 1  # self loop through q
+
+
+class TestFeas:
+    def test_trivial_period_feasible(self):
+        circuit = pipeline_candidate()
+        graph = build_retiming_graph(circuit)
+        lags = feasible_retiming(graph, clock_period(circuit))
+        assert lags is not None
+        assert all(v == 0 for v in lags.values())
+
+    def test_impossible_period_infeasible(self):
+        circuit = pipeline_candidate()
+        graph = build_retiming_graph(circuit)
+        assert feasible_retiming(graph, 0.1) is None
+
+    def test_pipeline_period_reduced(self):
+        circuit = pipeline_candidate()
+        original_period = clock_period(circuit)
+        result = min_period_retiming(circuit)
+        assert result.achieved_period < original_period
+        assert sequences_match(circuit, result.circuit)
+
+    def test_retime_to_period_infeasible_raises(self):
+        with pytest.raises(RetimingError):
+            retime_to_period(pipeline_candidate(), 0.1)
+
+
+class TestBackwardRetime:
+    def test_behavior_preserved(self, dk16_rugged):
+        circuit = dk16_rugged.circuit
+        result = backward_retime(circuit, 2)
+        report = check_sequential_equivalence(
+            circuit,
+            result.circuit,
+            prefix=result.exact_prefix,
+            num_sequences=10,
+            cycles_per_sequence=30,
+        )
+        assert report.equivalent
+
+    def test_registers_grow(self, dk16_rugged):
+        circuit = dk16_rugged.circuit
+        shallow = backward_retime(circuit, 1)
+        deep = backward_retime(circuit, 3)
+        assert shallow.circuit.num_dffs() > circuit.num_dffs()
+        assert deep.circuit.num_dffs() > shallow.circuit.num_dffs()
+
+    def test_zero_depth_is_identity(self, dk16_rugged):
+        result = backward_retime(dk16_rugged.circuit, 0)
+        assert result.moves == 0
+        assert (
+            result.circuit.num_dffs() == dk16_rugged.circuit.num_dffs()
+        )
+
+    def test_gate_network_preserved(self, dk16_rugged):
+        """Backward retiming relocates registers but keeps every gate."""
+        circuit = dk16_rugged.circuit
+        result = backward_retime(circuit, 2)
+        original_gates = {
+            (n.name, n.gate) for n in circuit.gates()
+        }
+        retimed_gates = {
+            (n.name, n.gate) for n in result.circuit.gates()
+        }
+        assert original_gates == retimed_gates
+
+    def test_sweep_distinct_dff_counts(self, dk16_rugged):
+        versions = backward_retiming_sweep(
+            dk16_rugged.circuit, depths=(1, 2, 3)
+        )
+        counts = [v.circuit.num_dffs() for v in versions]
+        assert len(counts) == len(set(counts))
+        assert all(
+            c > dk16_rugged.circuit.num_dffs() for c in counts
+        )
+
+    def test_negative_depth_rejected(self, dk16_rugged):
+        with pytest.raises(RetimingError):
+            backward_retime(dk16_rugged.circuit, -1)

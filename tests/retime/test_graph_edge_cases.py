@@ -1,0 +1,73 @@
+"""Retiming graph extraction edge cases."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder, GateType, ZERO
+from repro.errors import RetimingError
+from repro.retime.core import (
+    HOST_SINK,
+    HOST_SRC,
+    build_retiming_graph,
+    feasible_retiming,
+)
+
+
+class TestGraphEdgeCases:
+    def test_registered_output(self):
+        """PO taken directly from a DFF: edge to the sink carries the
+        register weight."""
+        builder = CircuitBuilder("regout")
+        a = builder.input("a")
+        g = builder.not_(a, name="g")
+        q = builder.dff(g, init=ZERO, name="q")
+        builder.output(q)
+        graph = build_retiming_graph(builder.build())
+        assert graph.edges[("g", HOST_SINK)] == 1
+
+    def test_pi_through_register_to_gate(self):
+        builder = CircuitBuilder("pireg")
+        a = builder.input("a")
+        q = builder.dff(a, init=ZERO, name="q")
+        g = builder.not_(q, name="g")
+        builder.output(g)
+        graph = build_retiming_graph(builder.build())
+        assert graph.edges[(HOST_SRC, "g")] == 1
+
+    def test_combinational_pi_po_path(self):
+        builder = CircuitBuilder("comb")
+        a = builder.input("a")
+        builder.output(builder.buf(a, name="y"))
+        graph = build_retiming_graph(builder.build())
+        assert graph.edges[(HOST_SRC, "y")] == 0
+        assert graph.edges[("y", HOST_SINK)] == 0
+        # Period equal to the buffer delay is feasible (identity).
+        assert feasible_retiming(graph, 1.0) is not None
+        # Anything smaller is structurally impossible (host pinned).
+        assert feasible_retiming(graph, 0.5) is None
+
+    def test_register_chain_weight(self):
+        builder = CircuitBuilder("chain")
+        a = builder.input("a")
+        g = builder.not_(a, name="g")
+        q1 = builder.dff(g, init=ZERO)
+        q2 = builder.dff(q1, init=ZERO)
+        sink = builder.buf(q2, name="y")
+        builder.output(sink)
+        graph = build_retiming_graph(builder.build())
+        assert graph.edges[("g", "y")] == 2
+
+    def test_sourceless_register_ring_contributes_no_edges(self):
+        """A pure register ring (q1 <-> q2, fed by nothing) is a
+        degenerate shape: it has no driving gate or PI, so the retiming
+        graph simply carries no edge for it (the reader gate keeps its
+        PI edge only)."""
+        builder = CircuitBuilder("ring")
+        a = builder.input("a")
+        builder.dff("q2", init=ZERO, name="q1")
+        builder.dff("q1", init=ZERO, name="q2")
+        builder.output(builder.and_(a, "q1", name="y"))
+        circuit = builder.build(check=False)
+        circuit.check()
+        graph = build_retiming_graph(circuit)
+        incoming = [tail for (tail, head) in graph.edges if head == "y"]
+        assert incoming == [HOST_SRC]

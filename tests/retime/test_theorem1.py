@@ -1,0 +1,61 @@
+"""Theorem 1: retiming preserves single stuck-at testability.
+
+Property: a test set generated for the original circuit, prepended with
+the P padding of §4.1 (arbitrary vectors covering the retiming's init
+reconciliation), achieves comparable fault coverage when fault-simulated
+on the retimed circuit.
+"""
+
+import pytest
+
+from repro.analysis import simulate_test_set_on
+from repro.atpg import EffortBudget, HitecEngine
+from repro.fault import FaultSimulator
+from repro.retime.core import backward_retime
+
+
+@pytest.fixture(scope="module")
+def dk16_run(dk16_rugged):
+    engine = HitecEngine(
+        dk16_rugged.circuit, budget=EffortBudget.quick()
+    )
+    return engine.run()
+
+
+class TestTheorem1:
+    def test_original_testset_carries_over(self, dk16_rugged, dk16_run):
+        original = dk16_rugged.circuit
+        original_fc = dk16_run.fault_coverage
+        retimed = backward_retime(original, 2)
+        cross = simulate_test_set_on(
+            retimed.circuit,
+            dk16_run.test_set,
+            pad_prefix=retimed.exact_prefix,
+        )
+        # Theorem 1: the padded original test set must detect (nearly)
+        # the same fraction of faults on the retimed circuit.  We allow
+        # a small slack: the fault universes differ structurally (the
+        # retimed circuit has more register lines).
+        assert cross.fault_coverage >= original_fc - 6.0
+
+    def test_deeper_retiming_still_covered(self, dk16_rugged, dk16_run):
+        retimed = backward_retime(dk16_rugged.circuit, 3)
+        cross = simulate_test_set_on(
+            retimed.circuit,
+            dk16_run.test_set,
+            pad_prefix=retimed.exact_prefix,
+        )
+        assert cross.fault_coverage >= dk16_run.fault_coverage - 8.0
+
+    def test_cross_simulation_traverses_more_states(
+        self, dk16_rugged, dk16_run
+    ):
+        """Table 8's mechanism: the original test set traverses many
+        retimed-circuit states."""
+        retimed = backward_retime(dk16_rugged.circuit, 2)
+        cross = simulate_test_set_on(
+            retimed.circuit,
+            dk16_run.test_set,
+            pad_prefix=retimed.exact_prefix,
+        )
+        assert cross.states_traversed >= 20

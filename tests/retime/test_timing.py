@@ -1,0 +1,46 @@
+"""Static timing analysis."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder, ZERO
+from repro.retime import arrival_times, clock_period, timing_report
+from repro.synth.library import DFF_CLOCK_TO_Q, DFF_SETUP, DEFAULT_LIBRARY
+
+
+class TestTiming:
+    def test_hand_computed_chain(self):
+        """a -> NOT -> NOT -> y: two inverters of 1.0ns each."""
+        builder = CircuitBuilder("chain")
+        a = builder.input("a")
+        builder.output(builder.not_(builder.not_(a), name="y"))
+        circuit = builder.build()
+        arrival = arrival_times(circuit)
+        assert arrival["a"] == 0.0
+        assert arrival["y"] == 2.0
+        assert clock_period(circuit) == 2.0
+
+    def test_register_bounded_path_includes_margins(self, toggle_circuit):
+        report = timing_report(toggle_circuit)
+        # q (clk2q) -> XOR(2 inputs: 3.0) -> setup
+        xor_delay = DEFAULT_LIBRARY.delay(
+            toggle_circuit.node("d").gate, 2
+        )
+        assert report.period == pytest.approx(
+            DFF_CLOCK_TO_Q + xor_delay + DFF_SETUP
+        )
+
+    def test_critical_path_traceable(self, two_bit_counter):
+        report = timing_report(two_bit_counter)
+        path = report.critical_path(two_bit_counter)
+        assert len(path) >= 2
+        assert path[-1] == report.critical_node
+
+    def test_max_over_endpoints(self):
+        builder = CircuitBuilder("two")
+        a = builder.input("a")
+        short = builder.buf(a, name="short")
+        long = builder.not_(builder.not_(builder.not_(a)), name="deep")
+        builder.output(short)
+        builder.output(long)
+        circuit = builder.build()
+        assert clock_period(circuit) == 3.0

@@ -1,0 +1,60 @@
+"""Ternary compiled simulator."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder, ONE, X, ZERO
+from repro.errors import SimulationError
+from repro.sim import TernarySimulator
+
+
+class TestCombinational:
+    def test_half_adder(self, half_adder):
+        sim = TernarySimulator(half_adder)
+        assert sim.step([0, 0], []) == ((ZERO, ZERO), ())
+        assert sim.step([1, 0], []) == ((ONE, ZERO), ())
+        assert sim.step([1, 1], []) == ((ZERO, ONE), ())
+
+    def test_x_propagation_controlling(self, half_adder):
+        sim = TernarySimulator(half_adder)
+        po, _ = sim.step([ZERO, X], [])
+        assert po[1] == ZERO  # AND with a 0 input decides despite X
+        assert po[0] == X  # XOR poisoned
+
+    def test_wrong_width_rejected(self, half_adder):
+        sim = TernarySimulator(half_adder)
+        with pytest.raises(SimulationError):
+            sim.step([0], [])
+        with pytest.raises(SimulationError):
+            sim.step([0, 0], [0])
+
+
+class TestSequential:
+    def test_toggle(self, toggle_circuit):
+        sim = TernarySimulator(toggle_circuit)
+        trace = sim.run([[1], [1], [0], [1]])
+        # q starts 0, toggles on enable
+        assert [s[0] for s in trace.states] == [0, 1, 0, 0, 1]
+        assert trace.final_state() == (1,)
+
+    def test_counter_counts(self, two_bit_counter):
+        sim = TernarySimulator(two_bit_counter)
+        trace = sim.run([[1]] * 5)
+        values = [s[0] + 2 * s[1] for s in trace.states]
+        assert values == [0, 1, 2, 3, 0, 1]
+
+    def test_initial_state_override(self, two_bit_counter):
+        sim = TernarySimulator(two_bit_counter)
+        trace = sim.run([[1]], initial_state=(1, 1))
+        assert trace.final_state() == (0, 0)
+
+    def test_distinct_states_excludes_x(self, toggle_circuit):
+        sim = TernarySimulator(toggle_circuit)
+        trace = sim.run([[1]], initial_state=(X,))
+        assert trace.distinct_states() == set() or all(
+            X not in s for s in trace.distinct_states()
+        )
+
+    def test_next_states(self, two_bit_counter):
+        sim = TernarySimulator(two_bit_counter)
+        successors = sim.next_states((0, 0), [[0], [1]])
+        assert successors == [(0, 0), (1, 0)]

@@ -1,0 +1,78 @@
+"""Bit-parallel simulator vs the ternary reference."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import CircuitBuilder, GateType, ONE, ZERO
+from repro.sim import (
+    ParallelSimulator,
+    TernarySimulator,
+    WORD_BITS,
+    pack_patterns,
+    unpack_word,
+)
+from repro._util import make_rng
+
+
+class TestPacking:
+    def test_pack_unpack_roundtrip(self):
+        patterns = [[0, 1], [1, 1], [1, 0]]
+        word = pack_patterns(patterns, 0)
+        assert unpack_word(word, 3) == [0, 1, 1]
+
+    def test_pack_rejects_x(self):
+        with pytest.raises(Exception):
+            pack_patterns([[2]], 0)
+
+
+class TestAgainstTernary:
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=30, deadline=None)
+    def test_random_circuits_agree(self, seed):
+        from tests.helpers import random_circuit
+
+        circuit = random_circuit(seed)
+        parallel = ParallelSimulator(circuit)
+        ternary = TernarySimulator(circuit)
+        rng = make_rng(seed + 7)
+        num_patterns = 10
+        patterns = [
+            [rng.randrange(2) for _ in circuit.inputs]
+            for _ in range(num_patterns)
+        ]
+        state = [rng.randrange(2) for _ in circuit.dff_names()]
+        mask = (1 << num_patterns) - 1
+        pi_words = [
+            pack_patterns(patterns, position)
+            for position in range(len(circuit.inputs))
+        ]
+        state_words = [mask if bit else 0 for bit in state]
+        po_words, next_words = parallel.step(pi_words, state_words, mask)
+        for lane in range(num_patterns):
+            po_ref, next_ref = ternary.step(patterns[lane], state)
+            assert tuple(
+                (w >> lane) & 1 for w in po_words
+            ) == po_ref
+            assert tuple((w >> lane) & 1 for w in next_words) == next_ref
+
+
+class TestOverrides:
+    def test_stuck_at_injection(self, two_bit_counter):
+        parallel = ParallelSimulator(two_bit_counter)
+        mask = 0b11  # lane 0 = good, lane 1 = faulty
+        d0_index = parallel.node_index("d0")
+        overrides = {d0_index: (0b10, 0)}  # d0 stuck-at-0 in lane 1
+        state = [0, 0]
+        po_trace, _ = parallel.run([[1], [1]], state, overrides)
+        # Good machine counts 1 then 2; faulty q0 never loads 1.
+        last_q0 = po_trace[-1][0]
+        assert last_q0 & 1 != (last_q0 >> 1) & 1
+
+    def test_override_on_state_source(self, toggle_circuit):
+        parallel = ParallelSimulator(toggle_circuit)
+        q_index = parallel.node_index("q")
+        mask = 0b11
+        overrides = {q_index: (0b10, 0b10)}  # q stuck-at-1 in lane 1
+        po_words, _ = parallel.step([0b11], [0b00], mask, overrides)
+        assert (po_words[0] >> 1) & 1 == 1
+        assert po_words[0] & 1 == 0

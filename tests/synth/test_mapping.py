@@ -1,0 +1,63 @@
+"""Technology mapping / legalization."""
+
+import itertools
+
+import pytest
+
+from repro.circuit import CircuitBuilder, GateType
+from repro.sim import TernarySimulator
+from repro.synth import DEFAULT_LIBRARY, circuit_cost, map_to_library
+from repro.synth.library import GateLibrary, GateSpec
+
+
+def wide_gate_circuit(gate, width):
+    builder = CircuitBuilder("wide")
+    inputs = [builder.input(f"x{i}") for i in range(width)]
+    builder.output(builder.gate(gate, inputs, name="y"))
+    return builder.build()
+
+
+class TestMapping:
+    @pytest.mark.parametrize(
+        "gate",
+        [GateType.AND, GateType.OR, GateType.NAND, GateType.NOR],
+    )
+    def test_wide_gate_split_preserves_function(self, gate):
+        original = wide_gate_circuit(gate, 7)
+        mapped = map_to_library(original, DEFAULT_LIBRARY)
+        for node in mapped.gates():
+            assert len(node.fanin) <= DEFAULT_LIBRARY.max_fanin(node.gate)
+        sim_o = TernarySimulator(original)
+        sim_m = TernarySimulator(mapped)
+        for bits in itertools.product((0, 1), repeat=7):
+            assert sim_o.step(list(bits), [])[0] == sim_m.step(
+                list(bits), []
+            )[0]
+
+    def test_legal_circuit_untouched_in_content(self, half_adder):
+        mapped = map_to_library(half_adder, DEFAULT_LIBRARY)
+        assert mapped.num_gates() == half_adder.num_gates()
+
+    def test_mapping_copies(self, half_adder):
+        mapped = map_to_library(half_adder, DEFAULT_LIBRARY)
+        assert mapped is not half_adder
+
+
+class TestCostModel:
+    def test_delay_grows_with_fanin(self):
+        library = DEFAULT_LIBRARY
+        assert library.delay(GateType.AND, 4) > library.delay(
+            GateType.AND, 2
+        )
+
+    def test_area_accounts_for_dffs(self, two_bit_counter, half_adder):
+        cost_seq = circuit_cost(two_bit_counter, DEFAULT_LIBRARY)
+        assert cost_seq.dffs == 2
+        assert cost_seq.area > 0
+
+    def test_custom_spec_override(self):
+        library = GateLibrary(
+            {GateType.AND: GateSpec(9.0, 0.0, 9.0, 0.0, 2)}
+        )
+        assert library.delay(GateType.AND, 2) == 9.0
+        assert library.max_fanin(GateType.AND) == 2

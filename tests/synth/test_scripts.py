@@ -1,0 +1,34 @@
+"""Synthesis script registry and naming conventions."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.logic.factor import DecompositionStyle
+from repro.synth import (
+    SCRIPT_DELAY,
+    SCRIPT_RUGGED,
+    circuit_name,
+    script_by_name,
+)
+
+
+class TestRegistry:
+    def test_lookup_by_name_and_suffix(self):
+        assert script_by_name("rugged") is SCRIPT_RUGGED
+        assert script_by_name("sr") is SCRIPT_RUGGED
+        assert script_by_name(".sd") is SCRIPT_DELAY
+        assert script_by_name("delay") is SCRIPT_DELAY
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SynthesisError):
+            script_by_name("fast")
+
+    def test_paper_naming(self):
+        assert circuit_name("s510", "jo", "sr") == "s510.jo.sr"
+        assert circuit_name("dk16", ".ji", ".sd") == "dk16.ji.sd"
+
+    def test_script_characters(self):
+        assert SCRIPT_RUGGED.extract_common_cubes
+        assert not SCRIPT_DELAY.extract_common_cubes
+        assert SCRIPT_DELAY.style.balanced_trees
+        assert not SCRIPT_RUGGED.style.balanced_trees

@@ -1,0 +1,120 @@
+"""Synthesis pipeline: behavioral fidelity and structural conventions."""
+
+import pytest
+
+from repro.circuit import ONE, ZERO
+from repro.fsm import EncodingAlgorithm, benchmark_fsm
+from repro.sim import TernarySimulator
+from repro.synth import (
+    RESET_INPUT,
+    SCRIPT_DELAY,
+    SCRIPT_RUGGED,
+    behavioral_check,
+    build_covers,
+    synthesize,
+)
+from repro.fsm.encode import encode_fsm
+
+
+class TestBehavioralFidelity:
+    @pytest.mark.parametrize(
+        "algorithm",
+        [
+            EncodingAlgorithm.INPUT_DOMINANT,
+            EncodingAlgorithm.OUTPUT_DOMINANT,
+            EncodingAlgorithm.COMBINED,
+        ],
+    )
+    @pytest.mark.parametrize("script", [SCRIPT_DELAY, SCRIPT_RUGGED])
+    def test_dk16_all_variants(self, algorithm, script):
+        result = synthesize(
+            benchmark_fsm("dk16"), algorithm, script, explicit_reset=True
+        )
+        behavioral_check(result, num_sequences=8, sequence_length=25)
+
+    def test_pma_without_explicit_reset(self):
+        result = synthesize(
+            benchmark_fsm("pma"),
+            EncodingAlgorithm.COMBINED,
+            SCRIPT_RUGGED,
+            explicit_reset=False,
+        )
+        behavioral_check(result, num_sequences=6)
+        assert RESET_INPUT not in result.circuit.inputs
+
+    def test_extra_bits_variant(self):
+        result = synthesize(
+            benchmark_fsm("dk16"),
+            EncodingAlgorithm.COMBINED,
+            SCRIPT_RUGGED,
+            explicit_reset=True,
+            extra_bits=2,
+        )
+        behavioral_check(result, num_sequences=5)
+        assert result.encoding.width == 7
+        assert result.circuit.num_dffs() == 7
+
+
+class TestConventions:
+    def test_naming(self, dk16_rugged):
+        assert dk16_rugged.circuit.name == "dk16.ji.sr"
+
+    def test_dff_init_is_reset_code(self, dk16_rugged):
+        reset_code = dk16_rugged.encoding.codes[
+            dk16_rugged.fsm.reset_state
+        ]
+        for j, dff in enumerate(dk16_rugged.circuit.dffs()):
+            expected = ONE if (reset_code >> j) & 1 else ZERO
+            assert dff.init == expected
+
+    def test_explicit_reset_line_forces_reset_state(self, dk16_rugged):
+        """Asserting reset from any state loads the reset code."""
+        circuit = dk16_rugged.circuit
+        sim = TernarySimulator(circuit)
+        reset_code = dk16_rugged.encoding.codes[
+            dk16_rugged.fsm.reset_state
+        ]
+        width = dk16_rugged.encoding.width
+        scrambled = tuple(
+            1 - ((reset_code >> j) & 1) for j in range(width)
+        )
+        vector = [0] * len(circuit.inputs)
+        vector[circuit.inputs.index(RESET_INPUT)] = 1
+        _, state = sim.step(vector, scrambled)
+        assert state == tuple(
+            (reset_code >> j) & 1 for j in range(width)
+        )
+
+    def test_library_fanin_respected(self, dk16_delay):
+        from repro.synth import DEFAULT_LIBRARY
+
+        for node in dk16_delay.circuit.gates():
+            assert len(node.fanin) <= DEFAULT_LIBRARY.max_fanin(node.gate)
+
+    def test_scripts_produce_different_structures(
+        self, dk16_rugged, dk16_delay
+    ):
+        assert (
+            dk16_rugged.circuit.num_gates()
+            != dk16_delay.circuit.num_gates()
+        )
+
+
+class TestCovers:
+    def test_cover_dimensions(self):
+        fsm = benchmark_fsm("dk16")
+        encoding = encode_fsm(fsm, EncodingAlgorithm.COMBINED)
+        on, dc = build_covers(fsm, encoding)
+        assert len(on) == encoding.width + fsm.num_outputs
+        assert all(c.width == fsm.num_inputs + encoding.width for c in on)
+
+    def test_unused_codes_are_dont_cares(self):
+        fsm = benchmark_fsm("dk16")  # 27 states in 5 bits: 5 unused
+        encoding = encode_fsm(fsm, EncodingAlgorithm.COMBINED)
+        on, dc = build_covers(fsm, encoding)
+        unused = set(range(32)) - set(encoding.codes.values())
+        assert unused
+        some_unused = next(iter(unused))
+        # any input columns: check the DC cover contains the unused code
+        assignment = some_unused << fsm.num_inputs
+        assert dc[0].covers_minterm(assignment)

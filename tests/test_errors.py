@@ -1,0 +1,49 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    AtpgError,
+    CircuitError,
+    FaultError,
+    FsmError,
+    ParseError,
+    ReproError,
+    RetimingError,
+    SimulationError,
+    SynthesisError,
+)
+
+ALL_ERRORS = [
+    AnalysisError,
+    AtpgError,
+    CircuitError,
+    FaultError,
+    FsmError,
+    ParseError,
+    RetimingError,
+    SimulationError,
+    SynthesisError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("error_type", ALL_ERRORS)
+    def test_all_derive_from_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+
+    def test_parse_error_location(self):
+        error = ParseError("bad token", filename="x.blif", lineno=12)
+        assert "x.blif:12:" in str(error)
+        assert error.lineno == 12
+
+    def test_parse_error_lineno_only(self):
+        assert str(ParseError("oops", lineno=3)).startswith("3:")
+
+    def test_parse_error_bare(self):
+        assert str(ParseError("oops")) == "oops"
+
+    def test_catchable_at_boundary(self):
+        with pytest.raises(ReproError):
+            raise CircuitError("structural problem")

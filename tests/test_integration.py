@@ -1,0 +1,101 @@
+"""Cross-subsystem integration: the full pipeline on a small machine.
+
+One test walks FSM -> synthesis -> retiming -> ATPG -> analysis and
+checks every paper-relevant relation end to end on pma (faster than the
+harness circuits but exercising identical code paths).
+"""
+
+import pytest
+
+from repro.analysis import (
+    count_dff_cycles,
+    reachability_report,
+    sequential_depth_report,
+    simulate_test_set_on,
+    traversal_report,
+)
+from repro.atpg import EffortBudget, HitecEngine, SimBasedEngine
+from repro.fsm import EncodingAlgorithm, benchmark_fsm
+from repro.retime import check_sequential_equivalence
+from repro.retime.core import backward_retime
+from repro.synth import SCRIPT_RUGGED, behavioral_check, synthesize
+
+
+@pytest.fixture(scope="module")
+def pipeline_artifacts():
+    synthesis = synthesize(
+        benchmark_fsm("pma"),
+        EncodingAlgorithm.OUTPUT_DOMINANT,
+        SCRIPT_RUGGED,
+        explicit_reset=True,
+    )
+    behavioral_check(synthesis, num_sequences=4)
+    retiming = backward_retime(synthesis.circuit, 2)
+    budget = EffortBudget.quick()
+    original_run = HitecEngine(synthesis.circuit, budget=budget).run()
+    retimed_run = HitecEngine(retiming.circuit, budget=budget).run()
+    return synthesis, retiming, original_run, retimed_run
+
+
+class TestFullPipeline:
+    def test_retiming_equivalent(self, pipeline_artifacts):
+        synthesis, retiming, _, _ = pipeline_artifacts
+        report = check_sequential_equivalence(
+            synthesis.circuit,
+            retiming.circuit,
+            prefix=retiming.exact_prefix,
+            num_sequences=8,
+            cycles_per_sequence=25,
+        )
+        assert report.equivalent
+
+    def test_paper_shape_cpu_and_coverage(self, pipeline_artifacts):
+        _, _, original_run, retimed_run = pipeline_artifacts
+        assert retimed_run.cpu_seconds > original_run.cpu_seconds
+        assert (
+            retimed_run.fault_coverage
+            <= original_run.fault_coverage + 2.0
+        )
+
+    def test_paper_shape_structure_invariant(self, pipeline_artifacts):
+        synthesis, retiming, _, _ = pipeline_artifacts
+        depth_orig = sequential_depth_report(synthesis.circuit)
+        depth_re = sequential_depth_report(retiming.circuit)
+        assert depth_orig.depth == depth_re.depth
+        cycles_orig = count_dff_cycles(synthesis.circuit)
+        cycles_re = count_dff_cycles(retiming.circuit)
+        assert cycles_orig.max_cycle_length == cycles_re.max_cycle_length
+        assert cycles_re.num_cycles >= cycles_orig.num_cycles
+
+    def test_paper_shape_density_collapse(self, pipeline_artifacts):
+        synthesis, retiming, _, _ = pipeline_artifacts
+        density_orig = reachability_report(
+            synthesis.circuit
+        ).density_of_encoding
+        density_re = reachability_report(
+            retiming.circuit
+        ).density_of_encoding
+        assert density_re < density_orig / 10
+
+    def test_paper_shape_traversal(self, pipeline_artifacts):
+        synthesis, _, original_run, _ = pipeline_artifacts
+        traversal = traversal_report(synthesis.circuit, original_run)
+        assert traversal.percent_valid_traversed >= 95.0
+
+    def test_paper_shape_table8(self, pipeline_artifacts):
+        synthesis, retiming, original_run, retimed_run = (
+            pipeline_artifacts
+        )
+        cross = simulate_test_set_on(
+            retiming.circuit,
+            original_run.test_set,
+            pad_prefix=retiming.exact_prefix,
+        )
+        assert cross.fault_coverage >= retimed_run.fault_coverage - 5.0
+
+    def test_engines_agree_on_direction(self, pipeline_artifacts):
+        synthesis, retiming, _, _ = pipeline_artifacts
+        budget = EffortBudget.quick()
+        sim_orig = SimBasedEngine(synthesis.circuit, budget=budget).run()
+        sim_re = SimBasedEngine(retiming.circuit, budget=budget).run()
+        assert sim_re.fault_coverage <= sim_orig.fault_coverage + 3.0

@@ -1,0 +1,78 @@
+"""Shared utility helpers."""
+
+import pytest
+
+from repro._util import (
+    NameAllocator,
+    bits_needed,
+    bits_to_int,
+    chunked,
+    format_engineering,
+    int_to_bits,
+    make_rng,
+    popcount,
+    unique_name,
+)
+
+
+class TestBits:
+    def test_bits_needed(self):
+        assert bits_needed(1) == 1
+        assert bits_needed(2) == 1
+        assert bits_needed(3) == 2
+        assert bits_needed(27) == 5
+        assert bits_needed(121) == 7
+        with pytest.raises(ValueError):
+            bits_needed(0)
+
+    def test_int_bits_roundtrip(self):
+        for value in (0, 1, 5, 27, 121):
+            assert bits_to_int(int_to_bits(value, 8)) == value
+
+    def test_int_to_bits_range_checked(self):
+        with pytest.raises(ValueError):
+            int_to_bits(8, 3)
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 3)
+
+    def test_bits_to_int_validates(self):
+        with pytest.raises(ValueError):
+            bits_to_int([0, 2])
+
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+
+
+class TestNames:
+    def test_unique_name(self):
+        assert unique_name("a", ["b"]) == "a"
+        assert unique_name("a", ["a"]) == "a_1"
+        assert unique_name("a", ["a", "a_1"]) == "a_2"
+
+    def test_allocator(self):
+        names = NameAllocator(["x"])
+        assert names.fresh("x") == "x_1"
+        assert names.fresh("x") == "x_2"
+        assert names.fresh("y") == "y"
+        names.reserve("z")
+        assert "z" in names
+        assert names.fresh("z") == "z_1"
+
+
+class TestMisc:
+    def test_make_rng_deterministic(self):
+        assert make_rng(7).random() == make_rng(7).random()
+
+    def test_chunked(self):
+        assert list(chunked([1, 2, 3, 4, 5], 2)) == [[1, 2], [3, 4], [5]]
+        with pytest.raises(ValueError):
+            list(chunked([1], 0))
+
+    def test_format_engineering_paper_style(self):
+        assert format_engineering(0.84) == "0.84"
+        assert format_engineering(32) == "32"
+        assert format_engineering(524288) == "5.24E5"
+        assert format_engineering(2.0e-4) == "2E-4"
+        assert format_engineering(0) == "0"
+        assert format_engineering(1.8e-6) == "1.8E-6"
