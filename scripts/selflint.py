@@ -1,0 +1,123 @@
+"""Self-lint: run the DRC analyzer over the suite's synthesized circuits.
+
+CI regression gate for the repository's own benchmark products: every
+Table 2 circuit is synthesized and pushed through ``repro.lint``; the
+run fails when a finding appears that is not recorded in the checked-in
+baseline (``scripts/selflint_baseline.txt``).  Intentional changes to
+the suite update the baseline::
+
+    PYTHONPATH=src python scripts/selflint.py --update-baseline
+
+Exit codes: 0 clean (or baseline updated), 1 new findings at or above
+``--fail-on`` (default: warning), 2 usage/synthesis error.
+"""
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.errors import ReproError  # noqa: E402
+from repro.harness.suite import TABLE2_CIRCUITS, synthesize_named  # noqa: E402
+from repro.lint import (  # noqa: E402
+    Baseline,
+    Severity,
+    baseline_from_reports,
+    run_lint,
+)
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(__file__), "selflint_baseline.txt"
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="DRC self-lint over the synthesized benchmark suite."
+    )
+    parser.add_argument(
+        "--circuits",
+        default=",".join(TABLE2_CIRCUITS),
+        metavar="NAMES",
+        help="comma-separated Table 2 circuit names (default: all 16)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        metavar="PATH",
+        help=f"baseline file (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline with the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--fail-on",
+        default="warning",
+        metavar="SEVERITY",
+        help="fail on NEW findings at this severity or above "
+        "(note|warning|error; default: warning)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        threshold = Severity.parse(args.fail_on)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    names = [n.strip() for n in args.circuits.split(",") if n.strip()]
+    reports = []
+    for name in names:
+        try:
+            circuit = synthesize_named(name).circuit
+        except (ReproError, KeyError) as exc:
+            print(f"error: cannot synthesize {name!r}: {exc}", file=sys.stderr)
+            return 2
+        reports.append((name, run_lint(circuit)))
+
+    if args.update_baseline:
+        baseline, annotations = baseline_from_reports(reports)
+        baseline.save(args.baseline, annotations)
+        print(f"wrote {len(baseline)} fingerprint(s) to {args.baseline}")
+        return 0
+
+    baseline = Baseline.load(args.baseline)
+    regressions = []
+    for scope, report in reports:
+        new = [
+            d
+            for d in baseline.new_findings(report, scope)
+            if d.severity >= threshold
+        ]
+        known = len(report) - len(new)
+        status = f"{len(new)} new" if new else "ok"
+        print(f"{scope}: {len(report)} finding(s), {known} baselined, {status}")
+        regressions.extend((scope, d) for d in new)
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} new finding(s) at or above "
+            f"'{threshold}' (not in {args.baseline}):"
+        )
+        for scope, diag in regressions:
+            print(f"  {scope}: {diag}")
+        print(
+            "\nIf these are intentional, refresh the baseline with "
+            "--update-baseline."
+        )
+        return 1
+    print(f"\nself-lint clean over {len(reports)} circuit(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

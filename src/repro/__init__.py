@@ -27,6 +27,7 @@ from .errors import (
     CircuitError,
     FaultError,
     FsmError,
+    LintError,
     ParseError,
     ReproError,
     RetimingError,
@@ -40,6 +41,7 @@ __all__ = [
     "CircuitError",
     "FaultError",
     "FsmError",
+    "LintError",
     "ParseError",
     "ReproError",
     "RetimingError",

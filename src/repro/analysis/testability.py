@@ -123,8 +123,19 @@ def _gate_controllabilities(
     raise AnalysisError(f"no SCOAP rule for gate {gate!r}")
 
 
-def scoap(circuit: Circuit, max_iterations: int = 60) -> ScoapReport:
-    """Compute sequential SCOAP measures by fixpoint iteration."""
+def scoap(
+    circuit: Circuit, max_iterations: int = 60, seed_reset: bool = False
+) -> ScoapReport:
+    """Compute sequential SCOAP measures by fixpoint iteration.
+
+    With ``seed_reset``, a register's init value is treated as free to
+    control (the reset state costs nothing to reach), which keeps lines
+    that are trivially exercised from reset — e.g. a toggle loop
+    ``d = q XOR en`` — from saturating just because every structural
+    path to them runs through the register itself.  Off by default: the
+    classical measures the correlation study compares against do not
+    credit reset.
+    """
     circuit.check()
     names = list(circuit.node_names())
     cc0 = {n: INFINITY for n in names}
@@ -135,6 +146,14 @@ def scoap(circuit: Circuit, max_iterations: int = 60) -> ScoapReport:
     for pi in circuit.inputs:
         cc0[pi] = cc1[pi] = 1.0
         sc0[pi] = sc1[pi] = 0.0
+
+    if seed_reset:
+        for dff in circuit.dffs():
+            if dff.init in (0, 1):
+                target_c = cc1 if dff.init else cc0
+                target_s = sc1 if dff.init else sc0
+                target_c[dff.name] = 0.0
+                target_s[dff.name] = 0.0
 
     def relax() -> bool:
         changed = False

@@ -1,10 +1,18 @@
-"""Semantic lint checks for netlists.
+"""Semantic lint checks for netlists — back-compat shim.
 
-:func:`Circuit.check` guards hard structural invariants; this module adds
-softer diagnostics that synthesis output should satisfy before being fed
-to ATPG — the kinds of netlist defects that make 1990s test generators
-misbehave silently (floating logic, unobservable registers, fanin-free
-POs, uninitializable machines).
+The four original soft checks of this module (structure, dead logic,
+initialization, I/O) now live in the :mod:`repro.lint` rule registry as
+``DRC001``-``DRC005``; :func:`lint` and :func:`assert_clean` remain as
+thin wrappers running exactly that legacy subset, so existing callers
+and tests see the historical behavior.  New code should use
+:func:`repro.lint.run_lint`, which also runs the ``DRC1xx`` structural
+analyses and returns rule-tagged :class:`repro.lint.Diagnostic`
+objects.
+
+:class:`LintIssue.severity` is a :class:`repro.lint.Severity` — an
+ordered ``str``-mixin enum, so comparisons against the historical bare
+strings (``issue.severity == "error"``) and ``str(issue)`` rendering
+are unchanged.
 """
 
 from __future__ import annotations
@@ -12,9 +20,14 @@ from __future__ import annotations
 import dataclasses
 from typing import List
 
-from .gates import X
-from .graph import dead_nodes, transitive_fanin
-from .netlist import Circuit, NodeKind
+# Only the dependency-free severity leaf is imported at module level;
+# the registry lives in repro.lint.core, which imports repro.circuit —
+# importing it here at module scope would re-enter this package's
+# __init__ mid-initialization, so lint() imports it lazily.
+from ..lint.severity import Severity
+from .netlist import Circuit
+
+__all__ = ["LintIssue", "Severity", "lint", "assert_clean"]
 
 
 @dataclasses.dataclass
@@ -22,22 +35,34 @@ class LintIssue:
     """One diagnostic: a severity (``error`` / ``warning``), the node or
     feature involved, and a human-readable explanation."""
 
-    severity: str
+    severity: Severity
     subject: str
     message: str
+
+    def __post_init__(self) -> None:
+        self.severity = Severity.parse(self.severity)
 
     def __str__(self) -> str:
         return f"[{self.severity}] {self.subject}: {self.message}"
 
 
 def lint(circuit: Circuit) -> List[LintIssue]:
-    """Run all soft checks; returns issues (empty list = clean)."""
-    issues: List[LintIssue] = []
-    issues.extend(_check_structure(circuit))
-    issues.extend(_check_dead_logic(circuit))
-    issues.extend(_check_initialization(circuit))
-    issues.extend(_check_io(circuit))
-    return issues
+    """Run the legacy soft checks; returns issues (empty list = clean).
+
+    Equivalent to the pre-registry behavior: only the ported rules
+    (``DRC001``-``DRC005``) run, and plain severity/subject/message
+    issues are returned.
+    """
+    from ..lint.core import LintConfig, REGISTRY, run_lint
+
+    report = run_lint(
+        circuit, config=LintConfig(), rules=REGISTRY.legacy_rules()
+    )
+    return [
+        LintIssue(severity=d.severity, subject=d.subject, message=d.message)
+        for d in report.diagnostics
+        if d.severity >= Severity.WARNING
+    ]
 
 
 def assert_clean(circuit: Circuit) -> None:
@@ -51,73 +76,3 @@ def assert_clean(circuit: Circuit) -> None:
         raise AssertionError(
             f"circuit {circuit.name!r} failed lint:\n{rendered}"
         )
-
-
-def _check_structure(circuit: Circuit) -> List[LintIssue]:
-    issues: List[LintIssue] = []
-    try:
-        circuit.check()
-    except Exception as exc:  # surfaced as a lint error with context
-        issues.append(LintIssue("error", circuit.name, str(exc)))
-    return issues
-
-
-def _check_dead_logic(circuit: Circuit) -> List[LintIssue]:
-    issues: List[LintIssue] = []
-    for name in sorted(dead_nodes(circuit)):
-        node = circuit.node(name)
-        if node.kind is NodeKind.INPUT:
-            issues.append(
-                LintIssue(
-                    "warning",
-                    name,
-                    "primary input influences no output or register",
-                )
-            )
-        else:
-            issues.append(
-                LintIssue(
-                    "warning", name, "dead logic: influences no output or register"
-                )
-            )
-    return issues
-
-
-def _check_initialization(circuit: Circuit) -> List[LintIssue]:
-    """Every experiment in this study assumes a known reset state.
-
-    A DFF with init=X in a circuit without any DFF at a known value means
-    the machine has no defined reset state — the paper's circuits always
-    have one (explicit reset line or power-up reset), so we flag it.
-    """
-    issues: List[LintIssue] = []
-    dffs = list(circuit.dffs())
-    if not dffs:
-        return issues
-    unknown = [d.name for d in dffs if d.init == X]
-    if unknown:
-        issues.append(
-            LintIssue(
-                "warning",
-                circuit.name,
-                f"{len(unknown)} of {len(dffs)} DFFs power up unknown "
-                f"(first: {unknown[0]!r}); ATPG will need a synchronizing "
-                "sequence",
-            )
-        )
-    return issues
-
-
-def _check_io(circuit: Circuit) -> List[LintIssue]:
-    issues: List[LintIssue] = []
-    if not circuit.outputs:
-        issues.append(LintIssue("error", circuit.name, "no primary outputs"))
-    po_cone = transitive_fanin(circuit, circuit.outputs, through_dffs=True)
-    for pi in circuit.inputs:
-        if pi not in po_cone:
-            issues.append(
-                LintIssue(
-                    "warning", pi, "primary input cannot influence any output"
-                )
-            )
-    return issues

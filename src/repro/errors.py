@@ -71,3 +71,9 @@ class AtpgError(ReproError):
 
 class AnalysisError(ReproError):
     """A structural or state-space analysis could not be carried out."""
+
+
+class LintError(ReproError):
+    """A strict lint gate rejected a circuit: the DRC analyzer found
+    diagnostics at or above the gate's fail-on severity.  The message
+    lists the offending rule-tagged diagnostics."""

@@ -18,6 +18,7 @@ from ..atpg.sest import SestEngine
 from ..atpg.simbased import SimBasedEngine
 from ..circuit.netlist import Circuit
 from ..fault.collapse import collapse_faults
+from ..lint import LintConfig, Severity, gate_circuit
 from .config import HarnessConfig, sample_faults
 from .suite import CircuitPair, build_pair
 from .tables import Column, Table, pct, ratio
@@ -54,7 +55,20 @@ class PairRun:
 def run_engine_on_circuit(
     circuit: Circuit, factory: EngineFactory, config: HarnessConfig
 ) -> AtpgResult:
-    """One engine × circuit run with the config's fault sampling."""
+    """One engine × circuit run with the config's fault sampling.
+
+    The circuit passes the pre-ATPG DRC gate first: in ``strict`` mode a
+    finding at ``config.lint_fail_on`` severity aborts the run with
+    :class:`repro.errors.LintError`; in ``warn`` mode the diagnostics
+    are recorded in the global ledger, which the experiment driver
+    appends to its report.
+    """
+    gate_circuit(
+        circuit,
+        mode=config.lint_mode,
+        stage=f"pre-atpg:{circuit.name}",
+        config=LintConfig(fail_on=Severity.parse(config.lint_fail_on)),
+    )
     faults = collapse_faults(circuit).representatives
     faults = sample_faults(faults, config)
     engine = factory(circuit, config.budget)

@@ -33,6 +33,12 @@ class HarnessConfig:
     # Limit the Table 2 suite (None = all 16 pairs).
     circuits: Optional[Tuple[str, ...]] = None
     retime_target_ratio: float = 3.5
+    # Pre-ATPG DRC gate: "warn" records diagnostics in the run report,
+    # "strict" aborts the experiment on an error-severity finding,
+    # "off" skips the analyzer.
+    lint_mode: str = "warn"
+    # Severity at which the strict gate aborts (note|warning|error).
+    lint_fail_on: str = "error"
 
     @classmethod
     def smoke(cls) -> "HarnessConfig":

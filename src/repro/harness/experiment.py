@@ -11,6 +11,7 @@ import io
 import time
 from typing import Optional
 
+from ..lint import GLOBAL_LEDGER
 from .config import HarnessConfig
 from . import (
     figure3,
@@ -40,6 +41,7 @@ def run_all(
             print("", file=stream, flush=True)
 
     start = time.time()
+    GLOBAL_LEDGER.clear()  # diagnostics below describe THIS run only
     emit(table1.generate().render())
 
     t2, runs = table2.generate(config)
@@ -65,5 +67,12 @@ def run_all(
         emit(table8.generate(config).render())
 
     emit(figure3.render(figure3.generate(config)))
+    # Record the DRC diagnostics every table above ran under (pre-ATPG
+    # gate, mode per config.lint_mode).
+    emit(
+        GLOBAL_LEDGER.render_summary(
+            title=f"Static analysis (DRC) gate [{config.lint_mode}]"
+        )
+    )
     emit(f"total harness time: {time.time() - start:.0f}s")
     return out.getvalue()

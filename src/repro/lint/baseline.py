@@ -1,0 +1,113 @@
+"""Baseline suppression files.
+
+A baseline records the *accepted* findings of a codebase so CI can fail
+only on regressions.  The format is line-oriented and diff-friendly::
+
+    # repro.lint baseline (one fingerprint per line)
+    <scope> <rule-id> <subject>
+
+``scope`` is usually the circuit name (``-`` when none).  Anything after
+a ``#`` is a comment; the writer appends the finding's message as a
+comment so reviews of the baseline stay meaningful.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .core import Diagnostic, LintReport
+
+HEADER = "# repro.lint baseline (one '<scope> <rule-id> <subject>' per line)"
+
+
+class Baseline:
+    """A set of accepted finding fingerprints."""
+
+    def __init__(self, fingerprints: Optional[Iterable[str]] = None):
+        self._fingerprints: Set[str] = set(fingerprints or ())
+
+    def __len__(self) -> int:
+        return len(self._fingerprints)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._fingerprints
+
+    @property
+    def fingerprints(self) -> Set[str]:
+        return set(self._fingerprints)
+
+    def is_suppressed(self, diag: Diagnostic, scope: str) -> bool:
+        return diag.fingerprint(scope) in self._fingerprints
+
+    def apply(self, report: LintReport, scope: str = "") -> LintReport:
+        """Report minus suppressed findings (``suppressed`` counts them)."""
+        return report.without(self._fingerprints, scope=scope)
+
+    def new_findings(
+        self, report: LintReport, scope: str = ""
+    ) -> List[Diagnostic]:
+        scope = scope or report.circuit_name
+        return [
+            d for d in report.diagnostics if not self.is_suppressed(d, scope)
+        ]
+
+    def record(self, report: LintReport, scope: str = "") -> None:
+        scope = scope or report.circuit_name
+        for diag in report.diagnostics:
+            self._fingerprints.add(diag.fingerprint(scope))
+
+    # -- persistence -------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        baseline = cls()
+        if not os.path.exists(path):
+            return baseline
+        with open(path) as handle:
+            for line in handle:
+                entry = line.split("#", 1)[0].strip()
+                if not entry:
+                    continue
+                parts = entry.split()
+                if len(parts) != 3:
+                    raise ValueError(
+                        f"{path}: malformed baseline line {line.rstrip()!r}"
+                    )
+                baseline._fingerprints.add(" ".join(parts))
+        return baseline
+
+    def save(
+        self,
+        path: str,
+        annotations: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Write fingerprints sorted, optionally with message comments."""
+        annotations = annotations or {}
+        with open(path, "w") as handle:
+            handle.write(HEADER + "\n")
+            for fingerprint in sorted(self._fingerprints):
+                note = annotations.get(fingerprint)
+                if note:
+                    handle.write(f"{fingerprint}  # {note}\n")
+                else:
+                    handle.write(f"{fingerprint}\n")
+
+
+def baseline_from_reports(
+    reports: Iterable[Tuple[str, LintReport]],
+) -> Tuple[Baseline, Dict[str, str]]:
+    """Build a baseline (plus message annotations) from (scope, report)
+    pairs — what ``--update-baseline`` writes."""
+    baseline = Baseline()
+    annotations: Dict[str, str] = {}
+    for scope, report in reports:
+        scope = scope or report.circuit_name
+        for diag in report.diagnostics:
+            fingerprint = diag.fingerprint(scope)
+            baseline._fingerprints.add(fingerprint)
+            annotations.setdefault(
+                fingerprint, f"[{diag.severity}] {diag.message}"
+            )
+    return baseline, annotations

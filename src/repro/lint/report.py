@@ -1,0 +1,87 @@
+"""Diagnostic reporters: human-readable text and machine-readable JSON.
+
+The JSON schema is stable (``schema_version`` guards consumers):
+
+.. code-block:: json
+
+    {
+      "schema_version": 1,
+      "tool": "repro.lint",
+      "reports": [
+        {
+          "circuit": "s510.jo.sr",
+          "rules_run": ["DRC001", "..."],
+          "counts": {"note": 0, "warning": 2, "error": 0},
+          "suppressed": 0,
+          "elapsed_seconds": 0.01,
+          "diagnostics": [
+            {"rule": "DRC106", "severity": "warning", "category": "encoding",
+             "subject": "s510.jo.sr", "message": "...", "fix_hint": "..."}
+          ]
+        }
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Sequence
+
+from .core import LintReport, RuleRegistry
+from .severity import Severity
+
+SCHEMA_VERSION = 1
+
+
+def render_text(reports: "LintReport | Sequence[LintReport]") -> str:
+    """Compiler-style text rendering of one or several reports."""
+    lines: List[str] = []
+    for report in _as_sequence(reports):
+        counts = report.counts()
+        summary = ", ".join(
+            f"{counts[str(s)]} {s}(s)" for s in reversed(list(Severity))
+        )
+        lines.append(f"== {report.circuit_name}: {summary}")
+        if report.suppressed:
+            lines.append(f"   ({report.suppressed} baseline-suppressed)")
+        for diag in sorted(
+            report.diagnostics,
+            key=lambda d: (-d.severity.rank, d.rule_id, d.subject),
+        ):
+            lines.append(f"  {diag}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_json(reports: "LintReport | Sequence[LintReport]") -> str:
+    payload: Dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "tool": "repro.lint",
+        "reports": [r.to_dict() for r in _as_sequence(reports)],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False) + "\n"
+
+
+def render_rule_listing(registry: RuleRegistry) -> str:
+    """The ``--list-rules`` table."""
+    lines = [f"{len(registry)} registered rules:"]
+    for entry in registry.rules():
+        flags = []
+        if entry.legacy:
+            flags.append("ported")
+        if entry.retiming_invariant:
+            flags.append("retiming-invariant")
+        suffix = f"  [{', '.join(flags)}]" if flags else ""
+        lines.append(
+            f"  {entry.rule_id}  {entry.severity:<7}  {entry.category:<12} "
+            f"{entry.name}: {entry.description}{suffix}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _as_sequence(
+    reports: "LintReport | Sequence[LintReport]",
+) -> Sequence[LintReport]:
+    if isinstance(reports, LintReport):
+        return [reports]
+    return list(reports)

@@ -1,0 +1,85 @@
+"""Ordered diagnostic severities.
+
+``Severity`` is a ``str`` mixin enum so existing call sites that compare
+``issue.severity == "error"`` keep working, while the explicit rank
+table gives the ordering that ``--fail-on`` thresholds need (plain str
+mixins would otherwise compare alphabetically, putting ``error`` below
+``warning``).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Severity(str, enum.Enum):
+    """Diagnostic severity, ordered ``NOTE < WARNING < ERROR``."""
+
+    NOTE = "note"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return _RANK[self]
+
+    @classmethod
+    def parse(cls, value: "str | Severity") -> "Severity":
+        """Coerce a severity name (any case) or instance into a member."""
+        if isinstance(value, Severity):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            names = ", ".join(m.value for m in cls)
+            raise ValueError(
+                f"unknown severity {value!r}; expected one of: {names}"
+            ) from None
+
+    # Rank-based ordering (the str mixin would otherwise sort
+    # alphabetically).  Plain strings are accepted on either side.
+    def _coerce(self, other: object) -> "Severity | None":
+        try:
+            return Severity.parse(other)  # type: ignore[arg-type]
+        except (ValueError, TypeError):
+            return None
+
+    def __lt__(self, other: object) -> bool:
+        coerced = self._coerce(other)
+        if coerced is None:
+            return NotImplemented
+        return self.rank < coerced.rank
+
+    def __le__(self, other: object) -> bool:
+        coerced = self._coerce(other)
+        if coerced is None:
+            return NotImplemented
+        return self.rank <= coerced.rank
+
+    def __gt__(self, other: object) -> bool:
+        coerced = self._coerce(other)
+        if coerced is None:
+            return NotImplemented
+        return self.rank > coerced.rank
+
+    def __ge__(self, other: object) -> bool:
+        coerced = self._coerce(other)
+        if coerced is None:
+            return NotImplemented
+        return self.rank >= coerced.rank
+
+    # Keep rendering identical to the historical bare strings.
+    def __str__(self) -> str:
+        return self.value
+
+    def __format__(self, spec: str) -> str:
+        return format(self.value, spec)
+
+    def __repr__(self) -> str:
+        return f"Severity.{self.name}"
+
+    # The str mixin provides __eq__/__hash__ (value equality with plain
+    # strings), which is exactly the back-compat behavior we want.
+
+
+_RANK = {Severity.NOTE: 0, Severity.WARNING: 1, Severity.ERROR: 2}

@@ -35,6 +35,7 @@ from ..errors import SynthesisError
 from ..fsm.encode import Encoding, EncodingAlgorithm, encode_fsm
 from ..fsm.machine import Fsm
 from ..fsm.minimize import minimize_fsm
+from ..lint.gate import GateMode, gate_circuit
 from ..logic.cube import Cover, Cube
 from ..logic.espresso import minimize as espresso_minimize
 from ..logic.factor import (
@@ -76,10 +77,17 @@ def synthesize(
     library: Optional[GateLibrary] = None,
     minimize_states: bool = True,
     seed: int = 0,
+    lint_mode: "str | GateMode" = GateMode.WARN,
 ) -> SynthesisResult:
     """Run the full pipeline; returns the mapped sequential circuit.
 
     The circuit is named by the paper's convention (``fsm.jX.sY``).
+
+    Every mapped netlist passes through the DRC analyzer before being
+    returned (``lint_mode``: ``warn`` logs diagnostics — the default —
+    ``strict`` raises :class:`repro.errors.LintError` on error-severity
+    findings, ``off`` skips the gate), so defective synthesis products
+    are surfaced instead of silently fed to ATPG.
     """
     library = library or DEFAULT_LIBRARY
     if minimize_states:
@@ -101,6 +109,11 @@ def synthesize(
     circuit = map_to_library(circuit, library)
     sweep_dead_nodes(circuit)
     circuit.check()
+    # Post-synthesis DRC gate (not recorded in the harness ledger; the
+    # pre-ATPG gate owns the per-run diagnostic record).
+    gate_circuit(
+        circuit, mode=lint_mode, stage=f"post-synthesis:{name}", ledger=None
+    )
     return SynthesisResult(
         circuit=circuit,
         fsm=fsm,

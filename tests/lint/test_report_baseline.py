@@ -1,0 +1,109 @@
+"""Text/JSON reporters and baseline suppression round-trips."""
+
+import json
+
+from repro.lint import (
+    Baseline,
+    Diagnostic,
+    LintReport,
+    REGISTRY,
+    Severity,
+    baseline_from_reports,
+    render_json,
+    render_rule_listing,
+    render_text,
+)
+
+
+def sample_report():
+    return LintReport(
+        circuit_name="c1",
+        diagnostics=[
+            Diagnostic("DRC002", Severity.WARNING, "g2", "dead",
+                       category="connectivity", fix_hint="sweep"),
+            Diagnostic("DRC101", Severity.ERROR, "g1", "loop",
+                       category="structure"),
+        ],
+        rules_run=("DRC002", "DRC101"),
+    )
+
+
+class TestTextReporter:
+    def test_summary_and_severity_ordering(self):
+        text = render_text(sample_report())
+        assert "== c1: 1 error(s), 1 warning(s), 0 note(s)" in text
+        # Errors sort above warnings regardless of insertion order.
+        assert text.index("DRC101") < text.index("DRC002")
+        assert "(hint: sweep)" in text
+
+    def test_suppressed_count_shown(self):
+        report = sample_report().without(["c1 DRC101 g1"], scope="c1")
+        assert "(1 baseline-suppressed)" in render_text(report)
+
+
+class TestJsonReporter:
+    def test_schema(self):
+        payload = json.loads(render_json([sample_report()]))
+        assert payload["schema_version"] == 1
+        assert payload["tool"] == "repro.lint"
+        (report,) = payload["reports"]
+        assert report["circuit"] == "c1"
+        assert report["counts"] == {"note": 0, "warning": 1, "error": 1}
+        rules = {d["rule"] for d in report["diagnostics"]}
+        assert rules == {"DRC002", "DRC101"}
+        dead = next(d for d in report["diagnostics"] if d["rule"] == "DRC002")
+        assert dead["fix_hint"] == "sweep"
+        assert dead["severity"] == "warning"
+
+    def test_single_report_accepted(self):
+        payload = json.loads(render_json(sample_report()))
+        assert len(payload["reports"]) == 1
+
+
+class TestRuleListing:
+    def test_every_rule_listed(self):
+        listing = render_rule_listing(REGISTRY)
+        for entry in REGISTRY.rules():
+            assert entry.rule_id in listing
+        assert "ported" in listing
+        assert "retiming-invariant" in listing
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "baseline.txt")
+        baseline, annotations = baseline_from_reports([("c1", sample_report())])
+        baseline.save(path, annotations)
+
+        loaded = Baseline.load(path)
+        assert loaded.fingerprints == {"c1 DRC002 g2", "c1 DRC101 g1"}
+        suppressed = loaded.apply(sample_report(), scope="c1")
+        assert len(suppressed) == 0
+        assert suppressed.suppressed == 2
+
+    def test_new_findings_only(self):
+        baseline = Baseline(["c1 DRC002 g2"])
+        new = baseline.new_findings(sample_report(), scope="c1")
+        assert [d.rule_id for d in new] == ["DRC101"]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(str(tmp_path / "nope.txt"))
+        assert len(baseline) == 0
+
+    def test_comments_ignored_malformed_rejected(self, tmp_path):
+        path = tmp_path / "b.txt"
+        path.write_text("# header\nc1 DRC002 g2  # dead\n\n")
+        assert Baseline.load(str(path)).fingerprints == {"c1 DRC002 g2"}
+
+        path.write_text("only-two fields\n")
+        try:
+            Baseline.load(str(path))
+        except ValueError as exc:
+            assert "malformed" in str(exc)
+        else:  # pragma: no cover
+            raise AssertionError("malformed line accepted")
+
+    def test_record_then_suppress(self):
+        baseline = Baseline()
+        baseline.record(sample_report())  # scope defaults to circuit name
+        assert not baseline.new_findings(sample_report())

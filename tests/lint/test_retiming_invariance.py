@@ -1,0 +1,49 @@
+"""Property test: rules marked retiming-invariant report identical
+diagnostics on a circuit and its retimed counterpart.
+
+Retiming moves registers, not interface or connectivity structure, so
+rules whose findings depend only on the I/O interface and the through-
+register connectivity (DRC004, DRC005, DRC101) must be blind to it —
+Theorem 1's setting.  Subjects naming the circuit itself are normalized
+because the retimed copy is renamed "<name>.re".
+"""
+
+import pytest
+
+from repro.lint import LintConfig, REGISTRY, run_lint
+from repro.retime.core import backward_retime
+
+from ..helpers import random_circuit
+
+INVARIANT_IDS = frozenset(
+    r.rule_id for r in REGISTRY.rules() if r.retiming_invariant
+)
+
+
+def normalized_findings(circuit):
+    report = run_lint(circuit, LintConfig(only=INVARIANT_IDS))
+    return {
+        (
+            d.rule_id,
+            "<circuit>" if d.subject == circuit.name else d.subject,
+        )
+        for d in report
+    }
+
+
+class TestRetimingInvariance:
+    def test_invariant_rules_exist(self):
+        assert {"DRC004", "DRC005", "DRC101"} <= INVARIANT_IDS
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_diagnostics_stable_under_backward_retiming(self, seed):
+        original = random_circuit(seed, num_inputs=4, num_gates=14, num_dffs=3)
+        retimed = backward_retime(original, depth=2).circuit
+        assert retimed.num_dffs() >= original.num_dffs()
+        assert normalized_findings(retimed) == normalized_findings(original)
+
+    @pytest.mark.parametrize("seed", (3, 11))
+    def test_deeper_retiming_still_stable(self, seed):
+        original = random_circuit(seed, num_inputs=3, num_gates=10, num_dffs=2)
+        retimed = backward_retime(original, depth=4).circuit
+        assert normalized_findings(retimed) == normalized_findings(original)

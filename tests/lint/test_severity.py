@@ -1,0 +1,74 @@
+"""Severity enum: ordering, parsing, and string back-compat."""
+
+import pytest
+
+from repro.lint import Severity
+
+
+class TestOrdering:
+    def test_rank_order(self):
+        assert Severity.NOTE < Severity.WARNING < Severity.ERROR
+
+    def test_not_alphabetical(self):
+        # A plain str mixin would sort "error" < "warning"; ranks must win.
+        assert Severity.ERROR > Severity.WARNING
+
+    def test_compare_with_plain_strings(self):
+        assert Severity.ERROR > "warning"
+        assert Severity.NOTE <= "note"
+        assert Severity.WARNING >= "note"
+        assert Severity.WARNING < "error"
+
+    def test_sorted_uses_rank(self):
+        shuffled = [Severity.ERROR, Severity.NOTE, Severity.WARNING]
+        assert sorted(shuffled) == [
+            Severity.NOTE,
+            Severity.WARNING,
+            Severity.ERROR,
+        ]
+
+    def test_max_picks_error(self):
+        assert max(Severity.WARNING, Severity.ERROR) is Severity.ERROR
+
+    def test_unorderable_non_string(self):
+        with pytest.raises(TypeError):
+            Severity.ERROR < 5  # noqa: B015
+
+    def test_unknown_string_falls_back_to_str_semantics(self):
+        # The str base class answers for strings that are not severity
+        # names — no crash, plain lexicographic comparison.
+        assert (Severity.ERROR < "zzz") is True
+
+
+class TestParse:
+    def test_parse_names(self):
+        assert Severity.parse("error") is Severity.ERROR
+        assert Severity.parse("WARNING") is Severity.WARNING
+        assert Severity.parse("Note") is Severity.NOTE
+
+    def test_parse_passthrough(self):
+        assert Severity.parse(Severity.ERROR) is Severity.ERROR
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.parse("fatal")
+
+
+class TestStringBackCompat:
+    """str(issue.severity) and == "error" comparisons must not change."""
+
+    def test_str_is_bare_value(self):
+        assert str(Severity.ERROR) == "error"
+        assert str(Severity.WARNING) == "warning"
+
+    def test_format(self):
+        assert f"[{Severity.WARNING}]" == "[warning]"
+        assert f"{Severity.ERROR:<8}|" == "error   |"
+
+    def test_equality_with_plain_string(self):
+        assert Severity.ERROR == "error"
+        assert Severity.WARNING != "error"
+
+    def test_usable_as_dict_key_interchangeably(self):
+        counts = {Severity.ERROR: 1}
+        assert counts["error"] == 1

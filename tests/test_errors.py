@@ -8,6 +8,7 @@ from repro.errors import (
     CircuitError,
     FaultError,
     FsmError,
+    LintError,
     ParseError,
     ReproError,
     RetimingError,
@@ -21,6 +22,7 @@ ALL_ERRORS = [
     CircuitError,
     FaultError,
     FsmError,
+    LintError,
     ParseError,
     RetimingError,
     SimulationError,

@@ -1,0 +1,62 @@
+"""The self-lint CI gate, exercised on a fast subset of the suite.
+
+CI runs ``scripts/selflint.py`` over all sixteen Table 2 circuits; here
+we load the script as a module and run the cheapest circuits so the
+baseline file, the suppression logic and the exit-code contract are all
+covered inside the normal pytest run.
+"""
+
+import importlib.util
+import os
+
+import pytest
+
+SCRIPT = os.path.join(
+    os.path.dirname(os.path.dirname(__file__)), "scripts", "selflint.py"
+)
+
+
+@pytest.fixture(scope="module")
+def selflint():
+    spec = importlib.util.spec_from_file_location("selflint", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestSelfLint:
+    def test_baseline_is_checked_in(self, selflint):
+        assert os.path.exists(selflint.DEFAULT_BASELINE)
+
+    def test_clean_circuit_passes(self, selflint, capsys):
+        assert selflint.main(["--circuits", "dk16.ji.sd"]) == 0
+        assert "self-lint clean" in capsys.readouterr().out
+
+    def test_baselined_warnings_are_suppressed(self, selflint, capsys):
+        # s510.jo.sr carries two accepted dead-input warnings; the
+        # checked-in baseline must absorb them.
+        assert selflint.main(["--circuits", "s510.jo.sr"]) == 0
+        out = capsys.readouterr().out
+        assert "2 baselined" in out
+
+    def test_unbaselined_finding_fails(self, selflint, tmp_path, capsys):
+        empty = str(tmp_path / "empty_baseline.txt")
+        code = selflint.main(
+            ["--circuits", "s510.jo.sr", "--baseline", empty]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "new finding(s)" in out and "DRC002" in out
+
+    def test_unknown_circuit_is_usage_error(self, selflint, capsys):
+        assert selflint.main(["--circuits", "nope.ji.sd"]) == 2
+
+    def test_update_baseline_round_trips(self, selflint, tmp_path, capsys):
+        path = str(tmp_path / "b.txt")
+        assert selflint.main(
+            ["--circuits", "s510.jo.sr", "--baseline", path,
+             "--update-baseline"]
+        ) == 0
+        assert selflint.main(
+            ["--circuits", "s510.jo.sr", "--baseline", path]
+        ) == 0
