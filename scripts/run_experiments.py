@@ -5,34 +5,66 @@ circuit pairs (covering five of the six FSMs; the scf pairs — our
 synthetic scf synthesizes to several thousand gates — run under the
 ``heavy`` preset instead) and compact per-circuit budgets.  The shape
 assertions in benchmarks/ run on every preset.
+
+Execution goes through the parallel runner: ``--jobs N`` fans the
+(circuit pair x engine) cells across N spawned workers, every attempt
+lands in ``runs/<run-id>/ledger.jsonl``, and an interrupted run can be
+finished with ``--resume <run-id>``.
 """
+import argparse
 import sys
+
 from repro.atpg.result import EffortBudget
 from repro.harness import HarnessConfig, run_all
 
-config = HarnessConfig(
-    budget=EffortBudget(
-        max_backtracks=350,
-        max_frames=5,
-        max_justify_depth=12,
-        max_preimages=4,
-        per_fault_seconds=0.8,
-        total_seconds=25.0,
-        random_sequences=32,
-        random_length=35,
-    ),
-    max_faults=300,
-    circuits=(
-        "dk16.ji.sd",
-        "pma.jo.sd",
-        "s510.jc.sd",
-        "s510.jo.sr",
-        "s820.jc.sr",
-        "s820.jo.sd",
-        "s832.jc.sr",
-        "s832.jo.sr",
-    ),
-)
-text = run_all(config, stream=sys.stdout)
-with open("experiments_raw.txt", "w") as f:
-    f.write(text)
+
+def build_config() -> HarnessConfig:
+    return HarnessConfig(
+        budget=EffortBudget(
+            max_backtracks=350,
+            max_frames=5,
+            max_justify_depth=12,
+            max_preimages=4,
+            per_fault_seconds=0.8,
+            total_seconds=25.0,
+            random_sequences=32,
+            random_length=35,
+        ),
+        max_faults=300,
+        circuits=(
+            "dk16.ji.sd",
+            "pma.jo.sd",
+            "s510.jc.sd",
+            "s510.jo.sr",
+            "s820.jc.sr",
+            "s820.jo.sd",
+            "s832.jc.sr",
+            "s832.jo.sr",
+        ),
+        task_timeout_seconds=600.0,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=1, metavar="N")
+    parser.add_argument("--resume", default=None, metavar="RUN_ID")
+    parser.add_argument("--runs-dir", default="runs", metavar="DIR")
+    parser.add_argument(
+        "--output", default="experiments_raw.txt", metavar="FILE"
+    )
+    args = parser.parse_args(argv)
+    text = run_all(
+        build_config(),
+        stream=sys.stdout,
+        jobs=args.jobs,
+        resume=args.resume,
+        runs_dir=args.runs_dir,
+    )
+    with open(args.output, "w") as handle:
+        handle.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,7 @@ from .result import (
     EffortBudget,
     Stopwatch,
     TestSet,
+    WorkClock,
 )
 from .hitec import HitecEngine, Justifier, run_hitec
 from .sest import SestEngine, run_sest
@@ -64,6 +65,7 @@ __all__ = [
     "SimBasedOptions",
     "Solution",
     "Stopwatch",
+    "WorkClock",
     "TestSet",
     "UnrolledModel",
     "Variable",

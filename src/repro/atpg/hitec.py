@@ -60,16 +60,32 @@ from .._util import make_rng
 from .frames import UnrolledModel
 from .learning import IllegalStateCache, cube_key
 from .podem import FaultPodem, JustifyPodem, SearchMeter
-from .result import AtpgResult, Checkpoint, EffortBudget, Stopwatch, TestSet
+from .result import (
+    AtpgResult,
+    Checkpoint,
+    EffortBudget,
+    Stopwatch,
+    TestSet,
+    WorkClock,
+)
 
 State = Tuple[int, ...]
 Vector = List[int]
+
+# Virtual-clock work charges (deterministic_clock budgets only): one
+# backtrack costs 1 unit (charged by SearchMeter); these cover the
+# other dominant work items so checkpoint times keep advancing even on
+# faults that never backtrack.
+_COST_FRAME_WINDOW = 5  # one time-frame window expansion
+_COST_SEQUENCE_SIM = 5  # one sequence through the fault simulator
 
 
 @dataclasses.dataclass
 class _FaultOutcome:
     state: str  # detected | redundant | aborted
     sequence: Optional[List[Vector]] = None
+    backtracks: int = 0
+    frames_expanded: int = 0
 
 
 class Justifier:
@@ -302,15 +318,17 @@ class HitecEngine:
         justifier = Justifier(
             self.circuit, self.budget, self.learning_cache, states_seen
         )
-        total_watch = Stopwatch(self.budget.total_seconds)
+        clock = WorkClock() if self.budget.deterministic_clock else None
+        total_watch = Stopwatch(self.budget.total_seconds, clock=clock)
         detected = redundant = processed = 0
+        backtracks = frames_expanded = 0
         total = len(statuses)
 
         # Phase 0: random test generation.  Detects the easy faults at
         # fault-simulation cost and seeds the justifier's known-state
         # database with every state the kept sequences drive through.
         detected += self._random_phase(
-            statuses, test_set, justifier, states_seen
+            statuses, test_set, justifier, states_seen, total_watch
         )
         processed += detected
         checkpoints.append(
@@ -333,6 +351,8 @@ class HitecEngine:
                 continue
             outcome = self._process_fault(fault, justifier, total_watch)
             processed += 1
+            backtracks += outcome.backtracks
+            frames_expanded += outcome.frames_expanded
             if outcome.state == "detected":
                 status.state = "detected"
                 status.detected_by = len(test_set)
@@ -343,6 +363,7 @@ class HitecEngine:
                 open_faults = [
                     f for f, s in statuses.items() if s.is_open()
                 ]
+                total_watch.charge(_COST_SEQUENCE_SIM)
                 report = self._simulator.run(
                     [outcome.sequence], faults=open_faults
                 )
@@ -376,6 +397,8 @@ class HitecEngine:
             checkpoints=checkpoints,
             states_traversed=states_seen,
             states_examined=justifier.states_examined,
+            backtracks=backtracks,
+            frames_expanded=frames_expanded,
         )
 
     def _random_phase(
@@ -384,6 +407,7 @@ class HitecEngine:
         test_set: TestSet,
         justifier: Justifier,
         states_seen: Set[State],
+        total_watch: Stopwatch,
     ) -> int:
         """Greedy random-sequence selection; returns #faults detected."""
         detected = 0
@@ -391,6 +415,7 @@ class HitecEngine:
         for _ in range(self.budget.random_sequences):
             if not open_faults:
                 break
+            total_watch.charge(_COST_SEQUENCE_SIM)
             sequence = [
                 [self._rng.randrange(2) for _ in range(self._num_pis)]
                 for _ in range(self.budget.random_length)
@@ -428,11 +453,22 @@ class HitecEngine:
         validation_failures = 0
         all_justify_exhaustive = True
         forward_exhausted_at_max = False
+        windows_expanded = 0
+
+        def _done(state: str, sequence=None) -> _FaultOutcome:
+            return _FaultOutcome(
+                state,
+                sequence,
+                backtracks=meter.backtracks,
+                frames_expanded=windows_expanded,
+            )
 
         window = 1
         while window <= self.budget.max_frames:
             model.reset_assignments()
             model.set_frames(window)
+            windows_expanded += 1
+            total_watch.charge(_COST_FRAME_WINDOW)
             search = FaultPodem(model, meter)
             for solution in search.solutions():
                 any_solution = True
@@ -445,12 +481,12 @@ class HitecEngine:
                     continue
                 sequence = self._randomize_fill(solution, prefix)
                 if self._simulator.detects(sequence, fault):
-                    return _FaultOutcome("detected", sequence)
+                    return _done("detected", sequence)
                 validation_failures += 1
                 if meter.exhausted():
                     break
             if meter.exhausted():
-                return _FaultOutcome("aborted")
+                return _done("aborted")
             if window == self.budget.max_frames:
                 forward_exhausted_at_max = search.outcome.exhausted
             window += 1
@@ -459,7 +495,7 @@ class HitecEngine:
             # No excitation+propagation exists even with a free machine
             # state: untestable within the window (combinational-style
             # redundancy).
-            return _FaultOutcome("redundant")
+            return _done("redundant")
         if (
             any_solution
             and forward_exhausted_at_max
@@ -468,8 +504,8 @@ class HitecEngine:
         ):
             # Every excitation state was exhaustively proven unreachable:
             # the paper's invalid-SRF.
-            return _FaultOutcome("redundant")
-        return _FaultOutcome("aborted")
+            return _done("redundant")
+        return _done("aborted")
 
     def _randomize_fill(self, solution, prefix: List[Vector]) -> List[Vector]:
         """Concatenate the justification prefix and the forward-phase

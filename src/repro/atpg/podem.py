@@ -45,12 +45,16 @@ class SearchMeter:
     ):
         self.max_backtracks = max_backtracks
         self.backtracks = 0
-        self._fault_watch = Stopwatch(per_fault_seconds)
+        # The per-fault watch ticks on the same clock as the per-circuit
+        # watch, so a deterministic WorkClock governs both deadlines.
+        clock = total_watch.clock if total_watch is not None else None
+        self._fault_watch = Stopwatch(per_fault_seconds, clock=clock)
         self._total_watch = total_watch
 
     def charge_backtrack(self) -> bool:
         """Count one backtrack; False when the budget is exhausted."""
         self.backtracks += 1
+        self._fault_watch.charge(1)
         return not self.exhausted()
 
     def exhausted(self) -> bool:

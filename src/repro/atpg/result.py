@@ -40,6 +40,11 @@ class EffortBudget:
     # every classical flow starts from.
     random_sequences: int = 64
     random_length: int = 40
+    # Replace the process-time stopwatch with a work-counting virtual
+    # clock.  Engine results (including every reported cpu_seconds)
+    # then depend only on the inputs and seeds, never on machine load —
+    # required for bit-exact serial-vs-parallel harness equivalence.
+    deterministic_clock: bool = False
 
     @classmethod
     def quick(cls) -> "EffortBudget":
@@ -59,6 +64,30 @@ class EffortBudget:
     def paper(cls) -> "EffortBudget":
         """The default for the table-regeneration harness."""
         return cls()
+
+    def scaled(self, factor: float) -> "EffortBudget":
+        """A proportionally smaller (or larger) budget.
+
+        The experiment runner retries timed-out cells with
+        ``budget.scaled(0.5)`` so a pathological circuit converges to an
+        abortable effort level instead of stalling the whole run.
+        Integer knobs keep a floor of 1 so a scaled budget still makes
+        progress.
+        """
+        def _units(value: int) -> int:
+            return max(1, int(value * factor))
+
+        return dataclasses.replace(
+            self,
+            max_backtracks=_units(self.max_backtracks),
+            max_frames=_units(self.max_frames),
+            max_justify_depth=_units(self.max_justify_depth),
+            max_preimages=_units(self.max_preimages),
+            per_fault_seconds=max(1e-3, self.per_fault_seconds * factor),
+            total_seconds=max(1e-3, self.total_seconds * factor),
+            random_sequences=_units(self.random_sequences),
+            random_length=_units(self.random_length),
+        )
 
 
 @dataclasses.dataclass
@@ -124,9 +153,29 @@ class AtpgResult:
     states_examined: Set[Tuple[int, ...]] = dataclasses.field(
         default_factory=set
     )
+    # Time-frame windows the deterministic search expanded, summed over
+    # faults (the runner's ledger reports this as "frames expanded").
+    frames_expanded: int = 0
 
     def summary(self) -> CoverageSummary:
         return summarize(self.statuses.values())
+
+    def counters(self) -> Dict[str, float]:
+        """Flat JSON-able effort/outcome counters for the run ledger."""
+        summary = self.summary()
+        return {
+            "total_faults": summary.total,
+            "detected": summary.detected,
+            "redundant": summary.redundant,
+            "aborted_faults": summary.aborted,
+            "backtracks": self.backtracks,
+            "frames_expanded": self.frames_expanded,
+            "states_traversed": len(self.states_traversed),
+            "states_examined": len(self.states_examined),
+            "test_sequences": len(self.test_set),
+            "test_vectors": self.test_set.total_vectors(),
+            "cpu_seconds": self.cpu_seconds,
+        }
 
     @property
     def fault_coverage(self) -> float:
@@ -144,15 +193,53 @@ class AtpgResult:
         )
 
 
-class Stopwatch:
-    """Deadline tracking for budget enforcement (process CPU time)."""
+class WorkClock:
+    """Deterministic virtual clock: time advances by charged work units.
 
-    def __init__(self, limit_seconds: float):
-        self._start = time.process_time()
+    One unit is a fixed (arbitrary) slice of "CPU"; engines charge the
+    clock at deterministic points — per backtrack, per expanded frame
+    window, per simulated sequence — so the resulting pseudo-seconds are
+    a pure function of the search trajectory.  Two runs with the same
+    circuit, faults and seeds therefore report identical cpu_seconds and
+    identical budget cuts, on any machine and in any process.
+    """
+
+    def __init__(self, seconds_per_unit: float = 1e-4):
+        self.seconds_per_unit = seconds_per_unit
+        self._units = 0
+
+    def charge(self, units: int = 1) -> None:
+        self._units += units
+
+    def seconds(self) -> float:
+        return self._units * self.seconds_per_unit
+
+
+class Stopwatch:
+    """Deadline tracking for budget enforcement.
+
+    Measures process CPU time by default; pass a :class:`WorkClock` to
+    run against deterministic virtual time instead (the clock is shared
+    between the per-circuit and per-fault watches of one engine run).
+    """
+
+    def __init__(self, limit_seconds: float, clock: Optional[WorkClock] = None):
+        self.clock = clock
+        self._start = self._now()
         self._limit = limit_seconds
 
+    def _now(self) -> float:
+        if self.clock is not None:
+            return self.clock.seconds()
+        return time.process_time()
+
+    def charge(self, units: int = 1) -> None:
+        """Advance virtual time (no-op under the real clock)."""
+        if self.clock is not None:
+            self.clock.charge(units)
+
     def elapsed(self) -> float:
-        return time.process_time() - self._start
+        return self._now() - self._start
 
     def expired(self) -> bool:
         return self.elapsed() >= self._limit

@@ -36,7 +36,14 @@ from ..fault.collapse import collapse_faults
 from ..fault.model import Fault, FaultStatus
 from ..fault.simulator import FaultSimulator
 from .._util import make_rng
-from .result import AtpgResult, Checkpoint, EffortBudget, Stopwatch, TestSet
+from .result import (
+    AtpgResult,
+    Checkpoint,
+    EffortBudget,
+    Stopwatch,
+    TestSet,
+    WorkClock,
+)
 
 
 @dataclasses.dataclass
@@ -83,7 +90,8 @@ class SimBasedEngine:
         test_set = TestSet()
         checkpoints: List[Checkpoint] = []
         states_seen: Set[Tuple[int, ...]] = set()
-        watch = Stopwatch(self.budget.total_seconds)
+        clock = WorkClock() if self.budget.deterministic_clock else None
+        watch = Stopwatch(self.budget.total_seconds, clock=clock)
         elite: List[List[List[int]]] = []
         stall = 0
         detected_count = 0
@@ -98,6 +106,7 @@ class SimBasedEngine:
             for sequence in batch:
                 if watch.expired():
                     break
+                watch.charge(5)  # one sequence through the fault simulator
                 report = self._simulator.run(
                     [sequence], faults=open_faults
                 )

@@ -35,12 +35,26 @@ from . import (
     table8,
 )
 from .experiment import run_all
-from .report import curves_to_markdown, preformatted, table_to_markdown
+from .ledger import TaskRecord, load_records
+from .report import (
+    assemble_report,
+    curves_to_markdown,
+    preformatted,
+    table_to_markdown,
+)
+from .runner import RunResult, TaskSpec, build_task_graph, run_experiment
 
 __all__ = [
     "CircuitPair",
     "Column",
     "HarnessConfig",
+    "RunResult",
+    "TaskRecord",
+    "TaskSpec",
+    "assemble_report",
+    "build_task_graph",
+    "load_records",
+    "run_experiment",
     "TABLE2_CIRCUITS",
     "TABLE3_CIRCUITS",
     "TABLE4_CIRCUITS",

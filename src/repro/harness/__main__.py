@@ -1,5 +1,19 @@
-"""CLI entry: ``python -m repro.harness [smoke|default|heavy]``."""
+"""CLI entry: ``python -m repro.harness [preset] [--jobs N] [--resume ID]``.
 
+Examples::
+
+    python -m repro.harness smoke                 # serial smoke run
+    python -m repro.harness --jobs 4              # default preset, 4 workers
+    python -m repro.harness smoke --jobs 2 --task-timeout 120
+    python -m repro.harness smoke --resume 20260806-101500-ab12cd
+
+Every run writes ``<runs-dir>/<run-id>/`` containing ``ledger.jsonl``
+(one JSON row per task attempt), ``config.json`` and ``report.txt``;
+``--resume`` skips cells the ledger already records as complete.
+"""
+
+import argparse
+import dataclasses
 import sys
 
 from .config import HarnessConfig
@@ -12,12 +26,81 @@ PRESETS = {
 }
 
 
-def main() -> int:
-    preset = sys.argv[1] if len(sys.argv) > 1 else "default"
-    if preset not in PRESETS:
-        print(f"unknown preset {preset!r}; choose from {sorted(PRESETS)}")
-        return 2
-    run_all(PRESETS[preset](), stream=sys.stdout)
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "preset",
+        nargs="?",
+        default="default",
+        choices=sorted(PRESETS),
+        help="effort preset (default: default)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (1 = in-process serial)",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="RUN_ID",
+        help="resume an interrupted run, skipping completed cells",
+    )
+    parser.add_argument(
+        "--runs-dir",
+        default=None,
+        metavar="DIR",
+        help="where run ledgers live (default: runs/)",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task wall-clock limit (jobs > 1 only)",
+    )
+    parser.add_argument(
+        "--task-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retries (with shrinking budget) before quarantining a cell",
+    )
+    parser.add_argument(
+        "--tables",
+        default=None,
+        metavar="LIST",
+        help="comma-separated subset of table1..table8,figure3",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    config = PRESETS[args.preset]()
+    overrides = {}
+    if args.task_timeout is not None:
+        overrides["task_timeout_seconds"] = args.task_timeout
+    if args.task_retries is not None:
+        overrides["max_task_retries"] = args.task_retries
+    if args.tables is not None:
+        overrides["tables"] = tuple(
+            name.strip() for name in args.tables.split(",") if name.strip()
+        )
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    run_all(
+        config,
+        stream=sys.stdout,
+        jobs=args.jobs,
+        resume=args.resume,
+        runs_dir=args.runs_dir,
+    )
     return 0
 
 

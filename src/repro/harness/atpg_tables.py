@@ -86,22 +86,20 @@ def run_pair(
     return PairRun(pair=pair, original=original, retimed=retimed)
 
 
-def hitec_table(
-    circuits: Tuple[str, ...], config: HarnessConfig
-) -> Tuple[Table, List[PairRun]]:
+def pair_rows(name: str, run: PairRun) -> List[Dict]:
+    """Table 2's two rows (original then retimed) for one pair run."""
+    rows = [_hitec_row(name, run.pair.original_circuit, run.original)]
+    retimed_row = _hitec_row(
+        f"{name}.re", run.pair.retimed_circuit, run.retimed
+    )
+    retimed_row["cpu_ratio"] = run.cpu_ratio
+    rows.append(retimed_row)
+    return rows
+
+
+def hitec_table_from_rows(rows: List[Dict]) -> Table:
     """Table 2's layout: one row per circuit (original then retimed)."""
-    rows: List[Dict] = []
-    runs: List[PairRun] = []
-    for name in circuits:
-        run = run_pair(name, hitec_factory, config)
-        runs.append(run)
-        rows.append(_hitec_row(name, run.pair.original_circuit, run.original))
-        retimed_row = _hitec_row(
-            f"{name}.re", run.pair.retimed_circuit, run.retimed
-        )
-        retimed_row["cpu_ratio"] = run.cpu_ratio
-        rows.append(retimed_row)
-    table = Table(
+    return Table(
         title="Table 2: HITEC ATPG results",
         columns=[
             Column("circuit", "circuit"),
@@ -113,7 +111,19 @@ def hitec_table(
         ],
         rows=rows,
     )
-    return table, runs
+
+
+def hitec_table(
+    circuits: Tuple[str, ...], config: HarnessConfig
+) -> Tuple[Table, List[PairRun]]:
+    """Run HITEC over every pair and build Table 2."""
+    rows: List[Dict] = []
+    runs: List[PairRun] = []
+    for name in circuits:
+        run = run_pair(name, hitec_factory, config)
+        runs.append(run)
+        rows.extend(pair_rows(name, run))
+    return hitec_table_from_rows(rows), runs
 
 
 def _hitec_row(name: str, circuit: Circuit, result: AtpgResult) -> Dict:
@@ -126,29 +136,21 @@ def _hitec_row(name: str, circuit: Circuit, result: AtpgResult) -> Dict:
     }
 
 
-def coverage_ratio_table(
-    title: str,
-    circuits: Tuple[str, ...],
-    factory: EngineFactory,
-    config: HarnessConfig,
-) -> Tuple[Table, List[PairRun]]:
+def coverage_row(name: str, run: PairRun) -> Dict:
+    """Tables 3/4's single row for one pair run."""
+    return {
+        "circuit": name,
+        "fc_orig": run.original.fault_coverage,
+        "fe_orig": run.original.fault_efficiency,
+        "fc_re": run.retimed.fault_coverage,
+        "fe_re": run.retimed.fault_efficiency,
+        "cpu_ratio": run.cpu_ratio,
+    }
+
+
+def coverage_table_from_rows(title: str, rows: List[Dict]) -> Table:
     """Tables 3/4's layout: one row per pair, coverages plus CPU ratio."""
-    rows: List[Dict] = []
-    runs: List[PairRun] = []
-    for name in circuits:
-        run = run_pair(name, factory, config)
-        runs.append(run)
-        rows.append(
-            {
-                "circuit": name,
-                "fc_orig": run.original.fault_coverage,
-                "fe_orig": run.original.fault_efficiency,
-                "fc_re": run.retimed.fault_coverage,
-                "fe_re": run.retimed.fault_efficiency,
-                "cpu_ratio": run.cpu_ratio,
-            }
-        )
-    table = Table(
+    return Table(
         title=title,
         columns=[
             Column("circuit", "circuit"),
@@ -160,4 +162,27 @@ def coverage_ratio_table(
         ],
         rows=rows,
     )
-    return table, runs
+
+
+def coverage_ratio_table(
+    title: str,
+    circuits: Tuple[str, ...],
+    factory: EngineFactory,
+    config: HarnessConfig,
+) -> Tuple[Table, List[PairRun]]:
+    """Run an engine over every pair and build a Table 3/4-shaped table."""
+    rows: List[Dict] = []
+    runs: List[PairRun] = []
+    for name in circuits:
+        run = run_pair(name, factory, config)
+        runs.append(run)
+        rows.append(coverage_row(name, run))
+    return coverage_table_from_rows(title, rows), runs
+
+
+def pair_counters(run: PairRun) -> Dict[str, Dict]:
+    """Ledger counters for one pair run (both sides)."""
+    return {
+        "original": run.original.counters(),
+        "retimed": run.retimed.counters(),
+    }

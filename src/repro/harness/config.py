@@ -15,7 +15,9 @@ presets:
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Tuple
+import hashlib
+import json
+from typing import Any, Dict, Optional, Tuple
 
 from ..atpg.result import EffortBudget
 
@@ -39,6 +41,63 @@ class HarnessConfig:
     lint_mode: str = "warn"
     # Severity at which the strict gate aborts (note|warning|error).
     lint_fail_on: str = "error"
+    # Limit which report sections the runner regenerates (None = all of
+    # table1..table8 plus figure3).  Section names follow the task
+    # graph: "table2" implies the HITEC runs that also feed tables 6/8.
+    tables: Optional[Tuple[str, ...]] = None
+
+    # ---- execution knobs (repro.harness.runner) ----------------------
+    # These shape *how* cells run, never *what* they compute, so they
+    # are excluded from fingerprint() and resuming a run with different
+    # execution knobs is legal.
+    jobs: int = 1  # worker processes; 1 = in-process serial
+    task_timeout_seconds: Optional[float] = None  # per-task wall clock
+    max_task_retries: int = 1  # extra attempts before quarantine
+    retry_budget_scale: float = 0.5  # budget shrink factor per retry
+    runs_dir: str = "runs"  # where run ledgers live
+    resume: Optional[str] = None  # run id to resume
+    # Test-only fault-injection hook: "pkg.module:function", called in
+    # the worker as hook(task, config) before the cell executes.
+    task_hook: Optional[str] = None
+
+    #: Fields that change experiment results (everything else is
+    #: execution policy).
+    SCIENCE_FIELDS = (
+        "budget",
+        "max_faults",
+        "fault_sample_seed",
+        "circuits",
+        "retime_target_ratio",
+        "lint_mode",
+        "lint_fail_on",
+        "tables",
+    )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form (inverse of :meth:`from_dict`); tuples become
+        lists, which from_dict restores."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "HarnessConfig":
+        data = dict(data)
+        data["budget"] = EffortBudget(**data["budget"])
+        for field in ("circuits", "tables"):
+            if data.get(field) is not None:
+                data[field] = tuple(data[field])
+        return cls(**data)
+
+    def fingerprint(self) -> str:
+        """Hash of every result-affecting field.
+
+        Ledger rows record this; ``--resume`` refuses to mix rows
+        produced under a different science configuration.
+        """
+        payload = {
+            field: self.to_dict()[field] for field in self.SCIENCE_FIELDS
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
     @classmethod
     def smoke(cls) -> "HarnessConfig":

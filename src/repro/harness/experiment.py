@@ -3,76 +3,64 @@
 ``python -m repro.harness`` regenerates all eight tables plus Figure 3
 at the chosen effort level and prints them; the repository's
 EXPERIMENTS.md embeds one such run.
+
+Execution is delegated to :mod:`repro.harness.runner`: the experiment
+is decomposed into crash-isolated cells, executed serially
+(``jobs=1``) or on a spawned-worker pool, recorded in a durable JSONL
+ledger under ``<runs_dir>/<run-id>/``, and the report is assembled
+from ledger rows — so an interrupted run can be resumed with
+``resume=<run-id>`` without recomputing completed cells.
 """
 
 from __future__ import annotations
 
-import io
+import dataclasses
+import os
 import time
 from typing import Optional
 
-from ..lint import GLOBAL_LEDGER
 from .config import HarnessConfig
-from . import (
-    figure3,
-    table1,
-    table2,
-    table3,
-    table4,
-    table5,
-    table6,
-    table7,
-    table8,
-)
+from .report import assemble_report
+from .runner import RunResult, run_experiment
 
 
 def run_all(
-    config: Optional[HarnessConfig] = None, stream=None
+    config: Optional[HarnessConfig] = None,
+    stream=None,
+    jobs: Optional[int] = None,
+    resume: Optional[str] = None,
+    runs_dir: Optional[str] = None,
 ) -> str:
-    """Regenerate every table/figure; returns the combined report text."""
-    config = config or HarnessConfig.default()
-    out = io.StringIO()
+    """Regenerate every table/figure; returns the combined report text.
 
-    def emit(text: str) -> None:
-        print(text, file=out)
-        print("", file=out)
+    ``jobs``/``resume``/``runs_dir`` override the corresponding config
+    fields.  Progress lines go to ``stream`` as cells complete; the
+    report is also written to ``<run_dir>/report.txt``.
+    """
+    config = config or HarnessConfig.default()
+    overrides = {}
+    if jobs is not None:
+        overrides["jobs"] = jobs
+    if resume is not None:
+        overrides["resume"] = resume
+    if runs_dir is not None:
+        overrides["runs_dir"] = runs_dir
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+
+    def emit(line: str) -> None:
         if stream is not None:
-            print(text, file=stream, flush=True)
-            print("", file=stream, flush=True)
+            print(line, file=stream, flush=True)
 
     start = time.time()
-    GLOBAL_LEDGER.clear()  # diagnostics below describe THIS run only
-    emit(table1.generate().render())
-
-    t2, runs = table2.generate(config)
-    emit(t2.render())
-
-    t3, _ = table3.generate(config)
-    emit(t3.render())
-
-    t4, _ = table4.generate(config)
-    emit(t4.render())
-
-    emit(table5.generate(config).render())
-    emit(table6.generate(config, runs=runs).render())
-    emit(table7.generate(config).render())
-
-    # Table 8 reuses Table 2's runs where its circuits overlap.
-    circuits = config.circuits or table8.DEFAULT_CIRCUITS
-    available = {run.pair.name: run for run in runs}
-    t8_runs = [available[name] for name in circuits if name in available]
-    if t8_runs:
-        emit(table8.generate(config, runs=t8_runs).render())
-    else:
-        emit(table8.generate(config).render())
-
-    emit(figure3.render(figure3.generate(config)))
-    # Record the DRC diagnostics every table above ran under (pre-ATPG
-    # gate, mode per config.lint_mode).
-    emit(
-        GLOBAL_LEDGER.render_summary(
-            title=f"Static analysis (DRC) gate [{config.lint_mode}]"
-        )
+    result: RunResult = run_experiment(config, emit=emit)
+    report = assemble_report(
+        config, result.records, elapsed_seconds=time.time() - start
     )
-    emit(f"total harness time: {time.time() - start:.0f}s")
-    return out.getvalue()
+    report_path = os.path.join(result.run_dir, "report.txt")
+    with open(report_path, "w", encoding="utf-8") as handle:
+        handle.write(report)
+    emit(f"[runner] run {result.run_id} complete; report at {report_path}")
+    if stream is not None:
+        print(report, file=stream, flush=True)
+    return report

@@ -38,6 +38,22 @@ class Curve:
                 return cpu
         return None
 
+    def to_dict(self) -> dict:
+        """JSON-able form for the run ledger."""
+        return {
+            "circuit_name": self.circuit_name,
+            "density_of_encoding": self.density_of_encoding,
+            "points": [[cpu, fe] for cpu, fe in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Curve":
+        return cls(
+            circuit_name=data["circuit_name"],
+            density_of_encoding=data["density_of_encoding"],
+            points=[(cpu, fe) for cpu, fe in data["points"]],
+        )
+
 
 def generate(
     config: Optional[HarnessConfig] = None,

@@ -1,0 +1,609 @@
+"""Parallel, fault-tolerant execution engine for the experiment harness.
+
+``run_all`` used to walk all eight tables serially in one process; one
+pathological retimed circuit could stall or crash the entire
+reproduction.  This module decomposes the experiment into a task graph
+of independent cells — one per (circuit pair × engine) plus the global
+table cells — and executes them on a pool of **spawned worker
+processes** with:
+
+* crash isolation — a worker that dies (exception, segfault, OOM kill)
+  costs one cell, not the run;
+* a per-task wall-clock timeout — the parent terminates overrunning
+  workers;
+* bounded retry-with-smaller-budget — a timed-out/crashed cell is
+  re-attempted with ``budget.scaled(retry_budget_scale)``, so heavy
+  circuits converge to an abortable effort level;
+* poison-task quarantine — a cell that fails every attempt is recorded
+  as ``quarantined`` and the report marks it aborted instead of raising;
+* a durable JSONL ledger (:mod:`repro.harness.ledger`) — every attempt
+  is appended with its config fingerprint, wall time, peak RSS and ATPG
+  counters, and ``--resume <run-id>`` skips ledger-completed cells.
+
+Workers receive only ``(task, config)`` — both picklable — and rebuild
+circuits by name through :func:`repro.harness.suite.synthesize_named`
+(the synthesis cache stays per-worker), keeping task payloads tiny.
+With ``jobs=1`` the same cells run in-process, through the same JSON
+round-trip and the same ledger, so serial and parallel runs are
+byte-identical given deterministic budgets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import json
+import multiprocessing
+import os
+import sys
+import time
+import traceback
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+from ..lint import GLOBAL_LEDGER
+from . import ledger as ledger_mod
+from . import figure3, table1, table5, table6, table7, table8
+from .atpg_tables import (
+    hitec_factory,
+    pair_counters,
+    pair_rows,
+    coverage_row,
+    run_pair,
+    sest_factory,
+    simbased_factory,
+)
+from .config import HarnessConfig
+from .ledger import TaskRecord
+from .suite import (
+    TABLE2_CIRCUITS,
+    TABLE3_CIRCUITS,
+    TABLE4_CIRCUITS,
+)
+
+#: Report sections in canonical order (task and report assembly order).
+SECTIONS = (
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "figure3",
+)
+
+Emit = Callable[[str], None]
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskSpec:
+    """One crash-isolated cell of the experiment grid."""
+
+    key: str  # unique, e.g. "hitec:dk16.ji.sd"
+    kind: str  # hitec_pair | attest_pair | sest_pair | struct_pair |
+    #            table1 | table7 | figure3
+    pair: Optional[str] = None  # circuit pair name, None for globals
+    engine: Optional[str] = None
+    tables: Tuple[str, ...] = ()  # report sections this cell feeds
+
+
+def wants(config: HarnessConfig, section: str) -> bool:
+    return config.tables is None or section in config.tables
+
+
+def build_task_graph(config: HarnessConfig) -> List[TaskSpec]:
+    """The experiment grid as independent cells, in canonical order.
+
+    HITEC runs feed three report sections (Tables 2, 6 and 8 share one
+    engine run, as in the paper), so they form a single cell per pair.
+    """
+    tasks: List[TaskSpec] = []
+    if wants(config, "table1"):
+        tasks.append(TaskSpec(key="table1", kind="table1", tables=("table1",)))
+    if any(wants(config, t) for t in ("table2", "table6", "table8")):
+        for name in config.circuits or TABLE2_CIRCUITS:
+            tasks.append(
+                TaskSpec(
+                    key=f"hitec:{name}",
+                    kind="hitec_pair",
+                    pair=name,
+                    engine="hitec",
+                    tables=("table2", "table6", "table8"),
+                )
+            )
+    if wants(config, "table3"):
+        for name in config.circuits or TABLE3_CIRCUITS:
+            tasks.append(
+                TaskSpec(
+                    key=f"attest:{name}",
+                    kind="attest_pair",
+                    pair=name,
+                    engine="simbased",
+                    tables=("table3",),
+                )
+            )
+    if wants(config, "table4"):
+        for name in config.circuits or TABLE4_CIRCUITS:
+            tasks.append(
+                TaskSpec(
+                    key=f"sest:{name}",
+                    kind="sest_pair",
+                    pair=name,
+                    engine="sest",
+                    tables=("table4",),
+                )
+            )
+    if wants(config, "table5"):
+        for name in config.circuits or TABLE2_CIRCUITS:
+            tasks.append(
+                TaskSpec(
+                    key=f"struct:{name}",
+                    kind="struct_pair",
+                    pair=name,
+                    tables=("table5",),
+                )
+            )
+    if wants(config, "table7"):
+        tasks.append(TaskSpec(key="table7", kind="table7", tables=("table7",)))
+    if wants(config, "figure3"):
+        tasks.append(
+            TaskSpec(key="figure3", kind="figure3", tables=("figure3",))
+        )
+    return tasks
+
+
+# ---------------------------------------------------------------------------
+# Cell execution (runs inside the worker process — everything here must
+# be a pure function of (task, config)).
+
+
+def _hitec_cell(task: TaskSpec, config: HarnessConfig) -> Dict:
+    run = run_pair(task.pair, hitec_factory, config)
+    tables: Dict[str, List[Dict]] = {}
+    if wants(config, "table2"):
+        tables["table2"] = pair_rows(task.pair, run)
+    if wants(config, "table6"):
+        tables["table6"] = table6.rows_for_run(run)
+    if wants(config, "table8"):
+        table8_set = config.circuits or table8.DEFAULT_CIRCUITS
+        tables["table8"] = (
+            [table8.row_for_run(run)] if task.pair in table8_set else []
+        )
+    return {"tables": tables, "counters": pair_counters(run)}
+
+
+def _attest_cell(task: TaskSpec, config: HarnessConfig) -> Dict:
+    run = run_pair(task.pair, simbased_factory, config)
+    return {
+        "tables": {"table3": [coverage_row(task.pair, run)]},
+        "counters": pair_counters(run),
+    }
+
+
+def _sest_cell(task: TaskSpec, config: HarnessConfig) -> Dict:
+    run = run_pair(task.pair, sest_factory, config)
+    return {
+        "tables": {"table4": [coverage_row(task.pair, run)]},
+        "counters": pair_counters(run),
+    }
+
+
+def _struct_cell(task: TaskSpec, config: HarnessConfig) -> Dict:
+    return {"tables": {"table5": [table5.row_for_pair(task.pair, config)]}}
+
+
+def _table1_cell(task: TaskSpec, config: HarnessConfig) -> Dict:
+    return {"tables": {"table1": table1.compute_rows()}}
+
+
+def _table7_cell(task: TaskSpec, config: HarnessConfig) -> Dict:
+    return {"tables": {"table7": table7.compute_rows(config)}}
+
+
+def _figure3_cell(task: TaskSpec, config: HarnessConfig) -> Dict:
+    curves = figure3.generate(config)
+    return {"curves": [curve.to_dict() for curve in curves]}
+
+
+_CELLS = {
+    "hitec_pair": _hitec_cell,
+    "attest_pair": _attest_cell,
+    "sest_pair": _sest_cell,
+    "struct_pair": _struct_cell,
+    "table1": _table1_cell,
+    "table7": _table7_cell,
+    "figure3": _figure3_cell,
+}
+
+
+def _resolve_hook(spec: str) -> Callable:
+    """Import a ``pkg.module:function`` test-only task hook."""
+    module_name, _, attr = spec.partition(":")
+    if not attr:
+        raise ReproError(
+            f"bad task_hook {spec!r}; expected 'pkg.module:function'"
+        )
+    module = importlib.import_module(module_name)
+    return getattr(module, attr)
+
+
+def execute_task(task: TaskSpec, config: HarnessConfig) -> Dict:
+    """Run one cell; returns its JSON-able payload.
+
+    The process-local lint ledger is cleared first and serialized into
+    the payload, so the parent can merge every task's DRC diagnostics
+    into the report exactly as the serial harness did.
+    """
+    if task.kind not in _CELLS:
+        raise ReproError(f"unknown task kind {task.kind!r}")
+    GLOBAL_LEDGER.clear()
+    if config.task_hook:
+        _resolve_hook(config.task_hook)(task, config)
+    payload = _CELLS[task.kind](task, config)
+    payload["lint"] = ledger_mod.serialize_lint_ledger(GLOBAL_LEDGER)
+    return payload
+
+
+def _worker_main(task: TaskSpec, config_data: Dict, result_path: str) -> None:
+    """Spawned-process entry: run one cell, write one result file."""
+    config = HarnessConfig.from_dict(config_data)
+    result: Dict = {"ok": False}
+    exit_code = 0
+    try:
+        result["payload"] = execute_task(task, config)
+        result["ok"] = True
+    except BaseException:
+        result["error"] = traceback.format_exc(limit=20)
+        exit_code = 1
+    result["peak_rss_kb"] = ledger_mod.peak_rss_kb()
+    tmp_path = result_path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(result, handle)
+    os.replace(tmp_path, result_path)
+    sys.exit(exit_code)
+
+
+# ---------------------------------------------------------------------------
+# Parent-side scheduling.
+
+
+@dataclasses.dataclass
+class _Running:
+    task: TaskSpec
+    attempt: int
+    process: multiprocessing.process.BaseProcess
+    started: float
+    result_path: str
+
+
+@dataclasses.dataclass
+class RunResult:
+    """What one runner invocation produced."""
+
+    run_id: str
+    run_dir: str
+    ledger_file: str
+    records: List[TaskRecord]  # full ledger contents (incl. resumed rows)
+    torn_lines: int = 0
+
+
+def _scaled_config(config: HarnessConfig, attempt: int) -> HarnessConfig:
+    if attempt == 0:
+        return config
+    factor = config.retry_budget_scale ** attempt
+    return dataclasses.replace(config, budget=config.budget.scaled(factor))
+
+
+def _result_file(run_dir: str, task: TaskSpec, attempt: int) -> str:
+    safe = task.key.replace(":", "_").replace("/", "_")
+    return os.path.join(run_dir, "results", f"{safe}.{attempt}.json")
+
+
+def _record_for(
+    task: TaskSpec,
+    fingerprint: str,
+    attempt: int,
+    config: HarnessConfig,
+    outcome: str,
+    wall: float,
+    payload: Optional[Dict] = None,
+    rss_kb: int = 0,
+    error: str = "",
+) -> TaskRecord:
+    payload = dict(payload or {})
+    counters = payload.pop("counters", {})
+    return TaskRecord(
+        key=task.key,
+        kind=task.kind,
+        pair=task.pair,
+        engine=task.engine,
+        tables=task.tables,
+        fingerprint=fingerprint,
+        attempt=attempt,
+        budget_scale=config.retry_budget_scale ** attempt,
+        outcome=outcome,
+        wall_seconds=wall,
+        peak_rss_kb=rss_kb,
+        counters=counters,
+        payload=payload,
+        error=error,
+    )
+
+
+def _run_serial(
+    tasks: List[TaskSpec],
+    config: HarnessConfig,
+    fingerprint: str,
+    ledger_file: str,
+    run_dir: str,
+    emit: Emit,
+) -> None:
+    """In-process execution (jobs=1): same cells, same JSON round-trip,
+    same ledger as the parallel path.  Per-task timeouts need a killable
+    process and are not enforced here."""
+    for task in tasks:
+        for attempt in range(config.max_task_retries + 1):
+            attempt_config = _scaled_config(config, attempt)
+            start = time.monotonic()
+            try:
+                payload = execute_task(task, attempt_config)
+            except Exception:
+                wall = time.monotonic() - start
+                error = traceback.format_exc(limit=20)
+                ledger_mod.append_record(
+                    ledger_file,
+                    _record_for(
+                        task, fingerprint, attempt, config, "crashed",
+                        wall, error=error,
+                    ),
+                )
+                emit(f"[runner] {task.key} crashed (attempt {attempt})")
+                continue
+            wall = time.monotonic() - start
+            # The JSON round-trip matches what a worker result file
+            # goes through, keeping serial and parallel rows identical.
+            payload = json.loads(json.dumps(payload))
+            ledger_mod.append_record(
+                ledger_file,
+                _record_for(
+                    task, fingerprint, attempt, config, "ok", wall,
+                    payload=payload, rss_kb=ledger_mod.peak_rss_kb(),
+                ),
+            )
+            emit(f"[runner] {task.key} ok ({wall:.1f}s)")
+            break
+        else:
+            ledger_mod.append_record(
+                ledger_file,
+                _record_for(
+                    task, fingerprint, config.max_task_retries, config,
+                    "quarantined", 0.0,
+                    error="every attempt crashed",
+                ),
+            )
+            emit(f"[runner] {task.key} quarantined")
+
+
+def _finish_attempt(
+    running: _Running,
+    config: HarnessConfig,
+    fingerprint: str,
+    ledger_file: str,
+    queue: deque,
+    emit: Emit,
+) -> None:
+    """Classify a finished/killed worker, write the ledger row, and
+    requeue or quarantine failed cells."""
+    task, attempt = running.task, running.attempt
+    wall = time.monotonic() - running.started
+    outcome = "crashed"
+    payload: Optional[Dict] = None
+    rss_kb = 0
+    error = ""
+    exitcode = running.process.exitcode
+    if os.path.exists(running.result_path):
+        try:
+            with open(running.result_path, "r", encoding="utf-8") as handle:
+                result = json.load(handle)
+            rss_kb = int(result.get("peak_rss_kb", 0))
+            if result.get("ok"):
+                # A complete result file counts even if the worker was
+                # killed between writing it and exiting.
+                outcome = "ok"
+                payload = result["payload"]
+            else:
+                error = result.get("error", f"worker exit code {exitcode}")
+        except (ValueError, KeyError) as exc:
+            error = f"unreadable worker result: {exc}"
+    elif exitcode is None:
+        outcome = "timeout"
+        error = (
+            f"exceeded task timeout of {config.task_timeout_seconds}s; "
+            "worker killed"
+        )
+    else:
+        error = f"worker died with exit code {exitcode} and no result"
+
+    ledger_mod.append_record(
+        ledger_file,
+        _record_for(
+            task, fingerprint, attempt, config, outcome, wall,
+            payload=payload, rss_kb=rss_kb, error=error,
+        ),
+    )
+    if outcome == "ok":
+        emit(f"[runner] {task.key} ok ({wall:.1f}s)")
+        return
+    emit(f"[runner] {task.key} {outcome} (attempt {attempt})")
+    if attempt < config.max_task_retries:
+        queue.append((task, attempt + 1))
+    else:
+        ledger_mod.append_record(
+            ledger_file,
+            _record_for(
+                task, fingerprint, attempt, config, "quarantined", 0.0,
+                error=f"quarantined after {attempt + 1} attempt(s): {outcome}",
+            ),
+        )
+        emit(f"[runner] {task.key} quarantined")
+
+
+def _run_parallel(
+    tasks: List[TaskSpec],
+    config: HarnessConfig,
+    fingerprint: str,
+    ledger_file: str,
+    run_dir: str,
+    emit: Emit,
+) -> None:
+    """Spawned-worker pool with per-task timeout kill."""
+    context = multiprocessing.get_context("spawn")
+    os.makedirs(os.path.join(run_dir, "results"), exist_ok=True)
+    queue: deque = deque((task, 0) for task in tasks)
+    running: Dict[str, _Running] = {}
+    try:
+        while queue or running:
+            while queue and len(running) < config.jobs:
+                task, attempt = queue.popleft()
+                attempt_config = _scaled_config(config, attempt)
+                result_path = _result_file(run_dir, task, attempt)
+                process = context.Process(
+                    target=_worker_main,
+                    args=(task, attempt_config.to_dict(), result_path),
+                    daemon=True,
+                )
+                process.start()
+                running[task.key] = _Running(
+                    task=task,
+                    attempt=attempt,
+                    process=process,
+                    started=time.monotonic(),
+                    result_path=result_path,
+                )
+            time.sleep(0.02)
+            for key in list(running):
+                state = running[key]
+                process = state.process
+                if process.is_alive():
+                    timeout = config.task_timeout_seconds
+                    if (
+                        timeout is not None
+                        and time.monotonic() - state.started > timeout
+                    ):
+                        process.terminate()
+                        process.join(2.0)
+                        if process.is_alive():
+                            process.kill()
+                            process.join()
+                        # exitcode of a terminated process is negative;
+                        # _finish_attempt keys timeouts off the marker
+                        # below instead.
+                        state.process = _KilledByTimeout(process)
+                        del running[key]
+                        _finish_attempt(
+                            state, config, fingerprint, ledger_file,
+                            queue, emit,
+                        )
+                    continue
+                process.join()
+                del running[key]
+                _finish_attempt(
+                    state, config, fingerprint, ledger_file, queue, emit
+                )
+    finally:
+        for state in running.values():
+            if state.process.is_alive():
+                state.process.kill()
+                state.process.join()
+
+
+class _KilledByTimeout:
+    """Wrapper marking a worker the parent killed for overrunning its
+    deadline (distinguishes timeout from an ordinary crash)."""
+
+    exitcode = None
+
+    def __init__(self, process):
+        self._process = process
+
+    def is_alive(self) -> bool:
+        return False
+
+
+def run_experiment(
+    config: HarnessConfig, emit: Optional[Emit] = None
+) -> RunResult:
+    """Execute the experiment task graph; returns the full run ledger.
+
+    With ``config.resume`` set, previously completed cells (matching
+    the current config fingerprint) are skipped and new attempts append
+    to the existing ledger.
+    """
+    emit = emit or (lambda line: None)
+    fingerprint = config.fingerprint()
+    run_id = config.resume or ledger_mod.new_run_id()
+    run_dir = ledger_mod.run_directory(config.runs_dir, run_id)
+    ledger_file = ledger_mod.ledger_path(config.runs_dir, run_id)
+    os.makedirs(run_dir, exist_ok=True)
+
+    prior_records: List[TaskRecord] = []
+    torn = 0
+    if config.resume:
+        ledger_mod.terminate_torn_tail(ledger_file)
+        prior_records, torn = ledger_mod.load_records(ledger_file)
+        mismatched = {
+            record.fingerprint
+            for record in prior_records
+            if record.fingerprint != fingerprint
+        }
+        if mismatched:
+            raise ReproError(
+                f"refusing to resume run {run_id!r}: ledger rows were "
+                f"produced under config fingerprint(s) "
+                f"{sorted(mismatched)} but the current config is "
+                f"{fingerprint!r}"
+            )
+        if torn:
+            emit(f"[runner] resume: ignored {torn} torn ledger line(s)")
+
+    with open(
+        os.path.join(run_dir, "config.json"), "w", encoding="utf-8"
+    ) as handle:
+        json.dump(
+            {"fingerprint": fingerprint, "config": config.to_dict()},
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+
+    tasks = build_task_graph(config)
+    completed = ledger_mod.completed_by_key(prior_records, fingerprint)
+    todo = [task for task in tasks if task.key not in completed]
+    if completed:
+        emit(
+            f"[runner] resume {run_id}: {len(completed)} cell(s) already "
+            f"complete, {len(todo)} to run"
+        )
+    if todo:
+        if config.jobs <= 1:
+            _run_serial(
+                todo, config, fingerprint, ledger_file, run_dir, emit
+            )
+        else:
+            _run_parallel(
+                todo, config, fingerprint, ledger_file, run_dir, emit
+            )
+
+    # Re-read the ledger: the file is the single source of truth the
+    # report is assembled from (also exactly what resume would see).
+    records, torn = ledger_mod.load_records(ledger_file)
+    return RunResult(
+        run_id=run_id,
+        run_dir=run_dir,
+        ledger_file=ledger_file,
+        records=records,
+        torn_lines=torn,
+    )

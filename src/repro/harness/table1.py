@@ -15,9 +15,9 @@ PAPER_TABLE1 = {
 }
 
 
-def generate() -> Table:
-    """Measure the generated machines and tabulate them next to the
-    paper's values (they must be identical — the generator pins them)."""
+def compute_rows() -> list:
+    """Measure the generated machines next to the paper's values (they
+    must be identical — the generator pins them)."""
     rows = []
     for name, pi, po, states in table1_rows():
         paper_pi, paper_po, paper_states = PAPER_TABLE1[name]
@@ -38,6 +38,14 @@ def generate() -> Table:
                 ),
             }
         )
+    return rows
+
+
+def generate() -> Table:
+    return build_table(compute_rows())
+
+
+def build_table(rows: list) -> Table:
     return Table(
         title="Table 1: Finite state machines used to synthesize circuits",
         columns=[

@@ -4,10 +4,19 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from .atpg_tables import PairRun, hitec_factory, hitec_table
+from .atpg_tables import (
+    PairRun,
+    hitec_factory,
+    hitec_table,
+    hitec_table_from_rows,
+)
 from .config import HarnessConfig
 from .suite import TABLE2_CIRCUITS
 from .tables import Table
+
+
+def build_table(rows: List[dict]) -> Table:
+    return hitec_table_from_rows(rows)
 
 
 def generate(

@@ -4,10 +4,21 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from .atpg_tables import PairRun, coverage_ratio_table, simbased_factory
+from .atpg_tables import (
+    PairRun,
+    coverage_ratio_table,
+    coverage_table_from_rows,
+    simbased_factory,
+)
 from .config import HarnessConfig
 from .suite import TABLE3_CIRCUITS
 from .tables import Table
+
+TITLE = "Table 3: Attest ATPG results (simulation-based engine)"
+
+
+def build_table(rows: List[dict]) -> Table:
+    return coverage_table_from_rows(TITLE, rows)
 
 
 def generate(
@@ -22,9 +33,4 @@ def generate(
     """
     config = config or HarnessConfig.default()
     circuits = config.circuits or TABLE3_CIRCUITS
-    return coverage_ratio_table(
-        "Table 3: Attest ATPG results (simulation-based engine)",
-        circuits,
-        simbased_factory,
-        config,
-    )
+    return coverage_ratio_table(TITLE, circuits, simbased_factory, config)

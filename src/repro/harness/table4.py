@@ -4,10 +4,21 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from .atpg_tables import PairRun, coverage_ratio_table, sest_factory
+from .atpg_tables import (
+    PairRun,
+    coverage_ratio_table,
+    coverage_table_from_rows,
+    sest_factory,
+)
 from .config import HarnessConfig
 from .suite import TABLE4_CIRCUITS
 from .tables import Table
+
+TITLE = "Table 4: Sequential EST ATPG results (learning engine)"
+
+
+def build_table(rows: List[dict]) -> Table:
+    return coverage_table_from_rows(TITLE, rows)
 
 
 def generate(
@@ -21,9 +32,4 @@ def generate(
     """
     config = config or HarnessConfig.default()
     circuits = config.circuits or TABLE4_CIRCUITS
-    return coverage_ratio_table(
-        "Table 4: Sequential EST ATPG results (learning engine)",
-        circuits,
-        sest_factory,
-        config,
-    )
+    return coverage_ratio_table(TITLE, circuits, sest_factory, config)

@@ -17,36 +17,39 @@ from .suite import TABLE2_CIRCUITS, build_pair
 from .tables import Column, Table
 
 
+def row_for_pair(name: str, config: HarnessConfig) -> dict:
+    """One circuit pair's structural-attribute row (picklable cell)."""
+    pair = build_pair(name, target_ratio=config.retime_target_ratio)
+    depth_orig = sequential_depth_report(pair.original_circuit)
+    depth_re = sequential_depth_report(pair.retimed_circuit)
+    cycles_orig = count_dff_cycles(pair.original_circuit)
+    cycles_re = count_dff_cycles(pair.retimed_circuit)
+    return {
+        "circuit": name,
+        "depth_orig": depth_orig.depth,
+        "maxlen_orig": cycles_orig.max_cycle_length,
+        "cycles_orig": cycles_orig.num_cycles,
+        "depth_re": depth_re.depth,
+        "maxlen_re": cycles_re.max_cycle_length,
+        "cycles_re": cycles_re.num_cycles,
+        "invariant": (
+            "yes"
+            if depth_orig.depth == depth_re.depth
+            and cycles_orig.max_cycle_length == cycles_re.max_cycle_length
+            else "NO"
+        ),
+    }
+
+
 def generate(
     config: Optional[HarnessConfig] = None,
 ) -> Table:
     config = config or HarnessConfig.default()
     circuits = config.circuits or TABLE2_CIRCUITS
-    rows = []
-    for name in circuits:
-        pair = build_pair(name, target_ratio=config.retime_target_ratio)
-        depth_orig = sequential_depth_report(pair.original_circuit)
-        depth_re = sequential_depth_report(pair.retimed_circuit)
-        cycles_orig = count_dff_cycles(pair.original_circuit)
-        cycles_re = count_dff_cycles(pair.retimed_circuit)
-        rows.append(
-            {
-                "circuit": name,
-                "depth_orig": depth_orig.depth,
-                "maxlen_orig": cycles_orig.max_cycle_length,
-                "cycles_orig": cycles_orig.num_cycles,
-                "depth_re": depth_re.depth,
-                "maxlen_re": cycles_re.max_cycle_length,
-                "cycles_re": cycles_re.num_cycles,
-                "invariant": (
-                    "yes"
-                    if depth_orig.depth == depth_re.depth
-                    and cycles_orig.max_cycle_length
-                    == cycles_re.max_cycle_length
-                    else "NO"
-                ),
-            }
-        )
+    return build_table([row_for_pair(name, config) for name in circuits])
+
+
+def build_table(rows: List[dict]) -> Table:
     return Table(
         title="Table 5: Structural attributes of each circuit",
         columns=[

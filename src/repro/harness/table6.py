@@ -32,14 +32,23 @@ def generate(
         runs = [run_pair(name, hitec_factory, config) for name in circuits]
     rows = []
     for run in runs:
-        rows.append(_row(run.pair.name, run.pair.original_circuit, run.original))
-        rows.append(
-            _row(
-                f"{run.pair.name}.re",
-                run.pair.retimed_circuit,
-                run.retimed,
-            )
-        )
+        rows.extend(rows_for_run(run))
+    return build_table(rows)
+
+
+def rows_for_run(run: PairRun) -> List[Dict]:
+    """Both Table 6 rows (original then retimed) for one HITEC run."""
+    return [
+        _row(run.pair.name, run.pair.original_circuit, run.original),
+        _row(
+            f"{run.pair.name}.re",
+            run.pair.retimed_circuit,
+            run.retimed,
+        ),
+    ]
+
+
+def build_table(rows: List[Dict]) -> Table:
     return Table(
         title="Table 6: HITEC ATPG state traversal information",
         columns=[

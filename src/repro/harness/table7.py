@@ -37,16 +37,28 @@ def sweep_circuits(
     return original, versions
 
 
-def generate(
+def compute_rows(
     config: Optional[HarnessConfig] = None,
     circuit_name: str = TABLE7_CIRCUIT,
     depths: Tuple[int, ...] = (1, 2),
-) -> Table:
+) -> List[dict]:
     config = config or HarnessConfig.default()
     original, versions = sweep_circuits(config, circuit_name, depths)
     rows = [_row(circuit_name, original.circuit)]
     for version in versions:
         rows.append(_row(version.circuit.name, version.circuit))
+    return rows
+
+
+def generate(
+    config: Optional[HarnessConfig] = None,
+    circuit_name: str = TABLE7_CIRCUIT,
+    depths: Tuple[int, ...] = (1, 2),
+) -> Table:
+    return build_table(compute_rows(config, circuit_name, depths))
+
+
+def build_table(rows: List[dict]) -> Table:
     return Table(
         title="Table 7: Density of encoding sensitivity analysis",
         columns=[

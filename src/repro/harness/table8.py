@@ -36,27 +36,33 @@ def generate(
     if runs is None:
         circuits = config.circuits or DEFAULT_CIRCUITS
         runs = [run_pair(name, hitec_factory, config) for name in circuits]
-    rows = []
-    for run in runs:
-        retimed = run.pair.retimed_circuit
-        reachable = ReachableStates(retimed)
-        traversal = traversal_report(retimed, run.retimed, reachable)
-        cross = simulate_test_set_on(
-            retimed,
-            run.original.test_set,
-            pad_prefix=run.pair.retimed.exact_prefix,
-        )
-        rows.append(
-            {
-                "circuit": f"{run.pair.name}.re",
-                "fc": run.retimed.fault_coverage,
-                "fe": run.retimed.fault_efficiency,
-                "traversed": traversal.states_traversed,
-                "valid": traversal.num_valid_states,
-                "orig_trav": cross.states_traversed,
-                "orig_fc": cross.fault_coverage,
-            }
-        )
+    rows = [row_for_run(run) for run in runs]
+    return build_table(rows)
+
+
+def row_for_run(run: PairRun) -> dict:
+    """One Table 8 row: the retimed circuit's traversal versus the
+    original circuit's carried-over test set."""
+    retimed = run.pair.retimed_circuit
+    reachable = ReachableStates(retimed)
+    traversal = traversal_report(retimed, run.retimed, reachable)
+    cross = simulate_test_set_on(
+        retimed,
+        run.original.test_set,
+        pad_prefix=run.pair.retimed.exact_prefix,
+    )
+    return {
+        "circuit": f"{run.pair.name}.re",
+        "fc": run.retimed.fault_coverage,
+        "fe": run.retimed.fault_efficiency,
+        "traversed": traversal.states_traversed,
+        "valid": traversal.num_valid_states,
+        "orig_trav": cross.states_traversed,
+        "orig_fc": cross.fault_coverage,
+    }
+
+
+def build_table(rows: List[dict]) -> Table:
     return Table(
         title=(
             "Table 8: Number of states which would have to be traversed "

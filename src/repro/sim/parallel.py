@@ -24,7 +24,14 @@ WORD_BITS = 64
 
 def pack_patterns(patterns: Sequence[Sequence[int]], position: int) -> int:
     """Pack bit ``position`` of each pattern into one word (pattern i ->
-    bit i).  All values must be 0/1."""
+    bit i).  All values must be 0/1, and at most :data:`WORD_BITS`
+    patterns fit one word — a 65th pattern would land on bit 64, which
+    every masked evaluation silently truncates."""
+    if len(patterns) > WORD_BITS:
+        raise SimulationError(
+            f"cannot pack {len(patterns)} patterns into one "
+            f"{WORD_BITS}-bit word; split the batch"
+        )
     word = 0
     for i, pattern in enumerate(patterns):
         bit = pattern[position]
@@ -39,6 +46,11 @@ def pack_patterns(patterns: Sequence[Sequence[int]], position: int) -> int:
 
 def unpack_word(word: int, count: int) -> List[int]:
     """Inverse of :func:`pack_patterns` for one signal: bit i -> value i."""
+    if count > WORD_BITS:
+        raise SimulationError(
+            f"cannot unpack {count} patterns from one {WORD_BITS}-bit "
+            "word; bits beyond the word limit carry no data"
+        )
     return [(word >> i) & 1 for i in range(count)]
 
 

@@ -1,0 +1,19 @@
+"""Harness-test fixtures.
+
+The synthesis/pair caches in :mod:`repro.harness.suite` are process
+globals; a test that populates them under one config would otherwise
+leak circuits into later tests (and into the spawned-runner tests,
+which must observe cold-cache worker behavior).  Every harness test
+starts and ends with cold caches.
+"""
+
+import pytest
+
+from repro.harness import suite
+
+
+@pytest.fixture(autouse=True)
+def fresh_suite_caches():
+    suite.clear_caches()
+    yield
+    suite.clear_caches()

@@ -1,0 +1,29 @@
+"""Test-only task hooks for the runner's fault-injection tests.
+
+The runner resolves ``HarnessConfig.task_hook`` ("module:function")
+inside the worker, so these must be importable by name from a spawned
+process.  Each hook targets ``struct_pair`` cells only — the cheapest
+cell kind — leaving any other cells in the graph unharmed.
+"""
+
+import time
+
+
+def crash_struct(task, config):
+    """Every struct cell dies, every attempt: exercises quarantine."""
+    if task.kind == "struct_pair":
+        raise RuntimeError(f"injected crash in {task.key}")
+
+
+def crash_full_budget(task, config):
+    """Struct cells die only at full budget, so the first attempt
+    crashes and the scaled-budget retry succeeds."""
+    if task.kind == "struct_pair" and config.budget.max_backtracks >= 30:
+        raise RuntimeError(f"injected first-attempt crash in {task.key}")
+
+
+def hang_struct(task, config):
+    """Struct cells sleep far past any test timeout: exercises the
+    parent's terminate/kill path."""
+    if task.kind == "struct_pair":
+        time.sleep(120.0)

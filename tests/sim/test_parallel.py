@@ -24,6 +24,42 @@ class TestPacking:
         with pytest.raises(Exception):
             pack_patterns([[2]], 0)
 
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 1), min_size=2, max_size=2),
+            min_size=1,
+            max_size=WORD_BITS,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, patterns):
+        for position in range(2):
+            word = pack_patterns(patterns, position)
+            assert unpack_word(word, len(patterns)) == [
+                pattern[position] for pattern in patterns
+            ]
+            assert word < (1 << len(patterns))
+
+    def test_full_word_roundtrip(self):
+        patterns = [[i & 1] for i in range(WORD_BITS)]
+        word = pack_patterns(patterns, 0)
+        assert unpack_word(word, WORD_BITS) == [
+            i & 1 for i in range(WORD_BITS)
+        ]
+
+    def test_pack_rejects_overfull_batch(self):
+        from repro.errors import SimulationError
+
+        patterns = [[0] for _ in range(WORD_BITS + 1)]
+        with pytest.raises(SimulationError, match="cannot pack"):
+            pack_patterns(patterns, 0)
+
+    def test_unpack_rejects_overfull_count(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError, match="cannot unpack"):
+            unpack_word(0, WORD_BITS + 1)
+
 
 class TestAgainstTernary:
     @given(st.integers(min_value=0, max_value=300))
