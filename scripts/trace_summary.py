@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Summarize a profiled run's trace.jsonl: top-N hottest span paths.
+
+Usage::
+
+    python scripts/trace_summary.py runs/<run-id>/trace.jsonl
+    python scripts/trace_summary.py --runs-dir runs           # latest run
+    python scripts/trace_summary.py --runs-dir runs --top 25
+
+Also prints the merged metrics table when the run's ledger is next to
+the trace file.  Exits non-zero if no trace can be found — CI uses
+that to catch a --profile run that silently stopped writing traces.
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"),
+)
+
+from repro.harness.ledger import LEDGER_NAME, completed_by_key, load_records
+from repro.obs import (
+    TRACE_NAME,
+    merge_dumps,
+    read_trace_jsonl,
+    render_metrics_summary,
+    render_rollup,
+)
+
+
+def find_trace(runs_dir: str) -> str:
+    """The newest run directory under ``runs_dir`` containing a trace."""
+    candidates = []
+    for run_id in sorted(os.listdir(runs_dir), reverse=True):
+        path = os.path.join(runs_dir, run_id, TRACE_NAME)
+        if os.path.isfile(path):
+            candidates.append(path)
+    if not candidates:
+        raise SystemExit(
+            f"no {TRACE_NAME} under {runs_dir!r}; "
+            "was the run made with --profile?"
+        )
+    return candidates[0]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Top-N hottest span paths of a profiled harness run."
+    )
+    parser.add_argument(
+        "trace",
+        nargs="?",
+        default=None,
+        help="path to a trace.jsonl (default: newest under --runs-dir)",
+    )
+    parser.add_argument(
+        "--runs-dir",
+        default="runs",
+        help="runs directory to search when no trace path is given",
+    )
+    parser.add_argument(
+        "--top", type=int, default=10, help="rows to show (default 10)"
+    )
+    args = parser.parse_args(argv)
+
+    trace_file = args.trace or find_trace(args.runs_dir)
+    spans = read_trace_jsonl(trace_file)
+    print(
+        render_rollup(
+            spans,
+            top=args.top,
+            title=f"Top {args.top} hottest span paths ({trace_file})",
+        )
+    )
+
+    ledger_file = os.path.join(os.path.dirname(trace_file), LEDGER_NAME)
+    if os.path.isfile(ledger_file):
+        records, _ = load_records(ledger_file)
+        dumps = [
+            record.metrics
+            for record in completed_by_key(records).values()
+            if record.metrics
+        ]
+        if dumps:
+            print()
+            print(
+                render_metrics_summary(
+                    merge_dumps(dumps), title="Metrics (all tasks merged)"
+                )
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,9 +11,14 @@ Three engines mirror the paper's three tools:
 
 All engines share :class:`EffortBudget` limits, emit :class:`AtpgResult`
 with the paper's %FC/%FE accounting, Figure-3 checkpoints, and the
-state-traversal instrumentation behind Tables 6 and 8.
+state-traversal instrumentation behind Tables 6 and 8.  They satisfy
+the :class:`AtpgEngine` protocol and are constructible by name through
+:func:`repro.atpg.registry.get_engine`.
 """
 
+from typing import Optional, Protocol, Sequence, runtime_checkable
+
+from ..fault.model import Fault
 from .frames import UnrolledModel, Variable
 from .learning import IllegalStateCache, LearningStats, cube_implies, cube_key
 from .podem import FaultPodem, JustifyPodem, SearchMeter, Solution
@@ -21,13 +26,36 @@ from .result import (
     AtpgResult,
     Checkpoint,
     EffortBudget,
+    LEGACY_COUNTER_KEYS,
     Stopwatch,
     TestSet,
     WorkClock,
+    normalize_counters,
 )
 from .hitec import HitecEngine, Justifier, run_hitec
 from .sest import SestEngine, run_sest
 from .simbased import SimBasedEngine, SimBasedOptions, run_simbased
+from .registry import ENGINES, EngineSpec, engine_names, get_engine
+
+
+@runtime_checkable
+class AtpgEngine(Protocol):
+    """What every test-generation engine in this tree looks like.
+
+    ``name`` identifies the engine family (a registry key), ``run``
+    produces the paper-accounting result, and ``metrics`` exposes the
+    engine's :class:`~repro.obs.MetricsRegistry` so callers can read
+    effort counters without knowing the engine's internals.
+    """
+
+    name: str
+
+    def run(self, faults: Optional[Sequence[Fault]] = None) -> AtpgResult:
+        ...
+
+    @property
+    def metrics(self):
+        ...
 from .compaction import (
     CompactionReport,
     compact_greedy_cover,
@@ -42,10 +70,14 @@ from .random_patterns import (
 )
 
 __all__ = [
+    "AtpgEngine",
     "AtpgResult",
     "Checkpoint",
     "EffortBudget",
+    "ENGINES",
+    "EngineSpec",
     "FaultPodem",
+    "LEGACY_COUNTER_KEYS",
     "HitecEngine",
     "IllegalStateCache",
     "Justifier",
@@ -71,6 +103,9 @@ __all__ = [
     "Variable",
     "cube_implies",
     "cube_key",
+    "engine_names",
+    "get_engine",
+    "normalize_counters",
     "run_hitec",
     "run_sest",
     "run_simbased",

@@ -47,6 +47,7 @@ simulation.  Construct with ``learning=True`` for the SEST-style engine
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..circuit.gates import ONE, X, ZERO
@@ -55,6 +56,7 @@ from ..errors import AtpgError
 from ..fault.collapse import collapse_faults
 from ..fault.model import Fault, FaultStatus
 from ..fault.simulator import FaultSimulator
+from ..obs import Observability
 from ..sim.logicsim import TernarySimulator
 from .._util import make_rng
 from .frames import UnrolledModel
@@ -99,11 +101,13 @@ class Justifier:
         learning: Optional[IllegalStateCache],
         states_seen: Set[State],
         fill_seed: int = 31,
+        trace=None,
     ):
         self.circuit = circuit
         self.budget = budget
         self.learning = learning
         self.states_seen = states_seen
+        self._trace = trace
         # Fully-specified state cubes the backward search *examined*
         # (visited states are tracked separately via remember_trace —
         # the paper's "#states HITEC trav" counts machine states the
@@ -168,7 +172,10 @@ class Justifier:
         ``exhaustive`` tells whether that failure is a *proof* (no budget
         was hit anywhere in the subtree).
         """
-        return self._dfs(cube, depth=0, meter=meter, path=[])
+        if self._trace is None or not self._trace.enabled:
+            return self._dfs(cube, depth=0, meter=meter, path=[])
+        with self._trace.span("atpg.justify", bits=len(cube)):
+            return self._dfs(cube, depth=0, meter=meter, path=[])
 
     def _dfs(
         self,
@@ -287,8 +294,17 @@ class HitecEngine:
         circuit: Circuit,
         budget: Optional[EffortBudget] = None,
         learning: bool = False,
-        fill_seed: int = 17,
+        rng_seed: int = 17,
+        obs: Optional[Observability] = None,
+        fill_seed: Optional[int] = None,
     ):
+        if fill_seed is not None:
+            warnings.warn(
+                "HitecEngine(fill_seed=...) is deprecated; use rng_seed=",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            rng_seed = fill_seed
         circuit.check()
         if any(dff.init == X for dff in circuit.dffs()):
             raise AtpgError(
@@ -297,13 +313,35 @@ class HitecEngine:
             )
         self.circuit = circuit
         self.budget = budget or EffortBudget.paper()
-        self.learning_cache = IllegalStateCache() if learning else None
         if learning:
             self.name = "sest"
-        self._rng = make_rng(fill_seed)
-        self._simulator = FaultSimulator(circuit)
+        self.obs = obs if obs is not None else Observability()
+        labels = {"engine": self.name, "circuit": circuit.name}
+        registry = self.obs.metrics
+        self._ctr_backtracks = registry.counter("atpg.backtracks", **labels)
+        self._ctr_frames = registry.counter("atpg.frames_expanded", **labels)
+        self._ctr_detected = registry.counter(
+            "atpg.faults_detected", **labels
+        )
+        self._ctr_redundant = registry.counter(
+            "atpg.faults_redundant", **labels
+        )
+        self._ctr_aborted = registry.counter("atpg.faults_aborted", **labels)
+        self._hist_fault_backtracks = registry.histogram(
+            "atpg.fault_backtracks", **labels
+        )
+        self.learning_cache = (
+            IllegalStateCache(metrics=registry, **labels) if learning else None
+        )
+        self._rng = make_rng(rng_seed)
+        self._simulator = FaultSimulator(circuit, metrics=registry)
         self._good_sim = TernarySimulator(circuit)
         self._num_pis = len(circuit.inputs)
+
+    @property
+    def metrics(self):
+        """The engine's :class:`~repro.obs.MetricsRegistry` handle."""
+        return self.obs.metrics
 
     # -- public API --------------------------------------------------------
 
@@ -311,15 +349,36 @@ class HitecEngine:
         """Generate tests for every fault (collapsed list by default)."""
         if faults is None:
             faults = collapse_faults(self.circuit).representatives
+        trace = self.obs.trace
+        clock = WorkClock() if self.budget.deterministic_clock else None
+        trace.use_clock(clock)
+        try:
+            with trace.span(
+                "atpg.run", engine=self.name, circuit=self.circuit.name
+            ):
+                return self._run(faults, clock, trace)
+        finally:
+            trace.use_clock(None)
+
+    def _run(
+        self,
+        faults: Sequence[Fault],
+        clock: Optional[WorkClock],
+        trace,
+    ) -> AtpgResult:
         statuses = {fault: FaultStatus(fault) for fault in faults}
         test_set = TestSet()
         checkpoints: List[Checkpoint] = []
         states_seen: Set[State] = set()
         justifier = Justifier(
-            self.circuit, self.budget, self.learning_cache, states_seen
+            self.circuit,
+            self.budget,
+            self.learning_cache,
+            states_seen,
+            trace=trace,
         )
-        clock = WorkClock() if self.budget.deterministic_clock else None
         total_watch = Stopwatch(self.budget.total_seconds, clock=clock)
+        sim_events_start = self._simulator.events_counter.value
         detected = redundant = processed = 0
         backtracks = frames_expanded = 0
         total = len(statuses)
@@ -327,9 +386,11 @@ class HitecEngine:
         # Phase 0: random test generation.  Detects the easy faults at
         # fault-simulation cost and seeds the justifier's known-state
         # database with every state the kept sequences drive through.
-        detected += self._random_phase(
-            statuses, test_set, justifier, states_seen, total_watch
-        )
+        with trace.span("atpg.random_phase"):
+            detected += self._random_phase(
+                statuses, test_set, justifier, states_seen, total_watch
+            )
+        self._ctr_detected.inc(detected)
         processed += detected
         checkpoints.append(
             Checkpoint(
@@ -347,37 +408,46 @@ class HitecEngine:
                 continue
             if total_watch.expired():
                 status.state = "aborted"
+                self._ctr_aborted.inc()
                 processed += 1
                 continue
-            outcome = self._process_fault(fault, justifier, total_watch)
+            with trace.span("atpg.fault", fault=str(fault)):
+                outcome = self._process_fault(fault, justifier, total_watch)
             processed += 1
             backtracks += outcome.backtracks
             frames_expanded += outcome.frames_expanded
+            self._ctr_frames.inc(outcome.frames_expanded)
+            self._hist_fault_backtracks.observe(outcome.backtracks)
             if outcome.state == "detected":
                 status.state = "detected"
                 status.detected_by = len(test_set)
                 test_set.add(outcome.sequence)
                 detected += 1
+                self._ctr_detected.inc()
                 justifier.remember_trace(self._good_sim, outcome.sequence)
                 # Fault dropping: run the new sequence over open faults.
                 open_faults = [
                     f for f, s in statuses.items() if s.is_open()
                 ]
                 total_watch.charge(_COST_SEQUENCE_SIM)
-                report = self._simulator.run(
-                    [outcome.sequence], faults=open_faults
-                )
+                with trace.span("sim.fault_drop"):
+                    report = self._simulator.run(
+                        [outcome.sequence], faults=open_faults
+                    )
                 states_seen |= report.states_traversed
                 for dropped in report.detected:
                     statuses[dropped].state = "detected"
                     statuses[dropped].detected_by = len(test_set) - 1
                     detected += 1
+                    self._ctr_detected.inc()
                     processed += 1
             elif outcome.state == "redundant":
                 status.state = "redundant"
                 redundant += 1
+                self._ctr_redundant.inc()
             else:
                 status.state = "aborted"
+                self._ctr_aborted.inc()
             checkpoints.append(
                 Checkpoint(
                     cpu_seconds=total_watch.elapsed(),
@@ -399,6 +469,8 @@ class HitecEngine:
             states_examined=justifier.states_examined,
             backtracks=backtracks,
             frames_expanded=frames_expanded,
+            sim_events=self._simulator.events_counter.value
+            - sim_events_start,
         )
 
     def _random_phase(
@@ -445,6 +517,7 @@ class HitecEngine:
             self.budget.max_backtracks,
             self.budget.per_fault_seconds,
             total_watch,
+            counter=self._ctr_backtracks,
         )
         model = UnrolledModel(
             self.circuit, fault, max_frames=self.budget.max_frames
@@ -528,6 +601,9 @@ def run_hitec(
     circuit: Circuit,
     budget: Optional[EffortBudget] = None,
     faults: Optional[Sequence[Fault]] = None,
+    obs: Optional[Observability] = None,
 ) -> AtpgResult:
-    """Convenience one-call HITEC run."""
-    return HitecEngine(circuit, budget=budget).run(faults)
+    """Convenience one-call HITEC run (thin wrapper over the registry)."""
+    from .registry import get_engine
+
+    return get_engine("hitec", circuit, budget=budget, obs=obs).run(faults)

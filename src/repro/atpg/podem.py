@@ -35,13 +35,21 @@ from .result import Stopwatch
 
 
 class SearchMeter:
-    """Shared effort accounting: backtracks and deadlines."""
+    """Shared effort accounting: backtracks and deadlines.
+
+    ``counter`` is an obs :class:`~repro.obs.Counter` (typically
+    ``atpg.backtracks{engine=...,circuit=...}``) mirroring the local
+    ``backtracks`` tally into the run's metrics registry; the local
+    field stays authoritative for budget enforcement and per-fault
+    deltas.
+    """
 
     def __init__(
         self,
         max_backtracks: int,
         per_fault_seconds: float,
         total_watch: Optional[Stopwatch] = None,
+        counter=None,
     ):
         self.max_backtracks = max_backtracks
         self.backtracks = 0
@@ -50,10 +58,13 @@ class SearchMeter:
         clock = total_watch.clock if total_watch is not None else None
         self._fault_watch = Stopwatch(per_fault_seconds, clock=clock)
         self._total_watch = total_watch
+        self._counter = counter
 
     def charge_backtrack(self) -> bool:
         """Count one backtrack; False when the budget is exhausted."""
         self.backtracks += 1
+        if self._counter is not None:
+            self._counter.inc()
         self._fault_watch.charge(1)
         return not self.exhausted()
 

@@ -17,10 +17,12 @@ shape.
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Sequence
 
 from ..circuit.netlist import Circuit
 from ..fault.model import Fault
+from ..obs import Observability
 from .hitec import HitecEngine
 from .result import AtpgResult, EffortBudget
 
@@ -32,10 +34,19 @@ class SestEngine(HitecEngine):
         self,
         circuit: Circuit,
         budget: Optional[EffortBudget] = None,
-        fill_seed: int = 29,
+        rng_seed: int = 29,
+        obs: Optional[Observability] = None,
+        fill_seed: Optional[int] = None,
     ):
+        if fill_seed is not None:
+            warnings.warn(
+                "SestEngine(fill_seed=...) is deprecated; use rng_seed=",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            rng_seed = fill_seed
         super().__init__(
-            circuit, budget=budget, learning=True, fill_seed=fill_seed
+            circuit, budget=budget, learning=True, rng_seed=rng_seed, obs=obs
         )
         self.name = "sest"
 
@@ -49,6 +60,9 @@ def run_sest(
     circuit: Circuit,
     budget: Optional[EffortBudget] = None,
     faults: Optional[Sequence[Fault]] = None,
+    obs: Optional[Observability] = None,
 ) -> AtpgResult:
-    """Convenience one-call SEST run."""
-    return SestEngine(circuit, budget=budget).run(faults)
+    """Convenience one-call SEST run (thin wrapper over the registry)."""
+    from .registry import get_engine
+
+    return get_engine("sest", circuit, budget=budget, obs=obs).run(faults)

@@ -27,6 +27,7 @@ mechanism.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..circuit.gates import X
@@ -35,6 +36,7 @@ from ..errors import AtpgError
 from ..fault.collapse import collapse_faults
 from ..fault.model import Fault, FaultStatus
 from ..fault.simulator import FaultSimulator
+from ..obs import Observability
 from .._util import make_rng
 from .result import (
     AtpgResult,
@@ -67,8 +69,17 @@ class SimBasedEngine:
         circuit: Circuit,
         budget: Optional[EffortBudget] = None,
         options: Optional[SimBasedOptions] = None,
-        seed: int = 23,
+        rng_seed: int = 23,
+        obs: Optional[Observability] = None,
+        seed: Optional[int] = None,
     ):
+        if seed is not None:
+            warnings.warn(
+                "SimBasedEngine(seed=...) is deprecated; use rng_seed=",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            rng_seed = seed
         circuit.check()
         if any(dff.init == X for dff in circuit.dffs()):
             raise AtpgError(
@@ -78,22 +89,53 @@ class SimBasedEngine:
         self.circuit = circuit
         self.budget = budget or EffortBudget.paper()
         self.options = options or SimBasedOptions()
-        self._rng = make_rng(seed)
-        self._simulator = FaultSimulator(circuit)
+        self.obs = obs if obs is not None else Observability()
+        labels = {"engine": self.name, "circuit": circuit.name}
+        registry = self.obs.metrics
+        self._ctr_rounds = registry.counter("atpg.rounds", **labels)
+        self._ctr_detected = registry.counter(
+            "atpg.faults_detected", **labels
+        )
+        self._ctr_aborted = registry.counter("atpg.faults_aborted", **labels)
+        self._rng = make_rng(rng_seed)
+        self._simulator = FaultSimulator(circuit, metrics=registry)
         self._num_pis = len(circuit.inputs)
+
+    @property
+    def metrics(self):
+        """The engine's :class:`~repro.obs.MetricsRegistry` handle."""
+        return self.obs.metrics
 
     def run(self, faults: Optional[Sequence[Fault]] = None) -> AtpgResult:
         if faults is None:
             faults = collapse_faults(self.circuit).representatives
+        trace = self.obs.trace
+        clock = WorkClock() if self.budget.deterministic_clock else None
+        trace.use_clock(clock)
+        try:
+            with trace.span(
+                "atpg.run", engine=self.name, circuit=self.circuit.name
+            ):
+                return self._run(faults, clock, trace)
+        finally:
+            trace.use_clock(None)
+
+    def _run(
+        self,
+        faults: Sequence[Fault],
+        clock,
+        trace,
+    ) -> AtpgResult:
         statuses = {fault: FaultStatus(fault) for fault in faults}
         open_faults: List[Fault] = list(faults)
         test_set = TestSet()
         checkpoints: List[Checkpoint] = []
         states_seen: Set[Tuple[int, ...]] = set()
-        clock = WorkClock() if self.budget.deterministic_clock else None
         watch = Stopwatch(self.budget.total_seconds, clock=clock)
+        sim_events_start = self._simulator.events_counter.value
         elite: List[List[List[int]]] = []
         stall = 0
+        rounds = 0
         detected_count = 0
 
         while (
@@ -101,30 +143,38 @@ class SimBasedEngine:
             and stall < self.options.stall_rounds
             and not watch.expired()
         ):
-            batch = self._next_batch(elite)
-            improved = False
-            for sequence in batch:
-                if watch.expired():
-                    break
-                watch.charge(5)  # one sequence through the fault simulator
-                report = self._simulator.run(
-                    [sequence], faults=open_faults
-                )
-                states_seen |= report.states_traversed
-                if report.detected:
-                    improved = True
-                    trimmed = self._trim(sequence, report.detected.keys())
-                    test_set.add(trimmed)
-                    for fault in report.detected:
-                        statuses[fault].state = "detected"
-                        statuses[fault].detected_by = len(test_set) - 1
-                        detected_count += 1
-                    open_faults = [
-                        f for f in open_faults if f not in report.detected
-                    ]
-                    elite.append(trimmed)
-                    if len(elite) > self.options.elite_pool:
-                        elite.pop(0)
+            rounds += 1
+            self._ctr_rounds.inc()
+            with trace.span("atpg.round", index=rounds):
+                batch = self._next_batch(elite)
+                improved = False
+                for sequence in batch:
+                    if watch.expired():
+                        break
+                    watch.charge(5)  # one sequence through the simulator
+                    report = self._simulator.run(
+                        [sequence], faults=open_faults
+                    )
+                    states_seen |= report.states_traversed
+                    if report.detected:
+                        improved = True
+                        trimmed = self._trim(
+                            sequence, report.detected.keys()
+                        )
+                        test_set.add(trimmed)
+                        for fault in report.detected:
+                            statuses[fault].state = "detected"
+                            statuses[fault].detected_by = len(test_set) - 1
+                            detected_count += 1
+                            self._ctr_detected.inc()
+                        open_faults = [
+                            f
+                            for f in open_faults
+                            if f not in report.detected
+                        ]
+                        elite.append(trimmed)
+                        if len(elite) > self.options.elite_pool:
+                            elite.pop(0)
             stall = 0 if improved else stall + 1
             checkpoints.append(
                 Checkpoint(
@@ -138,6 +188,7 @@ class SimBasedEngine:
 
         for fault in open_faults:
             statuses[fault].state = "aborted"
+        self._ctr_aborted.inc(len(open_faults))
         return AtpgResult(
             circuit_name=self.circuit.name,
             engine=self.name,
@@ -146,6 +197,8 @@ class SimBasedEngine:
             cpu_seconds=watch.elapsed(),
             checkpoints=checkpoints,
             states_traversed=states_seen,
+            sim_events=self._simulator.events_counter.value
+            - sim_events_start,
         )
 
     # -- sequence generation --------------------------------------------------
@@ -200,6 +253,12 @@ def run_simbased(
     circuit: Circuit,
     budget: Optional[EffortBudget] = None,
     faults: Optional[Sequence[Fault]] = None,
+    options: Optional[SimBasedOptions] = None,
+    obs: Optional[Observability] = None,
 ) -> AtpgResult:
-    """Convenience one-call simulation-based run."""
-    return SimBasedEngine(circuit, budget=budget).run(faults)
+    """Convenience one-call simulation-based run (registry wrapper)."""
+    from .registry import get_engine
+
+    return get_engine(
+        "simbased", circuit, budget=budget, options=options, obs=obs
+    ).run(faults)

@@ -22,6 +22,7 @@ from .._util import chunked
 from ..circuit.gates import ONE, X, ZERO
 from ..circuit.netlist import Circuit
 from ..errors import FaultError
+from ..obs import MetricsRegistry
 from ..sim.parallel import WORD_BITS, ParallelSimulator
 from .collapse import collapse_faults
 from .model import Fault
@@ -50,16 +51,38 @@ class FaultSimReport:
 
 
 class FaultSimulator:
-    """Reusable fault simulator bound to one circuit."""
+    """Reusable fault simulator bound to one circuit.
 
-    def __init__(self, circuit: Circuit, faults: Optional[Sequence[Fault]] = None):
+    Effort lands in ``metrics`` (shared with the owning engine's
+    :class:`~repro.obs.Observability` registry, or private by default):
+    ``sim.events`` counts machine-steps (one simulated machine through
+    one vector), ``sim.faults_dropped`` counts per-pass fault drops,
+    ``sim.sequences`` counts sequences simulated.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        faults: Optional[Sequence[Fault]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         if any(dff.init == X for dff in circuit.dffs()):
             raise FaultError(
                 f"circuit {circuit.name!r} has DFFs with unknown initial "
                 "values; two-valued fault simulation needs a reset state"
             )
         self.circuit = circuit
-        self._parallel = ParallelSimulator(circuit)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._parallel = ParallelSimulator(circuit, metrics=self.metrics)
+        self.events_counter = self.metrics.counter(
+            "sim.events", circuit=circuit.name
+        )
+        self.dropped_counter = self.metrics.counter(
+            "sim.faults_dropped", circuit=circuit.name
+        )
+        self.sequences_counter = self.metrics.counter(
+            "sim.sequences", circuit=circuit.name
+        )
         if faults is None:
             faults = collapse_faults(circuit).representatives
         self.faults: List[Fault] = list(faults)
@@ -87,11 +110,18 @@ class FaultSimulator:
         vectors = 0
         for index, sequence in enumerate(sequences):
             vectors += len(sequence)
+            self.sequences_counter.inc()
             caught = self._simulate_sequence(sequence, remaining, states)
-            for fault in caught:
-                detected[fault] = index
+            # Insert in fault-list order, not set order: callers feed
+            # report.detected back into the simulator (e.g. trimming), so
+            # hash-dependent ordering would leak into batch composition.
+            for fault in remaining:
+                if fault in caught:
+                    detected[fault] = index
             if drop:
+                before = len(remaining)
                 remaining = [f for f in remaining if f not in caught]
+                self.dropped_counter.inc(before - len(remaining))
         return FaultSimReport(
             detected=detected,
             undetected=remaining,
@@ -151,10 +181,12 @@ class FaultSimulator:
             mask if bit == ONE else 0 for bit in self._initial_state
         ]
         detected_mask = 0
+        events = 0
         record_states = states_out is not None
         if record_states:
             states_out.add(self._good_state(state_words))
         for vector in sequence:
+            events += num_machines
             pi_words = []
             for bit in vector:
                 if bit not in (ZERO, ONE):
@@ -173,6 +205,7 @@ class FaultSimulator:
                 detected_mask |= (word ^ reference) & mask
             if detected_mask == mask & ~1:
                 break  # every fault in the group already caught
+        self.events_counter.inc(events)
         caught: Set[Fault] = set()
         for position, fault in enumerate(group, start=1):
             if (detected_mask >> position) & 1:

@@ -36,6 +36,7 @@ from . import (
 )
 from .experiment import run_all
 from .ledger import TaskRecord, load_records
+from .reporting import Reporter
 from .report import (
     assemble_report,
     curves_to_markdown,
@@ -48,6 +49,7 @@ __all__ = [
     "CircuitPair",
     "Column",
     "HarnessConfig",
+    "Reporter",
     "RunResult",
     "TaskRecord",
     "TaskSpec",

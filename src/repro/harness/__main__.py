@@ -6,10 +6,15 @@ Examples::
     python -m repro.harness --jobs 4              # default preset, 4 workers
     python -m repro.harness smoke --jobs 2 --task-timeout 120
     python -m repro.harness smoke --resume 20260806-101500-ab12cd
+    python -m repro.harness --quick --profile     # deterministic profile
 
 Every run writes ``<runs-dir>/<run-id>/`` containing ``ledger.jsonl``
 (one JSON row per task attempt), ``config.json`` and ``report.txt``;
 ``--resume`` skips cells the ledger already records as complete.
+``--profile`` additionally records trace spans per task, assembles
+``trace.jsonl`` and prints a per-phase rollup; combined with
+``--quick`` (the smoke preset on the deterministic virtual clock) the
+span tree is byte-identical at any ``--jobs`` level.
 """
 
 import argparse
@@ -21,6 +26,7 @@ from .experiment import run_all
 
 PRESETS = {
     "smoke": HarnessConfig.smoke,
+    "quick": HarnessConfig.quick,
     "default": HarnessConfig.default,
     "heavy": HarnessConfig.heavy,
 }
@@ -77,12 +83,31 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="LIST",
         help="comma-separated subset of table1..table8,figure3",
     )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shorthand for the 'quick' preset (smoke effort on the "
+        "deterministic virtual clock)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="record metrics + trace spans, write <run>/trace.jsonl "
+        "and print a per-phase rollup",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress progress lines (report and profile summaries "
+        "still print)",
+    )
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    config = PRESETS[args.preset]()
+    preset = "quick" if args.quick else args.preset
+    config = PRESETS[preset]()
     overrides = {}
     if args.task_timeout is not None:
         overrides["task_timeout_seconds"] = args.task_timeout
@@ -100,6 +125,8 @@ def main(argv=None) -> int:
         jobs=args.jobs,
         resume=args.resume,
         runs_dir=args.runs_dir,
+        profile=args.profile or None,
+        quiet=args.quiet,
     )
     return 0
 

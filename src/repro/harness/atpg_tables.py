@@ -5,37 +5,27 @@ and reports %FC, %FE and the retimed/original CPU ratio.  Table 2
 (HITEC) additionally reports register counts and absolute CPU seconds;
 Tables 3 and 4 follow the paper in reporting only coverage figures and
 the CPU ratio.
+
+Engines are referred to by registry name (``"hitec"``, ``"sest"``,
+``"simbased"``) and constructed through
+:func:`repro.atpg.registry.get_engine`; this module never branches on
+engine names itself.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..atpg.hitec import HitecEngine
-from ..atpg.result import AtpgResult, EffortBudget
-from ..atpg.sest import SestEngine
-from ..atpg.simbased import SimBasedEngine
+from ..atpg.registry import get_engine
+from ..atpg.result import AtpgResult
 from ..circuit.netlist import Circuit
 from ..fault.collapse import collapse_faults
 from ..lint import LintConfig, Severity, gate_circuit
+from ..obs import Observability
 from .config import HarnessConfig, sample_faults
 from .suite import CircuitPair, build_pair
 from .tables import Column, Table, pct, ratio
-
-EngineFactory = Callable[[Circuit, EffortBudget], object]
-
-
-def hitec_factory(circuit: Circuit, budget: EffortBudget):
-    return HitecEngine(circuit, budget=budget)
-
-
-def sest_factory(circuit: Circuit, budget: EffortBudget):
-    return SestEngine(circuit, budget=budget)
-
-
-def simbased_factory(circuit: Circuit, budget: EffortBudget):
-    return SimBasedEngine(circuit, budget=budget)
 
 
 @dataclasses.dataclass
@@ -53,12 +43,17 @@ class PairRun:
 
 
 def run_engine_on_circuit(
-    circuit: Circuit, factory: EngineFactory, config: HarnessConfig
+    circuit: Circuit,
+    engine: str,
+    config: HarnessConfig,
+    obs: Optional[Observability] = None,
 ) -> AtpgResult:
     """One engine × circuit run with the config's fault sampling.
 
-    The circuit passes the pre-ATPG DRC gate first: in ``strict`` mode a
-    finding at ``config.lint_fail_on`` severity aborts the run with
+    ``engine`` is a registry name resolved through
+    :func:`repro.atpg.registry.get_engine`.  The circuit passes the
+    pre-ATPG DRC gate first: in ``strict`` mode a finding at
+    ``config.lint_fail_on`` severity aborts the run with
     :class:`repro.errors.LintError`; in ``warn`` mode the diagnostics
     are recorded in the global ledger, which the experiment driver
     appends to its report.
@@ -68,21 +63,27 @@ def run_engine_on_circuit(
         mode=config.lint_mode,
         stage=f"pre-atpg:{circuit.name}",
         config=LintConfig(fail_on=Severity.parse(config.lint_fail_on)),
+        obs=obs,
     )
     faults = collapse_faults(circuit).representatives
     faults = sample_faults(faults, config)
-    engine = factory(circuit, config.budget)
-    return engine.run(faults)
+    runner = get_engine(engine, circuit, budget=config.budget, obs=obs)
+    return runner.run(faults)
 
 
 def run_pair(
-    name: str, factory: EngineFactory, config: HarnessConfig
+    name: str,
+    engine: str,
+    config: HarnessConfig,
+    obs: Optional[Observability] = None,
 ) -> PairRun:
     pair = build_pair(name, target_ratio=config.retime_target_ratio)
     original = run_engine_on_circuit(
-        pair.original_circuit, factory, config
+        pair.original_circuit, engine, config, obs=obs
     )
-    retimed = run_engine_on_circuit(pair.retimed_circuit, factory, config)
+    retimed = run_engine_on_circuit(
+        pair.retimed_circuit, engine, config, obs=obs
+    )
     return PairRun(pair=pair, original=original, retimed=retimed)
 
 
@@ -120,7 +121,7 @@ def hitec_table(
     rows: List[Dict] = []
     runs: List[PairRun] = []
     for name in circuits:
-        run = run_pair(name, hitec_factory, config)
+        run = run_pair(name, "hitec", config)
         runs.append(run)
         rows.extend(pair_rows(name, run))
     return hitec_table_from_rows(rows), runs
@@ -167,14 +168,14 @@ def coverage_table_from_rows(title: str, rows: List[Dict]) -> Table:
 def coverage_ratio_table(
     title: str,
     circuits: Tuple[str, ...],
-    factory: EngineFactory,
+    engine: str,
     config: HarnessConfig,
 ) -> Tuple[Table, List[PairRun]]:
     """Run an engine over every pair and build a Table 3/4-shaped table."""
     rows: List[Dict] = []
     runs: List[PairRun] = []
     for name in circuits:
-        run = run_pair(name, factory, config)
+        run = run_pair(name, engine, config)
         runs.append(run)
         rows.append(coverage_row(name, run))
     return coverage_table_from_rows(title, rows), runs

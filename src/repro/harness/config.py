@@ -10,6 +10,9 @@ presets:
 * ``default`` — a few minutes per ATPG table; what EXPERIMENTS.md
   records.
 * ``heavy``  — larger budgets for closer-to-paper abort behavior.
+* ``quick``  — smoke budgets with the deterministic virtual clock, for
+  reproducible profiling (``--quick --profile`` traces are
+  byte-identical across ``--jobs`` levels).
 """
 
 from __future__ import annotations
@@ -56,6 +59,11 @@ class HarnessConfig:
     retry_budget_scale: float = 0.5  # budget shrink factor per retry
     runs_dir: str = "runs"  # where run ledgers live
     resume: Optional[str] = None  # run id to resume
+    # Record metrics + trace spans per task and assemble the run's
+    # trace.jsonl.  Observability never feeds the science payload, so
+    # this is an execution knob: profiled and unprofiled runs produce
+    # identical table rows and may resume each other's ledgers.
+    profile: bool = False
     # Test-only fault-injection hook: "pkg.module:function", called in
     # the worker as hook(task, config) before the cell executes.
     task_hook: Optional[str] = None
@@ -114,6 +122,18 @@ class HarnessConfig:
             ),
             max_faults=250,
             circuits=("dk16.ji.sd", "s820.jc.sr"),
+        )
+
+    @classmethod
+    def quick(cls) -> "HarnessConfig":
+        """Smoke effort on the deterministic virtual clock — the preset
+        behind ``--quick``; its traces are identical at any --jobs."""
+        config = cls.smoke()
+        return dataclasses.replace(
+            config,
+            budget=dataclasses.replace(
+                config.budget, deterministic_clock=True
+            ),
         )
 
     @classmethod

@@ -10,6 +10,10 @@ is decomposed into crash-isolated cells, executed serially
 ledger under ``<runs_dir>/<run-id>/``, and the report is assembled
 from ledger rows — so an interrupted run can be resumed with
 ``resume=<run-id>`` without recomputing completed cells.
+
+Output goes through :class:`repro.harness.reporting.Reporter`
+(logging-based): progress lines are suppressed by ``quiet=True``, the
+report and ``profile=True`` summaries always print.
 """
 
 from __future__ import annotations
@@ -19,8 +23,16 @@ import os
 import time
 from typing import Optional
 
+from ..obs import (
+    merge_dumps,
+    read_trace_jsonl,
+    render_metrics_summary,
+    render_rollup,
+)
 from .config import HarnessConfig
+from .ledger import completed_by_key
 from .report import assemble_report
+from .reporting import Reporter
 from .runner import RunResult, run_experiment
 
 
@@ -30,12 +42,18 @@ def run_all(
     jobs: Optional[int] = None,
     resume: Optional[str] = None,
     runs_dir: Optional[str] = None,
+    profile: Optional[bool] = None,
+    quiet: bool = False,
+    reporter: Optional[Reporter] = None,
 ) -> str:
     """Regenerate every table/figure; returns the combined report text.
 
-    ``jobs``/``resume``/``runs_dir`` override the corresponding config
-    fields.  Progress lines go to ``stream`` as cells complete; the
-    report is also written to ``<run_dir>/report.txt``.
+    ``jobs``/``resume``/``runs_dir``/``profile`` override the
+    corresponding config fields.  Progress lines go to ``stream`` (via
+    the ``repro.harness`` logger) as cells complete; the report is also
+    written to ``<run_dir>/report.txt``.  With profiling on, the
+    assembled ``trace.jsonl`` is summarized as a per-phase rollup plus
+    a metrics table after the report.
     """
     config = config or HarnessConfig.default()
     overrides = {}
@@ -45,22 +63,56 @@ def run_all(
         overrides["resume"] = resume
     if runs_dir is not None:
         overrides["runs_dir"] = runs_dir
+    if profile is not None:
+        overrides["profile"] = profile
     if overrides:
         config = dataclasses.replace(config, **overrides)
 
-    def emit(line: str) -> None:
-        if stream is not None:
-            print(line, file=stream, flush=True)
+    owns_reporter = reporter is None
+    reporter = reporter or Reporter(stream=stream, quiet=quiet)
+    try:
+        start = time.time()
+        result: RunResult = run_experiment(config, emit=reporter.progress)
+        report = assemble_report(
+            config, result.records, elapsed_seconds=time.time() - start
+        )
+        report_path = os.path.join(result.run_dir, "report.txt")
+        with open(report_path, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        reporter.progress(
+            f"[runner] run {result.run_id} complete; "
+            f"report at {report_path}"
+        )
+        reporter.report(report)
+        if result.trace_file:
+            reporter.report(_profile_summary(config, result))
+        return report
+    finally:
+        if owns_reporter:
+            reporter.close()
 
-    start = time.time()
-    result: RunResult = run_experiment(config, emit=emit)
-    report = assemble_report(
-        config, result.records, elapsed_seconds=time.time() - start
-    )
-    report_path = os.path.join(result.run_dir, "report.txt")
-    with open(report_path, "w", encoding="utf-8") as handle:
-        handle.write(report)
-    emit(f"[runner] run {result.run_id} complete; report at {report_path}")
-    if stream is not None:
-        print(report, file=stream, flush=True)
-    return report
+
+def _profile_summary(config: HarnessConfig, result: RunResult) -> str:
+    """Per-phase span rollup + merged metrics table for a profiled run."""
+    spans = read_trace_jsonl(result.trace_file)
+    sections = [
+        render_rollup(
+            spans,
+            top=15,
+            title=f"Profile: hottest span paths ({result.run_id})",
+        )
+    ]
+    dumps = [
+        record.metrics
+        for record in completed_by_key(
+            result.records, config.fingerprint()
+        ).values()
+        if record.metrics
+    ]
+    if dumps:
+        sections.append(
+            render_metrics_summary(
+                merge_dumps(dumps), title="Metrics (all tasks merged)"
+            )
+        )
+    return "\n\n".join(sections)

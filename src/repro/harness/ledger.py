@@ -9,7 +9,7 @@ source of truth: the final report is assembled *from ledger rows*, and
 Record schema (one JSON object per line)::
 
     {
-      "v": 1,                     # record version
+      "v": 2,                     # record version
       "key": "table2:hitec:dk16.ji.sd",
       "kind": "hitec_pair",       # task kind (see runner.TaskSpec)
       "pair": "dk16.ji.sd",       # circuit pair, null for global tasks
@@ -21,10 +21,18 @@ Record schema (one JSON object per line)::
       "outcome": "ok",            # ok | crashed | timeout | quarantined
       "wall_seconds": 1.3,        # wall clock of the attempt
       "peak_rss_kb": 51234,       # worker peak RSS (ru_maxrss)
-      "counters": {...},          # ATPG counters (backtracks, aborted…)
+      "counters": {...},          # dotted AtpgResult counters (see
+                                  #   DESIGN.md "Metric naming")
+      "metrics": {...},           # MetricsRegistry.dump() of the attempt
       "payload": {...},           # table rows + lint entries (ok only)
       "error": "…"                # traceback summary (failures only)
     }
+
+Version history: v1 rows used flat counter keys (``backtracks``,
+``total_faults`` …) and had no ``metrics`` field;
+:meth:`TaskRecord.from_dict` normalizes them to the dotted schema via
+:func:`repro.atpg.normalize_counters`, so old ledgers keep resuming
+and rendering.
 
 A run killed mid-write leaves a torn final line; :func:`load_records`
 tolerates any undecodable line (counting it) so a resumed run can pick
@@ -41,11 +49,12 @@ import time
 import uuid
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from ..atpg.result import normalize_counters
 from ..lint.gate import _SUMMARY_DETAIL_LIMIT, LintLedger
 from ..lint.severity import Severity
 
 LEDGER_NAME = "ledger.jsonl"
-RECORD_VERSION = 1
+RECORD_VERSION = 2
 
 #: Ledger fields that vary run-to-run even for identical science
 #: (excluded by the serial-vs-parallel equivalence tests).
@@ -68,6 +77,7 @@ class TaskRecord:
     wall_seconds: float = 0.0
     peak_rss_kb: int = 0
     counters: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    metrics: Dict[str, Any] = dataclasses.field(default_factory=dict)
     payload: Dict[str, Any] = dataclasses.field(default_factory=dict)
     error: str = ""
 
@@ -82,6 +92,10 @@ class TaskRecord:
         data = dict(data)
         data.pop("v", None)
         data["tables"] = tuple(data.get("tables") or ())
+        # v1 rows carried flat counter keys; map them onto the dotted
+        # schema so resumed/rendered old ledgers match new rows.
+        if data.get("counters"):
+            data["counters"] = normalize_counters(data["counters"])
         known = {f.name for f in dataclasses.fields(cls)}
         return cls(**{k: v for k, v in data.items() if k in known})
 

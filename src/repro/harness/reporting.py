@@ -1,0 +1,75 @@
+"""Progress and report output for the experiment driver.
+
+``run_all`` used to write bare ``print`` calls to a stream; everything
+now goes through one :class:`Reporter`, built on :mod:`logging`, so
+
+* ``--quiet`` suppresses progress chatter while keeping the report and
+  profile summaries (the run's actual product);
+* embedding applications can attach their own handlers to the
+  ``repro.harness`` logger instead of capturing stdout;
+* the driver has exactly one output seam to test.
+
+The reporter never configures the root logger and removes its handler
+on :meth:`close`, so repeated runs (and pytest) don't accumulate
+handlers or duplicate lines.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional, TextIO
+
+LOGGER_NAME = "repro.harness"
+
+#: Progress lines use INFO; report/profile text uses WARNING so a
+#: quiet reporter (level=WARNING) still emits it.
+PROGRESS_LEVEL = logging.INFO
+REPORT_LEVEL = logging.WARNING
+
+
+class Reporter:
+    """Routes experiment output through the ``repro.harness`` logger.
+
+    ``stream=None`` (the library default) attaches no handler: output
+    goes wherever the embedding application pointed the logger, or
+    nowhere — matching the old ``stream=None`` silence.
+    """
+
+    def __init__(
+        self, stream: Optional[TextIO] = None, quiet: bool = False
+    ):
+        self.quiet = quiet
+        self._logger = logging.getLogger(LOGGER_NAME)
+        self._handler: Optional[logging.Handler] = None
+        if stream is not None:
+            handler = logging.StreamHandler(stream)
+            handler.setFormatter(logging.Formatter("%(message)s"))
+            handler.setLevel(
+                REPORT_LEVEL if quiet else PROGRESS_LEVEL
+            )
+            self._logger.addHandler(handler)
+            # The logger itself stays wide open; filtering is purely
+            # per-handler so other attached handlers are unaffected.
+            self._logger.setLevel(PROGRESS_LEVEL)
+            self._handler = handler
+
+    def progress(self, line: str) -> None:
+        """One transient status line (suppressed by ``--quiet``)."""
+        self._logger.log(PROGRESS_LEVEL, "%s", line)
+
+    def report(self, text: str) -> None:
+        """Product output: tables, rollups — emitted even when quiet."""
+        self._logger.log(REPORT_LEVEL, "%s", text)
+
+    def close(self) -> None:
+        """Detach (and flush) the handler this reporter attached."""
+        if self._handler is not None:
+            self._handler.flush()
+            self._logger.removeHandler(self._handler)
+            self._handler = None
+
+    def __enter__(self) -> "Reporter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

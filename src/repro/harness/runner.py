@@ -43,16 +43,14 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import ReproError
 from ..lint import GLOBAL_LEDGER
+from ..obs import Observability, write_trace_jsonl
 from . import ledger as ledger_mod
 from . import figure3, table1, table5, table6, table7, table8
 from .atpg_tables import (
-    hitec_factory,
     pair_counters,
     pair_rows,
     coverage_row,
     run_pair,
-    sest_factory,
-    simbased_factory,
 )
 from .config import HarnessConfig
 from .ledger import TaskRecord
@@ -160,58 +158,72 @@ def build_task_graph(config: HarnessConfig) -> List[TaskSpec]:
 # be a pure function of (task, config)).
 
 
-def _hitec_cell(task: TaskSpec, config: HarnessConfig) -> Dict:
-    run = run_pair(task.pair, hitec_factory, config)
+def _table8_rows(
+    task: TaskSpec, config: HarnessConfig, run
+) -> List[Dict]:
+    table8_set = config.circuits or table8.DEFAULT_CIRCUITS
+    return [table8.row_for_run(run)] if task.pair in table8_set else []
+
+
+#: Report-section → row builder for one engine pair run.  Keyed by
+#: section name, never by engine: which engine ran is entirely the
+#: registry's business (``task.engine`` resolved by ``get_engine``).
+_SECTION_ROWS = {
+    "table2": lambda task, config, run: pair_rows(task.pair, run),
+    "table3": lambda task, config, run: [coverage_row(task.pair, run)],
+    "table4": lambda task, config, run: [coverage_row(task.pair, run)],
+    "table6": lambda task, config, run: table6.rows_for_run(run),
+    "table8": _table8_rows,
+}
+
+
+def _engine_pair_cell(
+    task: TaskSpec, config: HarnessConfig, obs: Observability
+) -> Dict:
+    """One (engine × circuit pair) run feeding the task's sections.
+
+    The single cell body behind the hitec/attest/sest pair kinds —
+    ``task.engine`` is a registry name and ``task.tables`` picks the
+    row builders, so adding an engine touches the registry and the task
+    graph, never this function.
+    """
+    run = run_pair(task.pair, task.engine, config, obs=obs)
     tables: Dict[str, List[Dict]] = {}
-    if wants(config, "table2"):
-        tables["table2"] = pair_rows(task.pair, run)
-    if wants(config, "table6"):
-        tables["table6"] = table6.rows_for_run(run)
-    if wants(config, "table8"):
-        table8_set = config.circuits or table8.DEFAULT_CIRCUITS
-        tables["table8"] = (
-            [table8.row_for_run(run)] if task.pair in table8_set else []
-        )
+    for section in task.tables:
+        if wants(config, section):
+            tables[section] = _SECTION_ROWS[section](task, config, run)
     return {"tables": tables, "counters": pair_counters(run)}
 
 
-def _attest_cell(task: TaskSpec, config: HarnessConfig) -> Dict:
-    run = run_pair(task.pair, simbased_factory, config)
-    return {
-        "tables": {"table3": [coverage_row(task.pair, run)]},
-        "counters": pair_counters(run),
-    }
-
-
-def _sest_cell(task: TaskSpec, config: HarnessConfig) -> Dict:
-    run = run_pair(task.pair, sest_factory, config)
-    return {
-        "tables": {"table4": [coverage_row(task.pair, run)]},
-        "counters": pair_counters(run),
-    }
-
-
-def _struct_cell(task: TaskSpec, config: HarnessConfig) -> Dict:
+def _struct_cell(
+    task: TaskSpec, config: HarnessConfig, obs: Observability
+) -> Dict:
     return {"tables": {"table5": [table5.row_for_pair(task.pair, config)]}}
 
 
-def _table1_cell(task: TaskSpec, config: HarnessConfig) -> Dict:
+def _table1_cell(
+    task: TaskSpec, config: HarnessConfig, obs: Observability
+) -> Dict:
     return {"tables": {"table1": table1.compute_rows()}}
 
 
-def _table7_cell(task: TaskSpec, config: HarnessConfig) -> Dict:
+def _table7_cell(
+    task: TaskSpec, config: HarnessConfig, obs: Observability
+) -> Dict:
     return {"tables": {"table7": table7.compute_rows(config)}}
 
 
-def _figure3_cell(task: TaskSpec, config: HarnessConfig) -> Dict:
+def _figure3_cell(
+    task: TaskSpec, config: HarnessConfig, obs: Observability
+) -> Dict:
     curves = figure3.generate(config)
     return {"curves": [curve.to_dict() for curve in curves]}
 
 
 _CELLS = {
-    "hitec_pair": _hitec_cell,
-    "attest_pair": _attest_cell,
-    "sest_pair": _sest_cell,
+    "hitec_pair": _engine_pair_cell,
+    "attest_pair": _engine_pair_cell,
+    "sest_pair": _engine_pair_cell,
     "struct_pair": _struct_cell,
     "table1": _table1_cell,
     "table7": _table7_cell,
@@ -236,14 +248,26 @@ def execute_task(task: TaskSpec, config: HarnessConfig) -> Dict:
     The process-local lint ledger is cleared first and serialized into
     the payload, so the parent can merge every task's DRC diagnostics
     into the report exactly as the serial harness did.
+
+    Every task gets a fresh :class:`~repro.obs.Observability` bundle —
+    its metrics dump always rides in the payload; with
+    ``config.profile`` the cell also runs under a recording tracer and
+    the span records ride along as ``payload["trace"]``.  Per-task
+    bundles keep the trace a pure function of the cell, independent of
+    scheduling order or worker placement.
     """
     if task.kind not in _CELLS:
         raise ReproError(f"unknown task kind {task.kind!r}")
     GLOBAL_LEDGER.clear()
     if config.task_hook:
         _resolve_hook(config.task_hook)(task, config)
-    payload = _CELLS[task.kind](task, config)
+    obs = Observability.for_profile(config.profile)
+    with obs.trace.span("task", key=task.key, kind=task.kind):
+        payload = _CELLS[task.kind](task, config, obs)
     payload["lint"] = ledger_mod.serialize_lint_ledger(GLOBAL_LEDGER)
+    payload["metrics"] = obs.metrics.dump()
+    if config.profile:
+        payload["trace"] = obs.trace.export()
     return payload
 
 
@@ -288,6 +312,7 @@ class RunResult:
     ledger_file: str
     records: List[TaskRecord]  # full ledger contents (incl. resumed rows)
     torn_lines: int = 0
+    trace_file: Optional[str] = None  # assembled trace.jsonl (profile)
 
 
 def _scaled_config(config: HarnessConfig, attempt: int) -> HarnessConfig:
@@ -315,6 +340,7 @@ def _record_for(
 ) -> TaskRecord:
     payload = dict(payload or {})
     counters = payload.pop("counters", {})
+    metrics = payload.pop("metrics", {})
     return TaskRecord(
         key=task.key,
         kind=task.kind,
@@ -328,6 +354,7 @@ def _record_for(
         wall_seconds=wall,
         peak_rss_kb=rss_kb,
         counters=counters,
+        metrics=metrics,
         payload=payload,
         error=error,
     )
@@ -520,6 +547,59 @@ def _run_parallel(
                 state.process.join()
 
 
+def assemble_trace(
+    run_dir: str,
+    tasks: List[TaskSpec],
+    records: List[TaskRecord],
+    fingerprint: str,
+) -> Optional[str]:
+    """Merge per-task span records into ``<run_dir>/trace.jsonl``.
+
+    Tasks are written in canonical task-graph order — never scheduling
+    order — with each span tagged by its task key, so serial and
+    parallel runs of the same deterministic config produce identical
+    span trees modulo the ``wall*`` metadata fields.  Failed attempts
+    contribute zero-duration ``task.crashed``/``task.timeout`` event
+    records derived from durable ledger rows rather than live parent
+    state, keeping scheduling events reproducible too.
+    """
+    completed = ledger_mod.completed_by_key(records, fingerprint)
+    failures: Dict[str, List[TaskRecord]] = {}
+    for record in records:
+        if record.fingerprint != fingerprint:
+            continue
+        if record.outcome in ("crashed", "timeout"):
+            failures.setdefault(record.key, []).append(record)
+    merged: List[Dict] = []
+    for task in tasks:
+        for failure in sorted(
+            failures.get(task.key, ()), key=lambda r: r.attempt
+        ):
+            merged.append(
+                {
+                    "seq": None,
+                    "parent": None,
+                    "name": f"task.{failure.outcome}",
+                    "path": f"task.{failure.outcome}",
+                    "attrs": {"event": True, "attempt": failure.attempt},
+                    "t0": None,
+                    "t1": None,
+                    "wall_ms": round(failure.wall_seconds * 1000.0, 3),
+                    "task": task.key,
+                }
+            )
+        record = completed.get(task.key)
+        if record is None:
+            continue
+        for span in record.payload.get("trace", ()):
+            span = dict(span)
+            span["task"] = task.key
+            merged.append(span)
+    path = os.path.join(run_dir, "trace.jsonl")
+    write_trace_jsonl(path, merged)
+    return path
+
+
 class _KilledByTimeout:
     """Wrapper marking a worker the parent killed for overrunning its
     deadline (distinguishes timeout from an ordinary crash)."""
@@ -600,10 +680,15 @@ def run_experiment(
     # Re-read the ledger: the file is the single source of truth the
     # report is assembled from (also exactly what resume would see).
     records, torn = ledger_mod.load_records(ledger_file)
+    trace_file = None
+    if config.profile:
+        trace_file = assemble_trace(run_dir, tasks, records, fingerprint)
+        emit(f"[runner] trace written to {trace_file}")
     return RunResult(
         run_id=run_id,
         run_dir=run_dir,
         ledger_file=ledger_file,
         records=records,
         torn_lines=torn,
+        trace_file=trace_file,
     )

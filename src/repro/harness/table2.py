@@ -6,7 +6,6 @@ from typing import List, Optional, Tuple
 
 from .atpg_tables import (
     PairRun,
-    hitec_factory,
     hitec_table,
     hitec_table_from_rows,
 )

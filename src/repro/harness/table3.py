@@ -8,7 +8,6 @@ from .atpg_tables import (
     PairRun,
     coverage_ratio_table,
     coverage_table_from_rows,
-    simbased_factory,
 )
 from .config import HarnessConfig
 from .suite import TABLE3_CIRCUITS
@@ -33,4 +32,4 @@ def generate(
     """
     config = config or HarnessConfig.default()
     circuits = config.circuits or TABLE3_CIRCUITS
-    return coverage_ratio_table(TITLE, circuits, simbased_factory, config)
+    return coverage_ratio_table(TITLE, circuits, "simbased", config)

@@ -8,7 +8,6 @@ from .atpg_tables import (
     PairRun,
     coverage_ratio_table,
     coverage_table_from_rows,
-    sest_factory,
 )
 from .config import HarnessConfig
 from .suite import TABLE4_CIRCUITS
@@ -32,4 +31,4 @@ def generate(
     """
     config = config or HarnessConfig.default()
     circuits = config.circuits or TABLE4_CIRCUITS
-    return coverage_ratio_table(TITLE, circuits, sest_factory, config)
+    return coverage_ratio_table(TITLE, circuits, "sest", config)

@@ -14,7 +14,7 @@ from ..analysis.density import ReachableStates
 from ..analysis.traversal import traversal_report
 from ..atpg.result import AtpgResult
 from ..circuit.netlist import Circuit
-from .atpg_tables import PairRun, hitec_factory, run_pair
+from .atpg_tables import PairRun, run_pair
 from .config import HarnessConfig
 from .suite import TABLE2_CIRCUITS
 from .tables import Column, Table, eng
@@ -29,7 +29,7 @@ def generate(
     config = config or HarnessConfig.default()
     circuits = config.circuits or TABLE2_CIRCUITS
     if runs is None:
-        runs = [run_pair(name, hitec_factory, config) for name in circuits]
+        runs = [run_pair(name, "hitec", config) for name in circuits]
     rows = []
     for run in runs:
         rows.extend(rows_for_run(run))

@@ -13,7 +13,7 @@ from typing import List, Optional, Tuple
 
 from ..analysis.density import ReachableStates
 from ..analysis.traversal import simulate_test_set_on, traversal_report
-from .atpg_tables import PairRun, hitec_factory, run_pair
+from .atpg_tables import PairRun, run_pair
 from .config import HarnessConfig
 from .tables import Column, Table, pct
 
@@ -35,7 +35,7 @@ def generate(
     config = config or HarnessConfig.default()
     if runs is None:
         circuits = config.circuits or DEFAULT_CIRCUITS
-        runs = [run_pair(name, hitec_factory, config) for name in circuits]
+        runs = [run_pair(name, "hitec", config) for name in circuits]
     rows = [row_for_run(run) for run in runs]
     return build_table(rows)
 

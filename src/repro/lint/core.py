@@ -32,6 +32,7 @@ from typing import (
 )
 
 from ..circuit.netlist import Circuit
+from ..obs import Observability
 from .severity import Severity
 
 
@@ -258,6 +259,10 @@ class LintReport:
     rules_run: Tuple[str, ...]
     suppressed: int = 0
     elapsed_seconds: float = 0.0
+    # Wall seconds per rule ID.  Diagnostic only — deliberately kept out
+    # of to_dict() so ledger rows stay machine-independent; the obs
+    # trace carries the same timings as span wall_ms metadata.
+    rule_seconds: Dict[str, float] = dataclasses.field(default_factory=dict)
 
     def __iter__(self) -> Iterator[Diagnostic]:
         return iter(self.diagnostics)
@@ -338,6 +343,7 @@ def run_lint(
     config: Optional[LintConfig] = None,
     registry: Optional[RuleRegistry] = None,
     rules: Optional[Sequence[Rule]] = None,
+    obs: Optional[Observability] = None,
 ) -> LintReport:
     """Run every enabled rule over ``circuit`` and collect diagnostics.
 
@@ -346,15 +352,20 @@ def run_lint(
     of the registry runs in ID order.  A crashing rule is reported as an
     error-severity diagnostic rather than aborting the run — broken
     circuits are exactly what the analyzer must survive.
+
+    ``obs`` receives one ``lint.rule`` trace span per rule (wall timing
+    as span metadata) and ``lint.findings{rule=...}`` counters.
     """
     from . import rules as _builtin_rules  # noqa: F401  (populate REGISTRY)
 
     config = config or LintConfig()
     registry = registry or REGISTRY
+    obs = obs if obs is not None else Observability()
     selected = list(rules) if rules is not None else registry.rules()
     context = LintContext(circuit, config)
     diagnostics: List[Diagnostic] = []
     ran: List[str] = []
+    rule_seconds: Dict[str, float] = {}
     start = time.perf_counter()
 
     for rule_entry in selected:
@@ -363,33 +374,45 @@ def run_lint(
         ran.append(rule_entry.rule_id)
         severity = config.effective_severity(rule_entry)
         emitted = 0
-        try:
-            for finding in rule_entry.check(context):
-                subject, message, hint = _normalize(finding)
-                emitted += 1
-                if emitted > config.max_findings_per_rule:
-                    continue  # keep counting, stop storing
+        rule_start = time.perf_counter()
+        with obs.trace.span(
+            "lint.rule", rule=rule_entry.rule_id, circuit=circuit.name
+        ):
+            try:
+                for finding in rule_entry.check(context):
+                    subject, message, hint = _normalize(finding)
+                    emitted += 1
+                    if emitted > config.max_findings_per_rule:
+                        continue  # keep counting, stop storing
+                    diagnostics.append(
+                        Diagnostic(
+                            rule_id=rule_entry.rule_id,
+                            severity=severity,
+                            subject=subject,
+                            message=message,
+                            category=rule_entry.category,
+                            fix_hint=hint,
+                        )
+                    )
+            except Exception as exc:  # pragma: no cover - defensive
                 diagnostics.append(
                     Diagnostic(
                         rule_id=rule_entry.rule_id,
-                        severity=severity,
-                        subject=subject,
-                        message=message,
-                        category=rule_entry.category,
-                        fix_hint=hint,
+                        severity=Severity.ERROR,
+                        subject=circuit.name,
+                        message=f"rule {rule_entry.name} crashed: {exc}",
+                        category="internal",
                     )
                 )
-        except Exception as exc:  # pragma: no cover - defensive
-            diagnostics.append(
-                Diagnostic(
-                    rule_id=rule_entry.rule_id,
-                    severity=Severity.ERROR,
-                    subject=circuit.name,
-                    message=f"rule {rule_entry.name} crashed: {exc}",
-                    category="internal",
+                rule_seconds[rule_entry.rule_id] = (
+                    time.perf_counter() - rule_start
                 )
-            )
-            continue
+                continue
+        rule_seconds[rule_entry.rule_id] = time.perf_counter() - rule_start
+        if emitted:
+            obs.metrics.counter(
+                "lint.findings", rule=rule_entry.rule_id
+            ).inc(emitted)
         overflow = emitted - config.max_findings_per_rule
         if overflow > 0:
             diagnostics.append(
@@ -404,10 +427,12 @@ def run_lint(
                     category=rule_entry.category,
                 )
             )
+    obs.metrics.counter("lint.rules_run").inc(len(ran))
 
     return LintReport(
         circuit_name=circuit.name,
         diagnostics=diagnostics,
         rules_run=tuple(ran),
         elapsed_seconds=time.perf_counter() - start,
+        rule_seconds=rule_seconds,
     )

@@ -131,6 +131,7 @@ def gate_circuit(
     stage: str = "",
     config: Optional[LintConfig] = None,
     ledger: Optional[LintLedger] = GLOBAL_LEDGER,
+    obs=None,
 ) -> Optional[LintReport]:
     """Run the analyzer as a flow gate; returns the report (None if OFF).
 
@@ -138,13 +139,18 @@ def gate_circuit(
     config's ``fail_on`` threshold (error severity by default); ``warn``
     logs a one-line summary at WARNING and the individual findings at
     DEBUG.  Every non-OFF invocation is recorded in ``ledger``.
+    ``obs`` is forwarded to :func:`run_lint` for per-rule spans/metrics.
     """
     mode = GateMode.parse(mode)
     if mode is GateMode.OFF:
         return None
     config = config or LintConfig()
-    report = run_lint(circuit, config)
     stage = stage or f"lint:{circuit.name}"
+    if obs is not None:
+        with obs.trace.span("lint.gate", stage=stage):
+            report = run_lint(circuit, config, obs=obs)
+    else:
+        report = run_lint(circuit, config)
     if ledger is not None:
         ledger.record(stage, report)
 

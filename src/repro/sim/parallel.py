@@ -18,6 +18,7 @@ from ..circuit.gates import ONE, ZERO, eval_gate2
 from ..circuit.graph import topological_order
 from ..circuit.netlist import Circuit, NodeKind
 from ..errors import SimulationError
+from ..obs import MetricsRegistry
 
 WORD_BITS = 64
 
@@ -55,11 +56,26 @@ def unpack_word(word: int, count: int) -> List[int]:
 
 
 class ParallelSimulator:
-    """Compiled word-parallel two-valued simulator for one circuit."""
+    """Compiled word-parallel two-valued simulator for one circuit.
 
-    def __init__(self, circuit: Circuit):
+    ``metrics`` (a :class:`~repro.obs.MetricsRegistry`) receives the
+    ``sim.pattern_batches`` / ``sim.words_packed`` effort counters; a
+    private registry is created when none is shared, so counting is
+    unconditional and the hot path stays branch-free.
+    """
+
+    def __init__(
+        self, circuit: Circuit, metrics: Optional[MetricsRegistry] = None
+    ):
         circuit.check()
         self.circuit = circuit
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._batches = self.metrics.counter(
+            "sim.pattern_batches", circuit=circuit.name
+        )
+        self._words = self.metrics.counter(
+            "sim.words_packed", circuit=circuit.name
+        )
         self._order = topological_order(circuit)
         self._index: Dict[str, int] = {n: i for i, n in enumerate(self._order)}
         self._inputs = [self._index[n] for n in circuit.inputs]
@@ -117,6 +133,8 @@ class ParallelSimulator:
                 f"expected {len(self._dff_out)} state words, got "
                 f"{len(state_words)}"
             )
+        self._batches.inc()
+        self._words.inc(len(pi_words) + len(state_words))
         values = [0] * len(self._order)
         for idx, word in zip(self._inputs, pi_words):
             values[idx] = word & mask

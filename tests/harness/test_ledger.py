@@ -27,7 +27,7 @@ def record(key="hitec:dk16.ji.sd", outcome="ok", **overrides):
         pair="dk16.ji.sd",
         engine="hitec",
         tables=("table2", "table6", "table8"),
-        counters={"original": {"backtracks": 7}},
+        counters={"original": {"atpg.backtracks": 7}},
         payload={"tables": {"table2": [{"circuit": "dk16.ji.sd"}]}},
     )
     fields.update(overrides)
@@ -42,12 +42,36 @@ class TestRecordRoundTrip:
         assert restored == original
 
     def test_records_are_versioned(self):
-        assert json.loads(record().to_json())["v"] == 1
+        assert json.loads(record().to_json())["v"] == 2
 
     def test_unknown_fields_are_ignored(self):
         data = json.loads(record().to_json())
         data["added_in_v9"] = {"future": True}
         assert TaskRecord.from_dict(data) == record()
+
+    def test_v1_flat_counters_are_normalized(self):
+        """A v1 ledger row (flat counter keys, no metrics field) loads
+        as a record carrying the dotted schema."""
+        data = json.loads(record().to_json())
+        data["v"] = 1
+        del data["metrics"]
+        data["counters"] = {
+            "original": {"backtracks": 7, "total_faults": 50},
+            "retimed": {"cpu_seconds": 1.5},
+        }
+        restored = TaskRecord.from_dict(data)
+        assert restored.counters == {
+            "original": {"atpg.backtracks": 7, "atpg.faults_total": 50},
+            "retimed": {"atpg.cpu_seconds": 1.5},
+        }
+        assert restored.metrics == {}
+
+    def test_metrics_field_round_trips(self):
+        original = record(
+            metrics={"atpg.backtracks{engine=hitec}": 12}
+        )
+        restored = TaskRecord.from_dict(json.loads(original.to_json()))
+        assert restored.metrics == original.metrics
 
 
 class TestLoadRecords:

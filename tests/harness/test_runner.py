@@ -103,10 +103,17 @@ class TestEquivalence:
         hitec = rows["hitec:dk16.ji.sd"]
         for side in ("original", "retimed"):
             counters = hitec["counters"][side]
-            assert counters["total_faults"] > 0
-            assert counters["backtracks"] > 0
-            assert counters["frames_expanded"] > 0
-            assert counters["cpu_seconds"] > 0
+            assert counters["atpg.faults_total"] > 0
+            assert counters["atpg.backtracks"] > 0
+            assert counters["atpg.frames_expanded"] > 0
+            assert counters["atpg.cpu_seconds"] > 0
+
+    def test_metrics_dump_recorded_per_task(self, reports):
+        _, _, serial_dir, _ = reports
+        rows = ledger_rows_modulo_wall_time(serial_dir)
+        metrics = rows["hitec:dk16.ji.sd"]["metrics"]
+        key = "atpg.backtracks{circuit=dk16.ji.sd,engine=hitec}"
+        assert metrics[key] > 0
 
     def test_every_task_in_graph_has_a_row(self, reports):
         _, _, serial_dir, _ = reports

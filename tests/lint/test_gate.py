@@ -109,14 +109,11 @@ class TestPipelineWiring:
         gate_circuit(dk16_rugged.circuit, mode="strict", ledger=None)
 
     def test_pre_atpg_strict_gate_aborts_run(self):
-        from repro.harness.atpg_tables import (
-            run_engine_on_circuit,
-            simbased_factory,
-        )
+        from repro.harness.atpg_tables import run_engine_on_circuit
         from repro.harness.config import HarnessConfig
 
         config = dataclasses.replace(
             HarnessConfig.smoke(), lint_mode="strict", lint_fail_on="error"
         )
         with pytest.raises(LintError, match="pre-atpg:sealed"):
-            run_engine_on_circuit(broken_circuit(), simbased_factory, config)
+            run_engine_on_circuit(broken_circuit(), "simbased", config)

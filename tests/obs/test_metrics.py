@@ -1,0 +1,105 @@
+"""Unit tests for the metrics half of repro.obs."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import (
+    MetricsError,
+    MetricsRegistry,
+    merge_dumps,
+    parse_key,
+    render_key,
+    render_metrics_summary,
+)
+
+
+class TestNaming:
+    def test_render_and_parse_round_trip(self):
+        labels = (("circuit", "dk16"), ("engine", "hitec"))
+        key = render_key("atpg.backtracks", labels)
+        assert key == "atpg.backtracks{circuit=dk16,engine=hitec}"
+        assert parse_key(key) == ("atpg.backtracks", labels)
+
+    def test_unlabeled_key_is_bare_name(self):
+        assert render_key("lint.rules_run", ()) == "lint.rules_run"
+        assert parse_key("lint.rules_run") == ("lint.rules_run", ())
+
+    def test_bad_names_rejected(self):
+        registry = MetricsRegistry()
+        for bad in ("Backtracks", "atpg..x", "9lives", "atpg.", ""):
+            with pytest.raises(MetricsError):
+                registry.counter(bad)
+
+    def test_metrics_error_is_repro_error(self):
+        assert issubclass(MetricsError, ReproError)
+
+
+class TestRegistry:
+    def test_counter_get_or_create(self):
+        registry = MetricsRegistry()
+        a = registry.counter("atpg.backtracks", engine="hitec")
+        b = registry.counter("atpg.backtracks", engine="hitec")
+        assert a is b
+        a.inc()
+        a.inc(4)
+        assert b.value == 5
+
+    def test_labels_separate_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("atpg.backtracks", engine="hitec").inc()
+        registry.counter("atpg.backtracks", engine="sest").inc(2)
+        dump = registry.dump()
+        assert dump["atpg.backtracks{engine=hitec}"] == 1
+        assert dump["atpg.backtracks{engine=sest}"] == 2
+
+    def test_type_collision_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("atpg.backtracks")
+        with pytest.raises(MetricsError):
+            registry.gauge("atpg.backtracks")
+
+    def test_gauge_keeps_last_value(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("sim.queue_depth")
+        gauge.set(7)
+        gauge.set(3)
+        assert registry.dump()["sim.queue_depth"] == {"gauge": 3}
+
+    def test_histogram_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("atpg.fault_backtracks", bounds=(1, 4, 16))
+        for value in (0, 1, 3, 5, 100):
+            hist.observe(value)
+        snap = registry.dump()["atpg.fault_backtracks"]
+        assert snap["bounds"] == [1, 4, 16]
+        assert snap["counts"] == [2, 1, 1, 1]  # <=1, <=4, <=16, +Inf
+        assert snap["count"] == 5
+        assert snap["sum"] == 109
+
+    def test_dump_is_sorted_and_json_scalar(self):
+        registry = MetricsRegistry()
+        registry.counter("b.two").inc()
+        registry.counter("a.one").inc()
+        assert list(registry.dump()) == ["a.one", "b.two"]
+
+
+class TestMergeAndRender:
+    def test_merge_sums_counters_and_merges_histograms(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        r1.counter("atpg.backtracks").inc(3)
+        r2.counter("atpg.backtracks").inc(4)
+        r1.histogram("atpg.fault_backtracks", bounds=(1, 2)).observe(1)
+        r2.histogram("atpg.fault_backtracks", bounds=(1, 2)).observe(5)
+        merged = merge_dumps([r1.dump(), r2.dump()])
+        assert merged["atpg.backtracks"] == 7
+        hist = merged["atpg.fault_backtracks"]
+        assert hist["counts"] == [1, 0, 1]
+        assert hist["count"] == 2
+
+    def test_render_summary_lists_every_key(self):
+        registry = MetricsRegistry()
+        registry.counter("atpg.backtracks", engine="hitec").inc(12)
+        text = render_metrics_summary(registry.dump(), title="Metrics")
+        assert "Metrics" in text
+        assert "atpg.backtracks{engine=hitec}" in text
+        assert "12" in text
