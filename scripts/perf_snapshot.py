@@ -1,0 +1,237 @@
+#!/usr/bin/env python
+"""Record a performance snapshot and gate it against the baseline.
+
+Drives the deterministic quick-profile harness run (smoke effort on
+the WorkClock virtual clock), converts the run ledger into a
+:class:`repro.obs.perf.PerfSnapshot`, and then either:
+
+* **gate mode** (default) — diffs the fresh snapshot against the
+  committed baseline (``benchmarks/baselines/harness-quick.json``).
+  Deterministic counters compare exactly; any regression (or a
+  silently dropped cell) exits 1.  Wall seconds and peak RSS are
+  advisory: CI machines are noisy, only WorkClock counters are
+  attributable.  This is CI's ``perf-gate`` job.
+* **refresh mode** (``--update-baseline``) — after an *intentional*
+  perf change, rewrites the baseline and appends the next numbered
+  ``BENCH_<n>.json`` trajectory snapshot at the repository root, so
+  the performance history stays reconstructable from the tree.
+
+pytest-benchmark results persisted by ``benchmarks/conftest.py``
+(``benchmarks/baselines/pytest-bench.json``) are merged in as
+wall-only bench records when present; they never gate.
+
+Usage::
+
+    python scripts/perf_snapshot.py                      # gate vs baseline
+    python scripts/perf_snapshot.py --jobs 4 --report perf-diff.txt
+    python scripts/perf_snapshot.py --update-baseline    # refresh + BENCH_n
+    python scripts/perf_snapshot.py --output current.json --no-gate
+"""
+
+import argparse
+import dataclasses
+import os
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.harness.config import HarnessConfig  # noqa: E402
+from repro.harness.runner import run_experiment  # noqa: E402
+from repro.obs.perf import (  # noqa: E402
+    BaselineStore,
+    HARNESS_BASELINE,
+    PYTEST_BENCH_BASELINE,
+    collect_environment,
+    diff_snapshots,
+    render_diff,
+    snapshot_from_ledger,
+    write_snapshot,
+    write_trajectory_snapshot,
+)
+
+PRESETS = {
+    "smoke": HarnessConfig.smoke,
+    "quick": HarnessConfig.quick,
+    "default": HarnessConfig.default,
+    "heavy": HarnessConfig.heavy,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Snapshot harness performance and gate it against "
+        "the committed baseline (counters exact, wall advisory).",
+    )
+    parser.add_argument(
+        "--preset",
+        default="quick",
+        choices=sorted(PRESETS),
+        help="effort preset to measure (default: quick — deterministic "
+        "virtual clock, required for exact counter gating)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the measurement run (counters are "
+        "jobs-invariant; default 1)",
+    )
+    parser.add_argument(
+        "--runs-dir",
+        default=None,
+        metavar="DIR",
+        help="where the measurement run's ledger lives (default: a "
+        "temporary directory)",
+    )
+    parser.add_argument(
+        "--baselines-dir",
+        default=os.path.join(REPO_ROOT, "benchmarks", "baselines"),
+        metavar="DIR",
+        help="baseline store (default: benchmarks/baselines)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="NAME",
+        help="baseline name (default: harness-<preset>)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="also write the fresh snapshot to FILE",
+    )
+    parser.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="also write the rendered perf diff to FILE",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="refresh the baseline from this run and append the next "
+        "BENCH_<n>.json trajectory snapshot (use after an intentional "
+        "perf change)",
+    )
+    parser.add_argument(
+        "--trajectory-dir",
+        default=REPO_ROOT,
+        metavar="DIR",
+        help="where BENCH_<n>.json snapshots live (default: repo root)",
+    )
+    parser.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="measure and write outputs, but never exit non-zero",
+    )
+    parser.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=0.25,
+        metavar="FRAC",
+        help="advisory wall-seconds band (default 0.25)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+    return parser
+
+
+def measure(args) -> "object":
+    """Run the harness at the chosen preset; return its PerfSnapshot."""
+    config = PRESETS[args.preset]()
+    runs_dir = args.runs_dir or tempfile.mkdtemp(prefix="perf-snapshot-")
+    config = dataclasses.replace(
+        config, jobs=args.jobs, runs_dir=runs_dir, profile=True
+    )
+    emit = (lambda line: None) if args.quiet else print
+    emit(
+        f"[perf] measuring preset={args.preset} jobs={args.jobs} "
+        f"(runs-dir {runs_dir})"
+    )
+    result = run_experiment(config, emit=emit)
+    snapshot = snapshot_from_ledger(
+        result.ledger_file,
+        environment=collect_environment(
+            preset=args.preset,
+            jobs=args.jobs,
+            fingerprint=config.fingerprint(),
+            repo_root=REPO_ROOT,
+        ),
+        fingerprint=config.fingerprint(),
+    )
+    emit(
+        f"[perf] {len(snapshot.records)} cell record(s) from run "
+        f"{result.run_id}"
+    )
+    return snapshot
+
+
+def merge_pytest_bench(snapshot, store: BaselineStore, emit) -> None:
+    """Fold persisted pytest-benchmark wall records into the snapshot."""
+    if not store.exists(PYTEST_BENCH_BASELINE):
+        return
+    bench = store.load(PYTEST_BENCH_BASELINE)
+    snapshot.records.extend(bench.records)
+    emit(
+        f"[perf] merged {len(bench.records)} bench record(s) from "
+        f"{store.path(PYTEST_BENCH_BASELINE)}"
+    )
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    emit = (lambda line: None) if args.quiet else print
+    baseline_name = args.baseline or f"harness-{args.preset}"
+    store = BaselineStore(args.baselines_dir)
+
+    snapshot = measure(args)
+    merge_pytest_bench(snapshot, store, emit)
+
+    if args.output:
+        write_snapshot(args.output, snapshot)
+        emit(f"[perf] snapshot written to {args.output}")
+
+    if args.update_baseline:
+        baseline_path = store.save(baseline_name, snapshot)
+        trajectory_path = write_trajectory_snapshot(
+            snapshot, root=args.trajectory_dir
+        )
+        emit(f"[perf] baseline refreshed: {baseline_path}")
+        emit(f"[perf] trajectory snapshot: {trajectory_path}")
+        return 0
+
+    if not store.exists(baseline_name):
+        emit(
+            f"[perf] no baseline {store.path(baseline_name)!r}; run "
+            "scripts/perf_snapshot.py --update-baseline to create one "
+            "(nothing to gate against)"
+        )
+        return 0
+
+    baseline = store.load(baseline_name)
+    diff = diff_snapshots(
+        baseline, snapshot, wall_tolerance=args.wall_tolerance
+    )
+    text = render_diff(
+        diff, title=f"Perf diff (baseline {baseline_name} -> this run)"
+    )
+    print(text)
+    if args.report:
+        directory = os.path.dirname(args.report)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        emit(f"[perf] diff report written to {args.report}")
+    if args.no_gate:
+        return 0
+    return 1 if diff.gate_failures() else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

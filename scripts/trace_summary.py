@@ -8,8 +8,16 @@ Usage::
     python scripts/trace_summary.py --runs-dir runs --top 25
 
 Also prints the merged metrics table when the run's ledger is next to
-the trace file.  Exits non-zero if no trace can be found — CI uses
-that to catch a --profile run that silently stopped writing traces.
+the trace file.
+
+Exit codes::
+
+    0  summary printed
+    2  no usable trace (missing file, missing runs dir, torn/invalid
+       JSONL) — CI uses this to catch a --profile run that silently
+       stopped writing traces
+
+Diagnostics go to stderr so a piped summary stays clean.
 """
 
 import argparse
@@ -31,24 +39,56 @@ from repro.obs import (
 )
 
 
+class TraceError(Exception):
+    """No usable trace: missing file/dir or torn JSONL (exit code 2)."""
+
+
 def find_trace(runs_dir: str) -> str:
     """The newest run directory under ``runs_dir`` containing a trace."""
+    if not os.path.isdir(runs_dir):
+        raise TraceError(
+            f"runs directory {runs_dir!r} does not exist; "
+            "pass a trace path or --runs-dir"
+        )
     candidates = []
     for run_id in sorted(os.listdir(runs_dir), reverse=True):
         path = os.path.join(runs_dir, run_id, TRACE_NAME)
         if os.path.isfile(path):
             candidates.append(path)
     if not candidates:
-        raise SystemExit(
+        raise TraceError(
             f"no {TRACE_NAME} under {runs_dir!r}; "
             "was the run made with --profile?"
         )
     return candidates[0]
 
 
-def main(argv=None) -> int:
+def load_spans(trace_file: str) -> list:
+    """Read spans, mapping I/O and parse failures to :class:`TraceError`
+    (a torn trace means the writer died mid-span — surface that as the
+    missing-trace exit code, not a traceback)."""
+    try:
+        return read_trace_jsonl(trace_file)
+    except FileNotFoundError:
+        raise TraceError(f"trace file {trace_file!r} does not exist")
+    except (ValueError, OSError) as exc:
+        raise TraceError(f"unreadable trace {trace_file!r}: {exc}")
+
+
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        description="Top-N hottest span paths of a profiled harness run."
+        description="Summarize a profiled harness run's trace.jsonl: "
+        "top-N hottest span paths (flame-style rollup), plus the merged "
+        "metrics table when the run ledger sits next to the trace.",
+        epilog="examples:\n"
+        "  python scripts/trace_summary.py runs/<run-id>/trace.jsonl\n"
+        "  python scripts/trace_summary.py --runs-dir runs      "
+        "# newest profiled run\n"
+        "  python scripts/trace_summary.py --runs-dir runs --top 25\n"
+        "\n"
+        "exit codes: 0 = summary printed, 2 = no usable trace "
+        "(missing or torn)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "trace",
@@ -59,15 +99,29 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--runs-dir",
         default="runs",
-        help="runs directory to search when no trace path is given",
+        metavar="DIR",
+        help="runs directory to search when no trace path is given "
+        "(default: runs)",
     )
     parser.add_argument(
-        "--top", type=int, default=10, help="rows to show (default 10)"
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="rollup rows to show (default 10)",
     )
-    args = parser.parse_args(argv)
+    return parser
 
-    trace_file = args.trace or find_trace(args.runs_dir)
-    spans = read_trace_jsonl(trace_file)
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+
+    try:
+        trace_file = args.trace or find_trace(args.runs_dir)
+        spans = load_spans(trace_file)
+    except TraceError as exc:
+        print(f"trace_summary: error: {exc}", file=sys.stderr)
+        return 2
     print(
         render_rollup(
             spans,
@@ -95,4 +149,8 @@ def main(argv=None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `... | head` closed the pipe
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

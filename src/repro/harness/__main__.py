@@ -101,6 +101,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress progress lines (report and profile summaries "
         "still print)",
     )
+    parser.add_argument(
+        "--perf-snapshot",
+        default=None,
+        metavar="FILE",
+        help="write the run's PerfSnapshot (one perf record per cell) "
+        "to FILE; diff with python -m repro.obs.perf",
+    )
     return parser
 
 
@@ -127,6 +134,7 @@ def main(argv=None) -> int:
         runs_dir=args.runs_dir,
         profile=args.profile or None,
         quiet=args.quiet,
+        perf_snapshot=args.perf_snapshot,
     )
     return 0
 

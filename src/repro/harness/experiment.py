@@ -29,6 +29,11 @@ from ..obs import (
     render_metrics_summary,
     render_rollup,
 )
+from ..obs.perf import (
+    collect_environment,
+    snapshot_from_ledger,
+    write_snapshot,
+)
 from .config import HarnessConfig
 from .ledger import completed_by_key
 from .report import assemble_report
@@ -45,6 +50,7 @@ def run_all(
     profile: Optional[bool] = None,
     quiet: bool = False,
     reporter: Optional[Reporter] = None,
+    perf_snapshot: Optional[str] = None,
 ) -> str:
     """Regenerate every table/figure; returns the combined report text.
 
@@ -53,7 +59,9 @@ def run_all(
     the ``repro.harness`` logger) as cells complete; the report is also
     written to ``<run_dir>/report.txt``.  With profiling on, the
     assembled ``trace.jsonl`` is summarized as a per-phase rollup plus
-    a metrics table after the report.
+    a metrics table after the report.  ``perf_snapshot`` names a file
+    to write the run's :class:`~repro.obs.perf.PerfSnapshot` to (one
+    PerfRecord per completed cell, with environment provenance).
     """
     config = config or HarnessConfig.default()
     overrides = {}
@@ -86,6 +94,19 @@ def run_all(
         reporter.report(report)
         if result.trace_file:
             reporter.report(_profile_summary(config, result))
+        if perf_snapshot:
+            snapshot = snapshot_from_ledger(
+                result.ledger_file,
+                environment=collect_environment(
+                    jobs=config.jobs,
+                    fingerprint=config.fingerprint(),
+                ),
+                fingerprint=config.fingerprint(),
+            )
+            write_snapshot(perf_snapshot, snapshot)
+            reporter.progress(
+                f"[runner] perf snapshot written to {perf_snapshot}"
+            )
         return report
     finally:
         if owns_reporter:

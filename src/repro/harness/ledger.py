@@ -24,6 +24,9 @@ Record schema (one JSON object per line)::
       "counters": {...},          # dotted AtpgResult counters (see
                                   #   DESIGN.md "Metric naming")
       "metrics": {...},           # MetricsRegistry.dump() of the attempt
+      "perf": {...},              # deterministic PerfRecord core:
+                                  #   schema + flattened counters
+                                  #   (repro.obs.perf; ok rows only)
       "payload": {...},           # table rows + lint entries (ok only)
       "error": "…"                # traceback summary (failures only)
     }
@@ -32,7 +35,12 @@ Version history: v1 rows used flat counter keys (``backtracks``,
 ``total_faults`` …) and had no ``metrics`` field;
 :meth:`TaskRecord.from_dict` normalizes them to the dotted schema via
 :func:`repro.atpg.normalize_counters`, so old ledgers keep resuming
-and rendering.
+and rendering.  v2 rows had no ``perf`` field; loading synthesizes it
+from the (normalized) counters, so pre-perf ledgers feed the
+perf-snapshot and diff tooling unchanged.  The ``perf`` payload holds
+only deterministic fields — wall seconds and peak RSS stay in the
+designated wall-time columns — keeping rows byte-identical across
+``--jobs`` levels modulo :data:`WALL_TIME_FIELDS`.
 
 A run killed mid-write leaves a torn final line; :func:`load_records`
 tolerates any undecodable line (counting it) so a resumed run can pick
@@ -52,9 +60,10 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 from ..atpg.result import normalize_counters
 from ..lint.gate import _SUMMARY_DETAIL_LIMIT, LintLedger
 from ..lint.severity import Severity
+from ..obs.perf import PerfRecord, deterministic_core, record_from_ledger_row
 
 LEDGER_NAME = "ledger.jsonl"
-RECORD_VERSION = 2
+RECORD_VERSION = 3
 
 #: Ledger fields that vary run-to-run even for identical science
 #: (excluded by the serial-vs-parallel equivalence tests).
@@ -78,6 +87,7 @@ class TaskRecord:
     peak_rss_kb: int = 0
     counters: Dict[str, Any] = dataclasses.field(default_factory=dict)
     metrics: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    perf: Dict[str, Any] = dataclasses.field(default_factory=dict)
     payload: Dict[str, Any] = dataclasses.field(default_factory=dict)
     error: str = ""
 
@@ -90,14 +100,24 @@ class TaskRecord:
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "TaskRecord":
         data = dict(data)
-        data.pop("v", None)
+        version = data.pop("v", RECORD_VERSION)
         data["tables"] = tuple(data.get("tables") or ())
         # v1 rows carried flat counter keys; map them onto the dotted
         # schema so resumed/rendered old ledgers match new rows.
         if data.get("counters"):
             data["counters"] = normalize_counters(data["counters"])
+        # Pre-v3 rows had no perf payload; synthesize the deterministic
+        # core from the normalized counters so old ledgers feed the
+        # perf tooling like new ones.
+        if version < 3 and data.get("outcome") == "ok":
+            data["perf"] = deterministic_core(data.get("counters") or {})
         known = {f.name for f in dataclasses.fields(cls)}
         return cls(**{k: v for k, v in data.items() if k in known})
+
+    def perf_record(self) -> PerfRecord:
+        """The full :class:`~repro.obs.perf.PerfRecord` of this attempt
+        (deterministic core + the row's wall/RSS metadata)."""
+        return record_from_ledger_row(dataclasses.asdict(self))
 
 
 def new_run_id() -> str:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from ..obs.perf import render_effort_attribution
 from . import ledger as ledger_mod
 from .figure3 import Curve
 from .ledger import TaskRecord
@@ -135,6 +136,16 @@ def assemble_report(
         ledger_mod.render_lint_summary(
             ledger_mod.merge_lint_entries(lint_groups),
             title=f"Static analysis (DRC) gate [{config.lint_mode}]",
+        )
+    )
+    # Effort attribution: deterministic search counters per cell, in
+    # canonical task order (no wall fields, so the section stays
+    # byte-identical across --jobs levels like the tables above).
+    blocks.append(
+        render_effort_attribution(
+            completed[task.key].perf_record()
+            for task in graph
+            if task.key in completed
         )
     )
     if elapsed_seconds is not None:

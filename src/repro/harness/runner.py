@@ -44,6 +44,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..errors import ReproError
 from ..lint import GLOBAL_LEDGER
 from ..obs import Observability, write_trace_jsonl
+from ..obs import perf as perf_mod
 from . import ledger as ledger_mod
 from . import figure3, table1, table5, table6, table7, table8
 from .atpg_tables import (
@@ -341,6 +342,9 @@ def _record_for(
     payload = dict(payload or {})
     counters = payload.pop("counters", {})
     metrics = payload.pop("metrics", {})
+    # Successful attempts carry their deterministic perf core; the
+    # perf-snapshot tooling joins it with the wall-time columns below.
+    perf = perf_mod.deterministic_core(counters) if outcome == "ok" else {}
     return TaskRecord(
         key=task.key,
         kind=task.kind,
@@ -355,6 +359,7 @@ def _record_for(
         peak_rss_kb=rss_kb,
         counters=counters,
         metrics=metrics,
+        perf=perf,
         payload=payload,
         error=error,
     )

@@ -36,15 +36,70 @@ def _label_key(labels: Dict[str, object]) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+#: Characters with structural meaning inside a rendered key's label
+#: block; values containing them are backslash-escaped so every key
+#: round-trips through :func:`parse_key` (circuit names are arbitrary
+#: strings and benchmark ids routinely contain ``[``/``,``).
+_LABEL_SPECIALS = "\\,=}"  # backslash first: it escapes the others
+
+
+def _escape_label(value: str) -> str:
+    for char in _LABEL_SPECIALS:
+        value = value.replace(char, "\\" + char)
+    return value
+
+
+def _unescape_label(value: str) -> str:
+    out: List[str] = []
+    escaped = False
+    for char in value:
+        if escaped:
+            out.append(char)
+            escaped = False
+        elif char == "\\":
+            escaped = True
+        else:
+            out.append(char)
+    if escaped:  # trailing lone backslash: keep it literal
+        out.append("\\")
+    return "".join(out)
+
+
+def _split_unescaped(text: str, sep: str) -> List[str]:
+    """Split on ``sep`` occurrences not preceded by a backslash; escape
+    sequences are preserved verbatim for a later unescape pass."""
+    parts: List[str] = []
+    current: List[str] = []
+    escaped = False
+    for char in text:
+        if escaped:
+            current.append(char)
+            escaped = False
+        elif char == "\\":
+            current.append(char)
+            escaped = True
+        elif char == sep:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    parts.append("".join(current))
+    return parts
+
+
 def render_key(name: str, labels: LabelKey) -> str:
-    """The registry-dump key: ``name{k=v,...}`` with sorted labels."""
+    """The registry-dump key: ``name{k=v,...}`` with sorted labels.
+
+    Label *values* are escaped (``\\,`` ``\\=`` ``\\}`` ``\\\\``) so
+    the rendering is injective and :func:`parse_key` inverts it.
+    """
     if not labels:
         return name
-    inner = ",".join(f"{k}={v}" for k, v in labels)
+    inner = ",".join(f"{k}={_escape_label(v)}" for k, v in labels)
     return f"{name}{{{inner}}}"
 
 
-_KEY_RE = re.compile(r"^(?P<name>[^{]+)(\{(?P<labels>.*)\})?$")
+_KEY_RE = re.compile(r"^(?P<name>[^{]+)(\{(?P<labels>.*)\})?$", re.DOTALL)
 
 
 def parse_key(key: str) -> Tuple[str, LabelKey]:
@@ -57,9 +112,11 @@ def parse_key(key: str) -> Tuple[str, LabelKey]:
     if not raw:
         return name, ()
     labels = []
-    for part in raw.split(","):
-        k, _, v = part.partition("=")
-        labels.append((k, v))
+    for part in _split_unescaped(raw, ","):
+        # Label keys are identifiers (never escaped), so the first
+        # "=" is always the key/value separator.
+        k, _, rest = part.partition("=")
+        labels.append((k, _unescape_label(rest)))
     return name, tuple(labels)
 
 

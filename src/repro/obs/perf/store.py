@@ -1,0 +1,91 @@
+"""Baseline store and BENCH_<n>.json trajectory snapshots.
+
+Two persistence layers share the :class:`~.record.PerfSnapshot`
+format:
+
+* ``benchmarks/baselines/<name>.json`` — the *current* expected
+  performance per measurement profile (``harness-quick`` for the
+  deterministic harness run, ``pytest-bench`` for pytest-benchmark
+  wall times).  CI's perf-gate diffs fresh snapshots against these;
+  ``scripts/perf_snapshot.py --update-baseline`` refreshes them after
+  an intentional perf change.
+* ``BENCH_<n>.json`` at the repository root — an append-only
+  *trajectory*: one numbered snapshot per recorded milestone, so the
+  repo's performance history stays reconstructable from the tree alone
+  (ASV-style continuous benchmarking, minus the server).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import List, Tuple
+
+from .record import PerfSnapshot, load_snapshot, write_snapshot
+
+#: Default baseline directory, relative to the repository root.
+DEFAULT_BASELINE_DIR = os.path.join("benchmarks", "baselines")
+
+#: Baseline name of the deterministic quick-profile harness run.
+HARNESS_BASELINE = "harness-quick"
+
+#: Baseline name pytest-benchmark sessions persist to (wall-only).
+PYTEST_BENCH_BASELINE = "pytest-bench"
+
+_TRAJECTORY_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+class BaselineStore:
+    """Named PerfSnapshot files under one directory."""
+
+    def __init__(self, root: str = DEFAULT_BASELINE_DIR):
+        self.root = root
+
+    def path(self, name: str) -> str:
+        return os.path.join(self.root, f"{name}.json")
+
+    def exists(self, name: str) -> bool:
+        return os.path.isfile(self.path(name))
+
+    def names(self) -> List[str]:
+        if not os.path.isdir(self.root):
+            return []
+        return sorted(
+            entry[: -len(".json")]
+            for entry in os.listdir(self.root)
+            if entry.endswith(".json")
+        )
+
+    def load(self, name: str) -> PerfSnapshot:
+        return load_snapshot(self.path(name))
+
+    def save(self, name: str, snapshot: PerfSnapshot) -> str:
+        return write_snapshot(self.path(name), snapshot)
+
+
+# ---------------------------------------------------------------------------
+# BENCH_<n>.json trajectory.
+
+
+def trajectory_snapshots(root: str = ".") -> List[Tuple[int, str]]:
+    """``[(n, path)]`` of every BENCH_<n>.json under ``root``, sorted."""
+    found: List[Tuple[int, str]] = []
+    for entry in os.listdir(root):
+        match = _TRAJECTORY_RE.match(entry)
+        if match:
+            found.append((int(match.group(1)), os.path.join(root, entry)))
+    return sorted(found)
+
+
+def next_trajectory_path(root: str = ".") -> str:
+    existing = trajectory_snapshots(root)
+    index = existing[-1][0] + 1 if existing else 1
+    return os.path.join(root, f"BENCH_{index}.json")
+
+
+def write_trajectory_snapshot(
+    snapshot: PerfSnapshot, root: str = "."
+) -> str:
+    """Append the next numbered BENCH_<n>.json; returns its path."""
+    path = next_trajectory_path(root)
+    return write_snapshot(path, snapshot)

@@ -1,5 +1,7 @@
 """Engine registry, AtpgEngine protocol and deprecation shims."""
 
+import warnings
+
 import pytest
 
 from repro.atpg import (
@@ -16,6 +18,12 @@ from repro.atpg import (
 from repro.atpg.registry import EngineSpec, register_engine
 from repro.errors import AtpgError
 from repro.obs import Observability
+
+# Any DeprecationWarning not explicitly expected by a test is a bug:
+# either our own code calls a shimmed API, or a shim fires when the
+# modern spelling is used.  (pytest.warns blocks override this filter,
+# so the shim tests below still pass.)
+pytestmark = pytest.mark.filterwarnings("error::DeprecationWarning")
 
 LEAN = EffortBudget(
     max_backtracks=30,
@@ -122,3 +130,39 @@ class TestDeprecationShims:
             dk16_rugged.circuit, budget=LEAN, rng_seed=5
         )
         assert engine.run().counters() == reference.run().counters()
+
+    def test_warning_attributed_to_call_site(self, dk16_rugged):
+        """stacklevel=2: the warning points at the caller, not at the
+        shim inside the engine module — so per-call-site dedup and
+        ``-W error`` tracebacks name the line to fix."""
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            HitecEngine(dk16_rugged.circuit, budget=LEAN, fill_seed=5)
+        (warning,) = caught
+        assert warning.filename == __file__
+
+    def test_warns_once_per_call_site(self, dk16_rugged):
+        """Under the default filter, repeated calls from the same line
+        produce one warning — a migration loop doesn't spam the log."""
+
+        def construct():
+            return HitecEngine(
+                dk16_rugged.circuit, budget=LEAN, fill_seed=5
+            )
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("default")
+            for _ in range(5):
+                construct()
+        assert len(caught) == 1
+        assert issubclass(caught[0].category, DeprecationWarning)
+
+    def test_modern_spelling_is_silent(self, dk16_rugged):
+        """rng_seed= must not trip any shim (the module-level
+        error::DeprecationWarning filter enforces this for the whole
+        file; this test pins it explicitly)."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            HitecEngine(dk16_rugged.circuit, budget=LEAN, rng_seed=5)
+            SestEngine(dk16_rugged.circuit, budget=LEAN, rng_seed=5)
+            SimBasedEngine(dk16_rugged.circuit, budget=LEAN, rng_seed=5)

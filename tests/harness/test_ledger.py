@@ -42,7 +42,7 @@ class TestRecordRoundTrip:
         assert restored == original
 
     def test_records_are_versioned(self):
-        assert json.loads(record().to_json())["v"] == 2
+        assert json.loads(record().to_json())["v"] == 3
 
     def test_unknown_fields_are_ignored(self):
         data = json.loads(record().to_json())
@@ -65,6 +65,28 @@ class TestRecordRoundTrip:
             "retimed": {"atpg.cpu_seconds": 1.5},
         }
         assert restored.metrics == {}
+
+    def test_v2_rows_get_perf_synthesized_on_load(self):
+        """A v2 row (no perf payload) loads with the deterministic perf
+        core rebuilt from its normalized counters."""
+        data = json.loads(record().to_json())
+        data["v"] = 2
+        del data["perf"]
+        restored = TaskRecord.from_dict(data)
+        assert restored.perf == {
+            "schema": 1,
+            "counters": {"original/atpg.backtracks": 7},
+        }
+        full = restored.perf_record()
+        assert full.key == "hitec:dk16.ji.sd"
+        assert full.counters == {"original/atpg.backtracks": 7}
+
+    def test_v3_empty_perf_round_trips_unchanged(self):
+        """Synthesis applies to pre-v3 rows only: a current-version row
+        without a perf payload (e.g. a failure) round-trips as-is."""
+        original = record(outcome="ok", perf={})
+        restored = TaskRecord.from_dict(json.loads(original.to_json()))
+        assert restored == original
 
     def test_metrics_field_round_trips(self):
         original = record(

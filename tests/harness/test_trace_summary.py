@@ -1,0 +1,97 @@
+"""Smoke tests for scripts/trace_summary.py exit-code contract.
+
+The script is CI-facing: 0 on a printed summary, 2 on a missing or
+torn trace (never a raw traceback).  Run via subprocess so the exit
+code and stderr routing are tested exactly as CI sees them.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+SCRIPT = os.path.join(REPO_ROOT, "scripts", "trace_summary.py")
+
+
+def run_script(*argv, cwd=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    return subprocess.run(
+        [sys.executable, SCRIPT, *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=cwd or REPO_ROOT,
+    )
+
+
+@pytest.fixture
+def tiny_trace(tmp_path):
+    run_dir = tmp_path / "runs" / "2026-01-01T00-00-00-abcd1234"
+    run_dir.mkdir(parents=True)
+    trace = run_dir / "trace.jsonl"
+    spans = [
+        {"path": "task", "name": "task", "t0": 0.0, "t1": 2.0,
+         "wall_ms": 5.0},
+        {"path": "task/atpg.justify", "name": "atpg.justify",
+         "t0": 0.5, "t1": 1.5, "wall_ms": 2.0},
+    ]
+    trace.write_text(
+        "".join(json.dumps(span) + "\n" for span in spans)
+    )
+    return trace
+
+
+def test_help_exits_zero_and_documents_exit_codes():
+    result = run_script("--help")
+    assert result.returncode == 0
+    assert "exit codes" in result.stdout
+    assert "--runs-dir" in result.stdout
+
+
+def test_valid_trace_prints_rollup(tiny_trace):
+    result = run_script(str(tiny_trace))
+    assert result.returncode == 0
+    assert "task/atpg.justify" in result.stdout
+    assert "hottest span paths" in result.stdout
+
+
+def test_runs_dir_discovery_finds_newest(tiny_trace):
+    runs_dir = tiny_trace.parent.parent
+    result = run_script("--runs-dir", str(runs_dir))
+    assert result.returncode == 0
+    assert "task/atpg.justify" in result.stdout
+
+
+def test_missing_trace_file_exits_two():
+    result = run_script(os.path.join(REPO_ROOT, "no-such-trace.jsonl"))
+    assert result.returncode == 2
+    assert "error:" in result.stderr
+    assert "Traceback" not in result.stderr
+
+
+def test_missing_runs_dir_exits_two(tmp_path):
+    result = run_script("--runs-dir", str(tmp_path / "absent"))
+    assert result.returncode == 2
+    assert "does not exist" in result.stderr
+
+
+def test_runs_dir_without_any_trace_exits_two(tmp_path):
+    (tmp_path / "runs" / "some-run").mkdir(parents=True)
+    result = run_script("--runs-dir", str(tmp_path / "runs"))
+    assert result.returncode == 2
+    assert "--profile" in result.stderr
+
+
+def test_torn_trace_exits_two(tiny_trace):
+    with open(tiny_trace, "a", encoding="utf-8") as handle:
+        handle.write('{"path": "task/atpg.fa')  # writer died mid-span
+    result = run_script(str(tiny_trace))
+    assert result.returncode == 2
+    assert "unreadable trace" in result.stderr
+    assert "Traceback" not in result.stderr

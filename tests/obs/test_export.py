@@ -1,0 +1,109 @@
+"""Edge cases of dump merging and metric-key escaping.
+
+``merge_dumps`` combines per-cell registry dumps into the run-level
+metrics table; it must survive empty registries, disjoint key sets,
+and label values containing the key syntax's own special characters.
+"""
+
+import pytest
+
+from repro.obs import (
+    MetricsError,
+    MetricsRegistry,
+    merge_dumps,
+    parse_key,
+    render_key,
+)
+
+
+class TestMergeDumpsEdgeCases:
+    def test_no_dumps(self):
+        assert merge_dumps([]) == {}
+
+    def test_empty_registry_dump_is_neutral(self):
+        registry = MetricsRegistry()
+        registry.counter("atpg.backtracks").inc(3)
+        merged = merge_dumps([{}, registry.dump(), {}])
+        assert merged == {"atpg.backtracks": 3}
+
+    def test_all_empty(self):
+        assert merge_dumps([{}, {}, {}]) == {}
+
+    def test_disjoint_key_sets_union(self):
+        a = MetricsRegistry()
+        a.counter("atpg.backtracks", engine="hitec").inc(2)
+        b = MetricsRegistry()
+        b.counter("sim.events", engine="sest").inc(5)
+        b.gauge("lint.rules").set(13)
+        merged = merge_dumps([a.dump(), b.dump()])
+        assert merged == {
+            "atpg.backtracks{engine=hitec}": 2,
+            "lint.rules": {"gauge": 13},
+            "sim.events{engine=sest}": 5,
+        }
+        assert list(merged) == sorted(merged)  # byte-stable ordering
+
+    def test_overlapping_and_disjoint_counters_mix(self):
+        merged = merge_dumps(
+            [
+                {"a.x": 1, "a.y": 2},
+                {"a.y": 3, "a.z": 4},
+            ]
+        )
+        assert merged == {"a.x": 1, "a.y": 5, "a.z": 4}
+
+    def test_histogram_bounds_mismatch_rejected(self):
+        a = MetricsRegistry()
+        a.histogram("atpg.depth", bounds=(1, 2)).observe(1)
+        b = MetricsRegistry()
+        b.histogram("atpg.depth", bounds=(1, 4)).observe(1)
+        with pytest.raises(MetricsError, match="bounds differ"):
+            merge_dumps([a.dump(), b.dump()])
+
+    def test_merge_does_not_mutate_inputs(self):
+        dump = {"a.x": 1, "h": {"bounds": [1], "counts": [1, 0],
+                                "sum": 1.0, "count": 1}}
+        other = {"a.x": 2, "h": {"bounds": [1], "counts": [0, 2],
+                                 "sum": 9.0, "count": 2}}
+        merged = merge_dumps([dump, other])
+        assert dump["a.x"] == 1 and dump["h"]["counts"] == [1, 0]
+        assert merged["h"]["counts"] == [1, 2]
+
+
+class TestLabelEscaping:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            "plain",
+            "a,b",
+            "a=b",
+            "a}b",
+            "a\\b",
+            "a,b=c}d\\e",
+            "",
+            "bench_table2.py::test_table2[smoke]",
+        ],
+    )
+    def test_render_parse_round_trip(self, value):
+        labels = (("circuit", value),)
+        key = render_key("atpg.backtracks", labels)
+        assert parse_key(key) == ("atpg.backtracks", labels)
+
+    def test_escaped_values_keep_instruments_distinct(self):
+        registry = MetricsRegistry()
+        registry.counter("sim.events", circuit="a,b").inc(1)
+        registry.counter("sim.events", circuit="a").inc(10)
+        dump = registry.dump()
+        assert len(dump) == 2
+        parsed = {parse_key(key)[1][0][1]: v for key, v in dump.items()}
+        assert parsed == {"a,b": 1, "a": 10}
+
+    def test_merge_with_escaped_labels(self):
+        a = MetricsRegistry()
+        a.counter("sim.events", circuit="x,y").inc(1)
+        b = MetricsRegistry()
+        b.counter("sim.events", circuit="x,y").inc(2)
+        merged = merge_dumps([a.dump(), b.dump()])
+        (key,) = merged
+        assert merged[key] == 3
+        assert parse_key(key) == ("sim.events", (("circuit", "x,y"),))
