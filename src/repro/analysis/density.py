@@ -118,6 +118,22 @@ class ReachableStates:
             self._manager.evaluate(self.reachable_bdd(), assignment)
         )
 
+    def intersects(self, cube: Dict[int, int]) -> bool:
+        """Does any valid state satisfy this partial assignment?
+
+        ``cube`` maps DFF positions (declaration order) to 0/1; an
+        empty cube matches every state, so it intersects whenever the
+        circuit has a reset state at all.  This is the membership test
+        the search observatory applies to the state *cubes* structural
+        justification proposes — a cube that misses the valid set
+        entirely is provably wasted effort (paper §5).
+        """
+        m = self._manager
+        cube_bdd = m.cube(
+            {self._state_vars[pos]: int(val) for pos, val in cube.items()}
+        )
+        return m.and_(self.reachable_bdd(), cube_bdd) != m.FALSE
+
     def enumerate(self, limit: int = 100_000) -> List[Tuple[int, ...]]:
         """List valid states (DFF declaration order), up to ``limit``."""
         result: List[Tuple[int, ...]] = []

@@ -56,7 +56,8 @@ from ..errors import AtpgError
 from ..fault.collapse import collapse_faults
 from ..fault.model import Fault, FaultStatus
 from ..fault.simulator import FaultSimulator
-from ..obs import Observability
+from ..obs import Observability, annotate
+from ..obs.search import NULL_SEARCH_OBSERVER, SearchObserver, StateClassifier
 from ..sim.logicsim import TernarySimulator
 from .._util import make_rng
 from .frames import UnrolledModel
@@ -102,12 +103,16 @@ class Justifier:
         states_seen: Set[State],
         fill_seed: int = 31,
         trace=None,
+        observer=NULL_SEARCH_OBSERVER,
     ):
         self.circuit = circuit
         self.budget = budget
         self.learning = learning
         self.states_seen = states_seen
         self._trace = trace
+        # Search-state observatory hook: every cube the DFS examines is
+        # streamed here for valid/invalid classification.
+        self.observer = observer
         # Fully-specified state cubes the backward search *examined*
         # (visited states are tracked separately via remember_trace —
         # the paper's "#states HITEC trav" counts machine states the
@@ -139,6 +144,11 @@ class Justifier:
         for index, vector in enumerate(sequence):
             _, state = simulator.step(vector, state)
             if X in state:
+                # A partially-known state is useless as a justification
+                # shortcut (no stored prefix provably reaches it), but
+                # silently dropping it under-reports the traversal — the
+                # observatory counts every occurrence.
+                self.observer.note_partial_state()
                 continue
             key = tuple(state)
             if key not in self.known_states:
@@ -186,6 +196,7 @@ class Justifier:
     ) -> Tuple[Optional[List[Vector]], bool]:
         self.cubes_examined += 1
         self._record_state(cube)
+        self.observer.observe_cube(cube)
         known = self._known_prefix(cube)
         if known is not None:
             return list(known), True
@@ -194,6 +205,7 @@ class Justifier:
         if depth >= self.budget.max_justify_depth:
             return None, False
         if self.learning is not None and self.learning.is_illegal(cube):
+            self.observer.note_learned_prune()
             return None, True
         key = cube_key(cube)
         if key in path:
@@ -337,6 +349,11 @@ class HitecEngine:
         self._simulator = FaultSimulator(circuit, metrics=registry)
         self._good_sim = TernarySimulator(circuit)
         self._num_pis = len(circuit.inputs)
+        # One valid/invalid oracle per engine instance: the reachable
+        # set and every classification verdict are memoized across
+        # faults and across runs (the per-run observer only owns the
+        # tallies).
+        self._classifier = StateClassifier(circuit)
 
     @property
     def metrics(self):
@@ -370,12 +387,19 @@ class HitecEngine:
         test_set = TestSet()
         checkpoints: List[Checkpoint] = []
         states_seen: Set[State] = set()
+        observer = SearchObserver(
+            self._classifier,
+            self.obs.metrics,
+            engine=self.name,
+            circuit=self.circuit.name,
+        )
         justifier = Justifier(
             self.circuit,
             self.budget,
             self.learning_cache,
             states_seen,
             trace=trace,
+            observer=observer,
         )
         total_watch = Stopwatch(self.budget.total_seconds, clock=clock)
         sim_events_start = self._simulator.events_counter.value
@@ -411,8 +435,17 @@ class HitecEngine:
                 self._ctr_aborted.inc()
                 processed += 1
                 continue
-            with trace.span("atpg.fault", fault=str(fault)):
+            observer.begin_fault()
+            with trace.span("atpg.fault", fault=str(fault)) as fault_span:
                 outcome = self._process_fault(fault, justifier, total_watch)
+                valid_seen, invalid_seen = observer.end_fault(
+                    outcome.backtracks
+                )
+                annotate(
+                    fault_span,
+                    search_valid=valid_seen,
+                    search_invalid=invalid_seen,
+                )
             processed += 1
             backtracks += outcome.backtracks
             frames_expanded += outcome.frames_expanded
@@ -471,6 +504,7 @@ class HitecEngine:
             frames_expanded=frames_expanded,
             sim_events=self._simulator.events_counter.value
             - sim_events_start,
+            search_counters=observer.counters(),
         )
 
     def _random_phase(

@@ -159,6 +159,11 @@ class AtpgResult:
     # Machine-step events the fault simulator processed on this run's
     # behalf (random phase, validation, fault dropping).
     sim_events: int = 0
+    # ``search.*`` tallies from the search-state observatory (empty when
+    # the run's observer was the null one or no oracle was available).
+    search_counters: Dict[str, int] = dataclasses.field(
+        default_factory=dict
+    )
 
     def summary(self) -> CoverageSummary:
         return summarize(self.statuses.values())
@@ -171,7 +176,7 @@ class AtpgResult:
         found in pre-v2 ledgers.
         """
         summary = self.summary()
-        return {
+        counters: Dict[str, float] = {
             "atpg.faults_total": summary.total,
             "atpg.faults_detected": summary.detected,
             "atpg.faults_redundant": summary.redundant,
@@ -185,6 +190,11 @@ class AtpgResult:
             "atpg.cpu_seconds": self.cpu_seconds,
             "sim.events": self.sim_events,
         }
+        counters.update(
+            (key, self.search_counters[key])
+            for key in sorted(self.search_counters)
+        )
+        return counters
 
     @property
     def fault_coverage(self) -> float:

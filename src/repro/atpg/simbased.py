@@ -37,6 +37,7 @@ from ..fault.collapse import collapse_faults
 from ..fault.model import Fault, FaultStatus
 from ..fault.simulator import FaultSimulator
 from ..obs import Observability
+from ..obs.search import SearchObserver, StateClassifier
 from .._util import make_rng
 from .result import (
     AtpgResult,
@@ -100,6 +101,12 @@ class SimBasedEngine:
         self._rng = make_rng(rng_seed)
         self._simulator = FaultSimulator(circuit, metrics=registry)
         self._num_pis = len(circuit.inputs)
+        # Shared valid/invalid oracle (memoized across runs); a fresh
+        # per-run observer streams every newly traversed state through
+        # it.  For this engine every traversed state is reachable by
+        # construction, so its waste fraction is ~0 — the observatory's
+        # control group against the structural engines.
+        self._classifier = StateClassifier(circuit)
 
     @property
     def metrics(self):
@@ -131,6 +138,12 @@ class SimBasedEngine:
         test_set = TestSet()
         checkpoints: List[Checkpoint] = []
         states_seen: Set[Tuple[int, ...]] = set()
+        observer = SearchObserver(
+            self._classifier,
+            self.obs.metrics,
+            engine=self.name,
+            circuit=self.circuit.name,
+        )
         watch = Stopwatch(self.budget.total_seconds, clock=clock)
         sim_events_start = self._simulator.events_counter.value
         elite: List[List[List[int]]] = []
@@ -155,6 +168,14 @@ class SimBasedEngine:
                     report = self._simulator.run(
                         [sequence], faults=open_faults
                     )
+                    # Stream newly reached states in sorted order (set
+                    # iteration order is not deterministic across
+                    # processes; the sort keeps the tallies jobs-
+                    # invariant).
+                    for state in sorted(
+                        report.states_traversed - states_seen
+                    ):
+                        observer.observe_state(state)
                     states_seen |= report.states_traversed
                     if report.detected:
                         improved = True
@@ -197,8 +218,10 @@ class SimBasedEngine:
             cpu_seconds=watch.elapsed(),
             checkpoints=checkpoints,
             states_traversed=states_seen,
+            states_examined=set(states_seen),
             sim_events=self._simulator.events_counter.value
             - sim_events_start,
+            search_counters=observer.counters(),
         )
 
     # -- sequence generation --------------------------------------------------

@@ -27,6 +27,10 @@ class Curve:
     circuit_name: str
     density_of_encoding: float
     points: List[Tuple[float, float]]  # (cpu seconds, fault efficiency %)
+    # Invalid fraction of the run's classified search-examine events
+    # (the search observatory's waste fraction); None on curves from
+    # pre-observatory ledgers.
+    invalid_fraction: Optional[float] = None
 
     def final_efficiency(self) -> float:
         return self.points[-1][1] if self.points else 0.0
@@ -44,6 +48,7 @@ class Curve:
             "circuit_name": self.circuit_name,
             "density_of_encoding": self.density_of_encoding,
             "points": [[cpu, fe] for cpu, fe in self.points],
+            "invalid_fraction": self.invalid_fraction,
         }
 
     @classmethod
@@ -52,6 +57,7 @@ class Curve:
             circuit_name=data["circuit_name"],
             density_of_encoding=data["density_of_encoding"],
             points=[(cpu, fe) for cpu, fe in data["points"]],
+            invalid_fraction=data.get("invalid_fraction"),
         )
 
 
@@ -74,11 +80,21 @@ def generate(
             (cp.cpu_seconds, cp.fault_efficiency)
             for cp in result.checkpoints
         ]
+        counters = result.counters()
+        classified = counters.get("search.valid_events", 0) + counters.get(
+            "search.invalid_events", 0
+        )
+        invalid_fraction = (
+            counters.get("search.invalid_events", 0) / classified
+            if classified
+            else None
+        )
         curves.append(
             Curve(
                 circuit_name=circuit.name,
                 density_of_encoding=density,
                 points=points,
+                invalid_fraction=invalid_fraction,
             )
         )
     return curves
@@ -92,7 +108,7 @@ def render(curves: List[Curve]) -> str:
     levels = (50.0, 75.0, 90.0, 95.0)
     header = f"{'circuit':24s} {'density':>10s} " + " ".join(
         f"cpu@{int(level)}%" .rjust(9) for level in levels
-    ) + "  final FE"
+    ) + "  final FE  inv-frac"
     lines.append(header)
     for curve in sorted(
         curves, key=lambda c: -c.density_of_encoding
@@ -101,9 +117,15 @@ def render(curves: List[Curve]) -> str:
         for level in levels:
             cpu = curve.cpu_to_reach(level)
             marks.append(f"{cpu:9.1f}" if cpu is not None else "        -")
+        invalid = (
+            f"{curve.invalid_fraction:8.4f}"
+            if curve.invalid_fraction is not None
+            else "       -"
+        )
         lines.append(
             f"{curve.circuit_name:24s} {curve.density_of_encoding:10.2e} "
             + " ".join(marks)
             + f"  {curve.final_efficiency():7.1f}%"
+            + f"  {invalid}"
         )
     return "\n".join(lines)

@@ -27,6 +27,10 @@ Record schema (one JSON object per line)::
       "perf": {...},              # deterministic PerfRecord core:
                                   #   schema + flattened counters
                                   #   (repro.obs.perf; ok rows only)
+      "search": {...},            # deterministic search-observatory
+                                  #   core: schema + the search.*
+                                  #   counter subset per scope
+                                  #   (repro.obs.search; ok ATPG rows)
       "payload": {...},           # table rows + lint entries (ok only)
       "error": "…"                # traceback summary (failures only)
     }
@@ -37,10 +41,13 @@ Version history: v1 rows used flat counter keys (``backtracks``,
 :func:`repro.atpg.normalize_counters`, so old ledgers keep resuming
 and rendering.  v2 rows had no ``perf`` field; loading synthesizes it
 from the (normalized) counters, so pre-perf ledgers feed the
-perf-snapshot and diff tooling unchanged.  The ``perf`` payload holds
-only deterministic fields — wall seconds and peak RSS stay in the
-designated wall-time columns — keeping rows byte-identical across
-``--jobs`` levels modulo :data:`WALL_TIME_FIELDS`.
+perf-snapshot and diff tooling unchanged.  v3 rows had no ``search``
+field; loading synthesizes it the same way (old rows have no
+``search.*`` counters, so it is usually empty).  The ``perf`` and
+``search`` payloads hold only deterministic fields — wall seconds and
+peak RSS stay in the designated wall-time columns — keeping rows
+byte-identical across ``--jobs`` levels modulo
+:data:`WALL_TIME_FIELDS`.
 
 A run killed mid-write leaves a torn final line; :func:`load_records`
 tolerates any undecodable line (counting it) so a resumed run can pick
@@ -61,9 +68,10 @@ from ..atpg.result import normalize_counters
 from ..lint.gate import _SUMMARY_DETAIL_LIMIT, LintLedger
 from ..lint.severity import Severity
 from ..obs.perf import PerfRecord, deterministic_core, record_from_ledger_row
+from ..obs.search import search_core
 
 LEDGER_NAME = "ledger.jsonl"
-RECORD_VERSION = 3
+RECORD_VERSION = 4
 
 #: Ledger fields that vary run-to-run even for identical science
 #: (excluded by the serial-vs-parallel equivalence tests).
@@ -88,6 +96,7 @@ class TaskRecord:
     counters: Dict[str, Any] = dataclasses.field(default_factory=dict)
     metrics: Dict[str, Any] = dataclasses.field(default_factory=dict)
     perf: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    search: Dict[str, Any] = dataclasses.field(default_factory=dict)
     payload: Dict[str, Any] = dataclasses.field(default_factory=dict)
     error: str = ""
 
@@ -111,6 +120,11 @@ class TaskRecord:
         # perf tooling like new ones.
         if version < 3 and data.get("outcome") == "ok":
             data["perf"] = deterministic_core(data.get("counters") or {})
+        # Pre-v4 rows had no search payload; synthesize it so old
+        # ledgers feed the search observatory uniformly (pre-search
+        # counters have no search.* keys, so this is usually empty).
+        if version < 4 and data.get("outcome") == "ok":
+            data["search"] = search_core(data.get("counters") or {})
         known = {f.name for f in dataclasses.fields(cls)}
         return cls(**{k: v for k, v in data.items() if k in known})
 

@@ -16,7 +16,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+import dataclasses
+
 from ..obs.perf import render_effort_attribution
+from ..obs.search import render_waste_attribution, waste_rows_from_ledger_rows
 from . import ledger as ledger_mod
 from .figure3 import Curve
 from .ledger import TaskRecord
@@ -40,7 +43,7 @@ def curves_to_markdown(curves: Sequence[Curve]) -> str:
     levels = (50.0, 75.0, 90.0, 95.0)
     headers = ["circuit", "density"] + [
         f"cpu@{int(level)}%" for level in levels
-    ] + ["final FE"]
+    ] + ["final FE", "invalid frac"]
     lines = [
         "**Figure 3: ATPG performance as a function of density of "
         "encoding**",
@@ -54,6 +57,11 @@ def curves_to_markdown(curves: Sequence[Curve]) -> str:
             cpu = curve.cpu_to_reach(level)
             cells.append(f"{cpu:.1f}s" if cpu is not None else "—")
         cells.append(f"{curve.final_efficiency():.1f}%")
+        cells.append(
+            f"{curve.invalid_fraction:.4f}"
+            if curve.invalid_fraction is not None
+            else "—"
+        )
         lines.append("| " + " | ".join(cells) + " |")
     return "\n".join(lines)
 
@@ -146,6 +154,18 @@ def assemble_report(
             completed[task.key].perf_record()
             for task in graph
             if task.key in completed
+        )
+    )
+    # Search-waste attribution: invalid-state classification per cell,
+    # joined with density of encoding from the same rows (also purely
+    # deterministic — byte-identical across --jobs levels).
+    blocks.append(
+        render_waste_attribution(
+            waste_rows_from_ledger_rows(
+                dataclasses.asdict(completed[task.key])
+                for task in graph
+                if task.key in completed
+            )
         )
     )
     if elapsed_seconds is not None:

@@ -45,6 +45,7 @@ from ..errors import ReproError
 from ..lint import GLOBAL_LEDGER
 from ..obs import Observability, write_trace_jsonl
 from ..obs import perf as perf_mod
+from ..obs import search as search_mod
 from . import ledger as ledger_mod
 from . import figure3, table1, table5, table6, table7, table8
 from .atpg_tables import (
@@ -345,6 +346,9 @@ def _record_for(
     # Successful attempts carry their deterministic perf core; the
     # perf-snapshot tooling joins it with the wall-time columns below.
     perf = perf_mod.deterministic_core(counters) if outcome == "ok" else {}
+    # ... and the search-observatory core (the search.* subset only;
+    # empty for non-ATPG cells).
+    search = search_mod.search_core(counters) if outcome == "ok" else {}
     return TaskRecord(
         key=task.key,
         kind=task.kind,
@@ -360,6 +364,7 @@ def _record_for(
         counters=counters,
         metrics=metrics,
         perf=perf,
+        search=search,
         payload=payload,
         error=error,
     )

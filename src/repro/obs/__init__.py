@@ -37,6 +37,7 @@ from .trace import (
     NullSink,
     RecordingSink,
     Tracer,
+    annotate,
     null_tracer,
 )
 from .export import (
@@ -90,6 +91,7 @@ __all__ = [
     "RecordingSink",
     "TRACE_NAME",
     "Tracer",
+    "annotate",
     "canonical_lines",
     "merge_dumps",
     "null_tracer",

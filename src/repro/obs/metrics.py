@@ -7,6 +7,11 @@ Prometheus-style::
 
     atpg.backtracks{circuit=dk16.ji.sd,engine=hitec}
 
+Reserved namespaces: ``atpg.*`` (engine effort/outcome), ``sim.*``
+(fault-simulation events), ``lint.*`` (DRC gate) and ``search.*`` (the
+search-state observatory, :mod:`repro.obs.search` — valid/invalid
+classification of every state the ATPG search examines).
+
 Determinism contract: instruments only ever hold values derived from
 the computation itself (search counts, virtual-clock seconds), never
 wall-clock time or memory readings — a registry dump from a ``jobs=1``

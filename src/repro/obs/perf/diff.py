@@ -40,6 +40,12 @@ HIGHER_IS_WORSE = frozenset(
         "atpg.cpu_seconds",
         "atpg.faults_aborted",
         "sim.events",
+        # Search observatory: more examine events / more provably
+        # invalid ones = more search effort burned outside the valid
+        # state space.
+        "search.states_examined",
+        "search.invalid_events",
+        "search.unique_invalid",
     }
 )
 

@@ -1,0 +1,133 @@
+"""CLI: ``python -m repro.obs.search report <run-dir-or-ledger>``.
+
+The positional argument may be a run directory (``runs/<run-id>/``,
+its ``ledger.jsonl`` is ingested) or a ``ledger.jsonl`` path; with no
+argument the newest run under ``--runs-dir`` is used (the same
+convention as ``scripts/trace_summary.py``).
+
+Exit codes: 0 = report printed, 1 = the run has no search counters at
+all (an ATPG run predating the observatory, or one with every oracle
+unavailable), 2 = unreadable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from .report import (
+    render_report,
+    waste_rows_from_ledger,
+)
+
+LEDGER_NAME = "ledger.jsonl"  # mirrors repro.harness.ledger.LEDGER_NAME
+
+
+class SearchCliError(Exception):
+    """Unreadable or unrecognizable input (CLI exit code 2)."""
+
+
+def resolve_ledger(source: str) -> str:
+    """Resolve one CLI argument to a ledger path."""
+    if os.path.isdir(source):
+        ledger = os.path.join(source, LEDGER_NAME)
+        if not os.path.isfile(ledger):
+            raise SearchCliError(
+                f"{source!r} is a directory without a {LEDGER_NAME}"
+            )
+        return ledger
+    if not os.path.isfile(source):
+        raise SearchCliError(f"no such run or ledger: {source!r}")
+    return source
+
+
+def find_ledger(runs_dir: str) -> str:
+    """The newest run directory under ``runs_dir`` with a ledger."""
+    if not os.path.isdir(runs_dir):
+        raise SearchCliError(
+            f"runs directory {runs_dir!r} does not exist; "
+            "pass a run directory or --runs-dir"
+        )
+    for run_id in sorted(os.listdir(runs_dir), reverse=True):
+        path = os.path.join(runs_dir, run_id, LEDGER_NAME)
+        if os.path.isfile(path):
+            return path
+    raise SearchCliError(f"no {LEDGER_NAME} under {runs_dir!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.search",
+        description=(
+            "Render the search-state observatory report of a run "
+            "ledger: per-cell waste attribution, original vs retimed "
+            "waste movement, and the waste vs density-of-encoding "
+            "rank correlation."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report", help="render the waste report of one run"
+    )
+    report.add_argument(
+        "source",
+        nargs="?",
+        default=None,
+        help="run directory or ledger.jsonl (default: newest run "
+        "under --runs-dir)",
+    )
+    report.add_argument(
+        "--runs-dir",
+        default="runs",
+        metavar="DIR",
+        help="runs directory to search when no source is given "
+        "(default: runs)",
+    )
+    report.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="also write the rendered report to FILE",
+    )
+    return parser
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    if args.source is not None:
+        ledger = resolve_ledger(args.source)
+    else:
+        ledger = find_ledger(args.runs_dir)
+    try:
+        rows = waste_rows_from_ledger(ledger)
+    except OSError as exc:
+        raise SearchCliError(f"unreadable ledger {ledger!r}: {exc}")
+    text = render_report(
+        rows, title=f"Search-state observatory report ({ledger})"
+    )
+    print(text)
+    if args.output:
+        directory = os.path.dirname(args.output)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    return 0 if rows else 1
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _cmd_report(args)
+    except SearchCliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `... | head` closed the pipe
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

@@ -175,6 +175,17 @@ class Tracer:
         self._sink.emit(record)
 
 
+def annotate(span: Any, **attrs: Any) -> None:
+    """Attach attributes to an open span; no-op on the null span.
+
+    Lets instrumented code enrich ``with tracer.span(...) as span:``
+    blocks (e.g. the per-fault valid/invalid search tallies) without
+    guarding every call site on ``tracer.enabled``."""
+    if span is _NULL_SPAN or isinstance(span, _NullSpan):
+        return
+    span.attrs.update(_sanitize(attrs))
+
+
 def _sanitize(attrs: Dict[str, Any]) -> Dict[str, Any]:
     """Span attributes must be JSON scalars (they land in trace.jsonl
     and in the determinism fingerprint); stringify anything else."""

@@ -42,7 +42,7 @@ class TestRecordRoundTrip:
         assert restored == original
 
     def test_records_are_versioned(self):
-        assert json.loads(record().to_json())["v"] == 3
+        assert json.loads(record().to_json())["v"] == 4
 
     def test_unknown_fields_are_ignored(self):
         data = json.loads(record().to_json())
@@ -85,6 +85,41 @@ class TestRecordRoundTrip:
         """Synthesis applies to pre-v3 rows only: a current-version row
         without a perf payload (e.g. a failure) round-trips as-is."""
         original = record(outcome="ok", perf={})
+        restored = TaskRecord.from_dict(json.loads(original.to_json()))
+        assert restored == original
+
+    def test_v3_rows_get_search_synthesized_on_load(self):
+        """A v3 row (no search payload) loads with the search core
+        rebuilt from its counters — empty when the row predates the
+        search.* counters, populated when it carries them."""
+        data = json.loads(record().to_json())
+        data["v"] = 3
+        del data["search"]
+        restored = TaskRecord.from_dict(data)
+        assert restored.search == {}  # no search.* counters in the row
+
+        data = json.loads(
+            record(
+                counters={
+                    "original": {
+                        "atpg.backtracks": 7,
+                        "search.invalid_events": 3,
+                    }
+                }
+            ).to_json()
+        )
+        data["v"] = 3
+        del data["search"]
+        restored = TaskRecord.from_dict(data)
+        assert restored.search == {
+            "schema": 1,
+            "counters": {"original": {"search.invalid_events": 3}},
+        }
+
+    def test_v4_empty_search_round_trips_unchanged(self):
+        """A current-version row without a search payload (failure or
+        non-ATPG cell) round-trips as-is."""
+        original = record(outcome="ok", search={})
         restored = TaskRecord.from_dict(json.loads(original.to_json()))
         assert restored == original
 
