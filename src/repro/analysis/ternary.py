@@ -1,0 +1,74 @@
+"""Shared ternary-fixpoint constant analysis.
+
+Abstract reachability over the three-valued domain {0, 1, X}: primary
+inputs are X, registers start at their init value, and each sweep joins
+every register's abstract value with the value its D input computes.
+The join lattice only moves toward X, so the iteration converges in at
+most ``#DFF + 1`` sweeps.  Ternary gate evaluation is monotone, which
+makes the result *sound*: a definite 0/1 at the abstract fixpoint holds
+in every reachable concrete cycle under every input sequence.
+
+Both the DRC rules (``DRC102``/``DRC103``/``DRC104``/``DRC106``) and
+the static fault analyzer (:mod:`repro.fault.analysis`) consume this
+one implementation, so a constant net flagged by lint and a fault
+proven unexcitable by the analyzer always agree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..circuit.gates import X, eval_gate
+from ..circuit.graph import topological_order
+from ..circuit.netlist import Circuit, NodeKind
+
+
+def evaluate_ternary(
+    circuit: Circuit, order: List[str], state: Dict[str, int]
+) -> Dict[str, int]:
+    """One combinational ternary evaluation with PIs at X."""
+    values: Dict[str, int] = {}
+    for name in order:
+        node = circuit.node(name)
+        if node.kind is NodeKind.INPUT:
+            values[name] = X
+        elif node.kind is NodeKind.DFF:
+            values[name] = state[name]
+        else:
+            values[name] = eval_gate(
+                node.gate, [values[f] for f in node.fanin]
+            )
+    return values
+
+
+def ternary_fixpoint(
+    circuit: Circuit,
+) -> Optional[Tuple[Dict[str, int], Dict[str, int]]]:
+    """Abstract reachability over ternary values.
+
+    Returns ``(values, state)`` where ``state`` maps each DFF to the
+    join of its value over *all* cycles (``0``/``1`` = provably stuck at
+    that value, ``X`` = may vary) and ``values`` maps every node to the
+    join of its value over all cycles under all input sequences.
+    Returns ``None`` for circuits that are not well-formed (dangling
+    references, combinational cycles).
+    """
+    try:
+        circuit.check()
+        order = topological_order(circuit)
+    except Exception:
+        return None
+    state = {d.name: d.init for d in circuit.dffs()}
+    while True:
+        values = evaluate_ternary(circuit, order, state)
+        merged = {
+            dff.name: (
+                state[dff.name]
+                if state[dff.name] == values[dff.fanin[0]]
+                else X
+            )
+            for dff in circuit.dffs()
+        }
+        if merged == state:
+            return values, state
+        state = merged

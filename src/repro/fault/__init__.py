@@ -1,5 +1,6 @@
-"""Stuck-at fault model, equivalence collapsing, and word-parallel
-sequential fault simulation (PROOFS substitute)."""
+"""Stuck-at fault model, static fault analysis (equivalence +
+dominance/checkpoint collapsing, provable-untestable pruning), and
+word-parallel sequential fault simulation (PROOFS substitute)."""
 
 from .model import (
     CoverageSummary,
@@ -10,16 +11,30 @@ from .model import (
 )
 from .collapse import CollapseReport, collapse_faults
 from .simulator import FaultSimReport, FaultSimulator, TestSequence
+from .analysis import (
+    ExpandedResult,
+    FaultAnalysis,
+    analyze_faults,
+    analyze_faults_cached,
+    clear_analysis_cache,
+    expand_result,
+)
 
 __all__ = [
     "CollapseReport",
     "CoverageSummary",
+    "ExpandedResult",
     "Fault",
+    "FaultAnalysis",
     "FaultSimReport",
     "FaultSimulator",
     "FaultStatus",
     "TestSequence",
+    "analyze_faults",
+    "analyze_faults_cached",
+    "clear_analysis_cache",
     "collapse_faults",
+    "expand_result",
     "full_fault_list",
     "summarize",
 ]

@@ -1,0 +1,106 @@
+"""Structural fault dominance via fanout-free-region traversal.
+
+A fault ``g`` *dominates* a fault ``f`` when every test that detects
+``f`` also detects ``g``; the dominating fault can then be removed from
+the target list as long as ``f`` stays on it.  At stem granularity the
+classical opportunity sits on every AND/OR/NAND/NOR gate with a
+fanout-free, non-observable fanin ``u`` inside the same fanout-free
+region: a test for ``u``'s non-controlling-side fault (``u/sa1`` for
+AND/NAND, ``u/sa0`` for OR/NOR) must drive ``u`` to the controlling
+value, hold every sibling input non-controlling, and propagate the
+discrepancy through the gate — which is exactly the excitation and
+single-frame propagation condition of the gate-output fault on the
+non-controlled side (``g/sa1`` for AND, ``g/sa0`` for NAND, ...).
+
+Chained over a region's interior lines, the kept witnesses bottom out
+at the region inputs — primary inputs, fanout stems and DFF outputs —
+which is the **checkpoint theorem**: those sites alone carry a
+sufficient target list (XOR-family gates have no controlling value and
+keep their output faults).
+
+Sequential caveat: the set-inclusion argument above is exact per time
+frame but a stuck line is faulty in *every* frame, and the dominating
+fault's extra discrepancies can interfere through the state registers
+(self-masking).  The analyzer therefore uses dominance only to choose
+*ATPG targets*; it never infers a dropped fault's detection from its
+witness.  Dropped faults are fault-simulated against the emitted test
+set (:mod:`repro.fault.analysis.expand`), so reported coverage is
+exact regardless.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+from ...circuit.gates import ONE, X
+from ...circuit.graph import topological_order
+from ...circuit.netlist import Circuit, NodeKind
+from ..model import Fault
+
+
+def checkpoint_nodes(circuit: Circuit) -> FrozenSet[str]:
+    """The circuit's checkpoints: PIs, fanout stems and DFF outputs.
+
+    A stem is any line observed at more than one place (two or more
+    readers, or one reader plus a primary-output tap).  DFF outputs are
+    the sequential generalization of the combinational theorem's
+    primary inputs: each combinational block sees them as pseudo-PIs.
+    """
+    fanouts = circuit.fanouts()
+    points = set(circuit.inputs)
+    points.update(dff.name for dff in circuit.dffs())
+    for name, readers in fanouts.items():
+        if len(readers) + int(circuit.is_output(name)) > 1:
+            points.add(name)
+    return frozenset(points)
+
+
+def fanout_free_regions(circuit: Circuit) -> Dict[str, str]:
+    """Map every node to the head (output line) of its fanout-free region.
+
+    A node heads its own region when its line branches (fanout stem or
+    PO tap), feeds a register (sequential boundary), or drives nothing;
+    otherwise it belongs to the region of its unique gate reader.  The
+    reverse-topological sweep is the FFR traversal both the dominance
+    pass and the report use.
+    """
+    fanouts = circuit.fanouts()
+    heads: Dict[str, str] = {}
+    for name in reversed(topological_order(circuit)):
+        readers = fanouts[name]
+        if len(readers) + int(circuit.is_output(name)) != 1 or not readers:
+            heads[name] = name
+            continue
+        reader = readers[0]
+        if circuit.node(reader).kind is not NodeKind.GATE:
+            heads[name] = name  # feeds a DFF: sequential boundary
+        else:
+            heads[name] = heads[reader]
+    return heads
+
+
+def dominance_drops(circuit: Circuit) -> Dict[Fault, Fault]:
+    """Gate-output faults droppable by dominance, with their witnesses.
+
+    Returns ``{dropped gate-output fault: kept witness input fault}``.
+    For each AND/OR/NAND/NOR gate whose fanin includes a fanout-free,
+    non-PO line ``u`` (an interior line of the gate's fanout-free
+    region), the output fault on the non-controlled side dominates
+    ``u``'s non-controlling-side fault and leaves the target list.  The
+    first eligible fanin (declaration order) is recorded as witness, so
+    the result is deterministic.
+    """
+    fanouts = circuit.fanouts()
+    drops: Dict[Fault, Fault] = {}
+    for node in circuit.nodes():
+        if node.kind is not NodeKind.GATE:
+            continue
+        control = node.gate.controlling_value()
+        if control == X or not node.fanin:
+            continue
+        dropped = Fault(node.name, ONE - node.gate.controlled_value())
+        for driver in node.fanin:
+            if len(fanouts[driver]) == 1 and not circuit.is_output(driver):
+                drops[dropped] = Fault(driver, ONE - control)
+                break
+    return drops

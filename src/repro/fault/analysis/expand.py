@@ -1,0 +1,203 @@
+"""Expand a reduced-target engine run back over the full fault universe.
+
+The engines only ever see the analyzer's reduced representative list.
+Tables and coverage reports, however, are specified over *all* faults —
+and for the dominance level that gap cannot be closed by inference
+(sequential self-masking, see :mod:`.dominance`).  ``expand_result``
+closes it exactly:
+
+* untestable classes get state ``untestable`` (proof already in hand);
+* classes the engine targeted copy their representative's status and
+  detecting-sequence index (equivalence is exact);
+* every remaining class — dominance-dropped or sampled out of the
+  engine's target list — is fault-simulated against the engine's own
+  emitted test set, so its detected/untested status is *measured*, not
+  assumed.
+
+The expansion simulation runs on a private metrics registry and is
+re-reported as ``sim.expansion_events``: it is bookkeeping cost, not
+engine search effort, and must not inflate the engine's ``sim.events``
+perf counter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from ...circuit.netlist import Circuit
+from ...obs import MetricsRegistry, Observability
+from ..model import CoverageSummary, Fault, FaultStatus, summarize
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...atpg.result import AtpgResult, Checkpoint, TestSet
+    from . import FaultAnalysis
+
+
+@dataclasses.dataclass
+class ExpandedResult:
+    """An :class:`~repro.atpg.result.AtpgResult` lifted to all faults.
+
+    Duck-types the engine result everywhere the harness reads one
+    (tables, ledgers, Figure 3 traversal reports): same attributes, but
+    ``statuses``/``summary()``/coverage numbers range over the full
+    fault universe and ``counters()`` adds the ``cover.*`` block (the
+    full-universe outcome counters the perf gate now guards) plus the
+    analyzer's ``collapse.*`` yield.
+    """
+
+    engine_result: "AtpgResult"
+    analysis: "FaultAnalysis"
+    #: Full-universe statuses, in canonical fault order.
+    statuses: Dict[Fault, FaultStatus]
+    #: Machine-steps spent post-simulating untargeted classes.
+    expansion_sim_events: int = 0
+
+    # -- AtpgResult surface, delegated -----------------------------------------
+
+    @property
+    def circuit_name(self) -> str:
+        return self.engine_result.circuit_name
+
+    @property
+    def engine(self) -> str:
+        return self.engine_result.engine
+
+    @property
+    def test_set(self) -> "TestSet":
+        return self.engine_result.test_set
+
+    @property
+    def cpu_seconds(self) -> float:
+        return self.engine_result.cpu_seconds
+
+    @property
+    def checkpoints(self) -> List["Checkpoint"]:
+        return self.engine_result.checkpoints
+
+    @property
+    def states_traversed(self) -> Set[Tuple[int, ...]]:
+        return self.engine_result.states_traversed
+
+    @property
+    def states_examined(self) -> Set[Tuple[int, ...]]:
+        return self.engine_result.states_examined
+
+    @property
+    def backtracks(self) -> int:
+        return self.engine_result.backtracks
+
+    @property
+    def frames_expanded(self) -> int:
+        return self.engine_result.frames_expanded
+
+    @property
+    def sim_events(self) -> int:
+        return self.engine_result.sim_events
+
+    @property
+    def search_counters(self) -> Dict[str, int]:
+        return self.engine_result.search_counters
+
+    # -- full-universe accounting ----------------------------------------------
+
+    def summary(self) -> CoverageSummary:
+        return summarize(self.statuses.values())
+
+    @property
+    def fault_coverage(self) -> float:
+        return self.summary().fault_coverage
+
+    @property
+    def fault_efficiency(self) -> float:
+        return self.summary().fault_efficiency
+
+    def counters(self) -> Dict[str, float]:
+        """Engine counters + full-universe ``cover.*`` + ``collapse.*``.
+
+        ``atpg.*`` keys keep their reduced-list semantics (engine search
+        effort and engine-level outcomes); ``cover.*`` is the expanded
+        truth the tables print and the perf gate treats as
+        lower-is-worse.
+        """
+        counters = self.engine_result.counters()
+        summary = self.summary()
+        counters.update(
+            {
+                "cover.faults_total": summary.total,
+                "cover.faults_detected": summary.detected,
+                "cover.faults_redundant": summary.redundant,
+                "cover.faults_aborted": summary.aborted,
+                "cover.faults_untestable": summary.untestable,
+                "sim.expansion_events": self.expansion_sim_events,
+            }
+        )
+        counters.update(self.analysis.counters())
+        return counters
+
+    def __str__(self) -> str:
+        return (
+            f"{self.engine} on {self.circuit_name} (expanded over "
+            f"{len(self.statuses)} faults, "
+            f"{len(self.analysis.representatives)} targets): "
+            f"{self.summary()}"
+        )
+
+
+def expand_result(
+    engine_result: "AtpgResult",
+    analysis: "FaultAnalysis",
+    circuit: Circuit,
+    obs: Optional[Observability] = None,
+) -> ExpandedResult:
+    """Lift ``engine_result`` over ``analysis``'s full fault universe."""
+    from ..simulator import FaultSimulator  # local: avoid import cycle
+
+    targeted = engine_result.statuses
+    untargeted = [
+        rep
+        for rep in analysis.equiv_representatives
+        if rep not in targeted and rep not in analysis.untestable
+    ]
+    post_detected: Dict[Fault, int] = {}
+    expansion_events = 0
+    if untargeted and engine_result.test_set.sequences:
+        private = MetricsRegistry()
+        simulator = FaultSimulator(
+            circuit, faults=untargeted, metrics=private
+        )
+        report = simulator.run(engine_result.test_set.sequences)
+        post_detected = report.detected
+        expansion_events = int(
+            sum(
+                value
+                for key, value in private.dump().items()
+                if key.startswith("sim.events")
+            )
+        )
+    statuses: Dict[Fault, FaultStatus] = {}
+    for fault in analysis.all_faults:
+        rep = analysis.class_of[fault]
+        if rep in analysis.untestable:
+            statuses[fault] = FaultStatus(fault, state="untestable")
+        elif rep in targeted:
+            origin = targeted[rep]
+            statuses[fault] = FaultStatus(
+                fault, state=origin.state, detected_by=origin.detected_by
+            )
+        elif rep in post_detected:
+            statuses[fault] = FaultStatus(
+                fault, state="detected", detected_by=post_detected[rep]
+            )
+        else:
+            statuses[fault] = FaultStatus(fault)
+    if obs is not None and expansion_events:
+        obs.metrics.counter(
+            "sim.expansion_events", circuit=circuit.name
+        ).inc(expansion_events)
+    return ExpandedResult(
+        engine_result=engine_result,
+        analysis=analysis,
+        statuses=statuses,
+        expansion_sim_events=expansion_events,
+    )

@@ -1,0 +1,58 @@
+"""Provable-untestable fault pruning (static, sound, search-free).
+
+Two proofs discharge a stuck-at fault without spending a single search
+frame, both conservative (a missing proof never means testable):
+
+* **unexcitable** — the ternary-fixpoint constant analysis shared with
+  the DRC rules (:mod:`repro.analysis.ternary`) shows the line provably
+  holds value ``v`` in every reachable cycle under every input
+  sequence; the fault ``line/sa-v`` then forces the value the line
+  already has, the faulty machine is the good machine, and no test can
+  distinguish them.
+* **unobservable** — the line has no structural fanout path (through
+  any number of registers) to any primary output; a fault effect can
+  only travel along fanout, so the primary outputs compute identical
+  values in the good and faulty machines.
+
+Deliberately *not* implemented: "a constant side input blocks every
+propagation path" style arguments.  Under reconvergence the side
+input's constancy can itself depend on the fault site, so that family
+of proofs is unsound without a per-fault faulty-machine fixpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ...analysis.ternary import ternary_fixpoint
+from ...circuit.gates import ONE, X, ZERO, ternary_to_char
+from ...circuit.graph import transitive_fanin
+from ...circuit.netlist import Circuit
+from ..model import Fault
+
+
+def untestable_faults(circuit: Circuit) -> Dict[Fault, str]:
+    """Map each provably untestable fault to its one-line proof."""
+    proofs: Dict[Fault, str] = {}
+    po_cone = transitive_fanin(
+        circuit, circuit.outputs, through_dffs=True
+    )
+    fixpoint = ternary_fixpoint(circuit)
+    for node in circuit.nodes():
+        name = node.name
+        if name not in po_cone:
+            reason = (
+                "unobservable: no structural path to any primary output"
+            )
+            proofs[Fault(name, ZERO)] = reason
+            proofs[Fault(name, ONE)] = reason
+            continue
+        if fixpoint is None:
+            continue
+        value = fixpoint[0][name]
+        if value != X:
+            proofs[Fault(name, value)] = (
+                f"unexcitable: line provably holds "
+                f"{ternary_to_char(value)} in every reachable cycle"
+            )
+    return proofs

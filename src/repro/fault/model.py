@@ -10,9 +10,14 @@ fault-list preprocessing did.
 Fault coverage / fault efficiency accounting matches the paper:
 
 * ``fault coverage``  = detected / total,
-* ``fault efficiency`` = (detected + proven redundant) / total,
+* ``fault efficiency`` = (detected + proven redundant + proven
+  untestable) / total,
 
 with aborted (budget-exhausted) faults counting against both.
+Faults the static analyzer (:mod:`repro.fault.analysis`) proves
+undetectable without any search carry the ``untestable`` state; like
+the paper's redundant faults they count toward efficiency but never
+toward coverage.
 """
 
 from __future__ import annotations
@@ -43,11 +48,21 @@ class Fault:
 
 
 def full_fault_list(circuit: Circuit) -> List[Fault]:
-    """Both stuck-at faults on every node, in deterministic order."""
+    """Both stuck-at faults on every node, sorted by site.
+
+    The ordering contract is explicit: faults are sorted by
+    ``(node name, stuck value)``, which depends only on the netlist's
+    node names — never on dict iteration or hash seeds.  Every
+    downstream list (equivalence representatives, the analyzer's
+    reduced target list, fault-sample draws) derives its order from
+    this one, so collapsed fault lists are PYTHONHASHSEED-stable and
+    identical across worker processes.
+    """
     faults: List[Fault] = []
     for node in circuit.nodes():
         faults.append(Fault(node.name, ZERO))
         faults.append(Fault(node.name, ONE))
+    faults.sort()
     return faults
 
 
@@ -56,7 +71,10 @@ class FaultStatus:
     """Mutable bookkeeping for one fault during an ATPG/simulation run."""
 
     fault: Fault
-    state: str = "untested"  # untested | detected | redundant | aborted
+    # untested | detected | redundant | aborted | untestable
+    # ("untestable" = statically proven undetectable by
+    # repro.fault.analysis, with zero search effort spent).
+    state: str = "untested"
     detected_by: int = -1  # index of the detecting test sequence
 
     def is_open(self) -> bool:
@@ -71,6 +89,9 @@ class CoverageSummary:
     detected: int
     redundant: int
     aborted: int
+    # Statically proven undetectable (repro.fault.analysis); counts
+    # toward efficiency like redundancy, but no search was ever spent.
+    untestable: int = 0
 
     @property
     def fault_coverage(self) -> float:
@@ -82,18 +103,20 @@ class CoverageSummary:
     def fault_efficiency(self) -> float:
         if self.total == 0:
             return 100.0
-        return 100.0 * (self.detected + self.redundant) / self.total
+        resolved = self.detected + self.redundant + self.untestable
+        return 100.0 * resolved / self.total
 
     def __str__(self) -> str:
         return (
             f"FC={self.fault_coverage:.1f}% FE={self.fault_efficiency:.1f}% "
             f"({self.detected} det / {self.redundant} red / "
+            f"{self.untestable} untest / "
             f"{self.aborted} abort / {self.total} total)"
         )
 
 
 def summarize(statuses: Iterable[FaultStatus]) -> CoverageSummary:
-    total = detected = redundant = aborted = 0
+    total = detected = redundant = aborted = untestable = 0
     for status in statuses:
         total += 1
         if status.state == "detected":
@@ -102,6 +125,12 @@ def summarize(statuses: Iterable[FaultStatus]) -> CoverageSummary:
             redundant += 1
         elif status.state == "aborted":
             aborted += 1
+        elif status.state == "untestable":
+            untestable += 1
     return CoverageSummary(
-        total=total, detected=detected, redundant=redundant, aborted=aborted
+        total=total,
+        detected=detected,
+        redundant=redundant,
+        aborted=aborted,
+        untestable=untestable,
     )

@@ -83,6 +83,12 @@ class FaultSimulator:
         self.sequences_counter = self.metrics.counter(
             "sim.sequences", circuit=circuit.name
         )
+        # Machine-steps spent expanding collapsed fault lists back over
+        # the full universe (run_analyzed); kept out of sim.events so
+        # engine search effort stays comparable across collapse levels.
+        self.expansion_counter = self.metrics.counter(
+            "sim.expansion_events", circuit=circuit.name
+        )
         if faults is None:
             faults = collapse_faults(circuit).representatives
         self.faults: List[Fault] = list(faults)
@@ -127,6 +133,49 @@ class FaultSimulator:
             undetected=remaining,
             vectors_simulated=vectors,
             states_traversed=states,
+        )
+
+    def run_analyzed(
+        self,
+        sequences: Sequence[TestSequence],
+        analysis,
+        drop: bool = True,
+    ) -> FaultSimReport:
+        """Fault-simulate via a :class:`~repro.fault.analysis.FaultAnalysis`.
+
+        Simulates the analyzer's reduced target list, then separately
+        simulates the dominance-dropped class representatives (their
+        detection cannot be inferred from the kept witnesses — see
+        :mod:`repro.fault.analysis.dominance`), and expands both over
+        the full fault universe.  The dropped-class pass is charged to
+        ``sim.expansion_events`` instead of ``sim.events``.  Untestable
+        classes are reported undetected (they are, provably).
+        """
+        rep_report = self.run(
+            sequences, faults=analysis.representatives, drop=drop
+        )
+        detected_by_rep = dict(rep_report.detected)
+        dropped = [
+            rep
+            for rep in analysis.equiv_representatives
+            if rep in analysis.dominated
+        ]
+        if dropped and sequences:
+            events_counter = self.events_counter
+            self.events_counter = self.expansion_counter
+            try:
+                dropped_report = self.run(
+                    sequences, faults=dropped, drop=drop
+                )
+            finally:
+                self.events_counter = events_counter
+            detected_by_rep.update(dropped_report.detected)
+        detected, undetected = analysis.expand_detected(detected_by_rep)
+        return FaultSimReport(
+            detected=detected,
+            undetected=undetected,
+            vectors_simulated=rep_report.vectors_simulated,
+            states_traversed=rep_report.states_traversed,
         )
 
     def detects(self, sequence: TestSequence, fault: Fault) -> bool:

@@ -9,7 +9,7 @@ Usage::
 or from the command line: ``python -m repro.harness smoke``.
 """
 
-from .config import HarnessConfig, sample_faults
+from .config import HarnessConfig, sample_faults, select_target_faults
 from .suite import (
     TABLE2_CIRCUITS,
     TABLE3_CIRCUITS,
@@ -69,6 +69,7 @@ __all__ = [
     "run_all",
     "sample_faults",
     "select_retiming",
+    "select_target_faults",
     "synthesize_named",
     "table1",
     "table2",

@@ -84,6 +84,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated subset of table1..table8,figure3",
     )
     parser.add_argument(
+        "--collapse",
+        default=None,
+        choices=("equiv", "equiv+dom+checkpoint"),
+        metavar="LEVEL",
+        help="static fault-analysis level fed to the engines: 'equiv' "
+        "or 'equiv+dom+checkpoint' (default; reports expand over the "
+        "full fault universe at either level)",
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
         help="shorthand for the 'quick' preset (smoke effort on the "
@@ -124,6 +133,8 @@ def main(argv=None) -> int:
         overrides["tables"] = tuple(
             name.strip() for name in args.tables.split(",") if name.strip()
         )
+    if args.collapse is not None:
+        overrides["collapse_level"] = args.collapse
     if overrides:
         config = dataclasses.replace(config, **overrides)
     run_all(

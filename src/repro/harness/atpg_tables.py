@@ -18,23 +18,32 @@ import dataclasses
 from typing import Dict, List, Optional, Tuple
 
 from ..atpg.registry import get_engine
-from ..atpg.result import AtpgResult
 from ..circuit.netlist import Circuit
-from ..fault.collapse import collapse_faults
+from ..fault.analysis import (
+    ExpandedResult,
+    analyze_faults_cached,
+    expand_result,
+)
 from ..lint import LintConfig, Severity, gate_circuit
 from ..obs import Observability
-from .config import HarnessConfig, sample_faults
+from .config import HarnessConfig, select_target_faults
 from .suite import CircuitPair, build_pair
 from .tables import Column, Table, pct, ratio
 
 
 @dataclasses.dataclass
 class PairRun:
-    """Engine results for one original/retimed pair."""
+    """Engine results for one original/retimed pair.
+
+    Both sides are :class:`~repro.fault.analysis.ExpandedResult`\\ s:
+    the engine only targeted the analyzer's reduced fault list, but
+    every number a table reads from here ranges over the full fault
+    universe.
+    """
 
     pair: CircuitPair
-    original: AtpgResult
-    retimed: AtpgResult
+    original: ExpandedResult
+    retimed: ExpandedResult
 
     @property
     def cpu_ratio(self) -> float:
@@ -47,7 +56,7 @@ def run_engine_on_circuit(
     engine: str,
     config: HarnessConfig,
     obs: Optional[Observability] = None,
-) -> AtpgResult:
+) -> ExpandedResult:
     """One engine × circuit run with the config's fault sampling.
 
     ``engine`` is a registry name resolved through
@@ -57,6 +66,13 @@ def run_engine_on_circuit(
     :class:`repro.errors.LintError`; in ``warn`` mode the diagnostics
     are recorded in the global ledger, which the experiment driver
     appends to its report.
+
+    The engine targets the static analyzer's reduced fault list (at
+    ``config.collapse_level``, optionally sampled down to
+    ``config.max_faults``); the result is then expanded back over the
+    full fault universe — dominance-dropped and sampled-out classes are
+    fault-simulated against the emitted test set, so the returned
+    coverage numbers are exact whatever the level.
     """
     gate_circuit(
         circuit,
@@ -65,10 +81,13 @@ def run_engine_on_circuit(
         config=LintConfig(fail_on=Severity.parse(config.lint_fail_on)),
         obs=obs,
     )
-    faults = collapse_faults(circuit).representatives
-    faults = sample_faults(faults, config)
+    analysis = analyze_faults_cached(
+        circuit, level=config.collapse_level, obs=obs
+    )
+    faults = select_target_faults(analysis, config)
     runner = get_engine(engine, circuit, budget=config.budget, obs=obs)
-    return runner.run(faults)
+    result = runner.run(faults)
+    return expand_result(result, analysis, circuit, obs=obs)
 
 
 def run_pair(
@@ -127,7 +146,7 @@ def hitec_table(
     return hitec_table_from_rows(rows), runs
 
 
-def _hitec_row(name: str, circuit: Circuit, result: AtpgResult) -> Dict:
+def _hitec_row(name: str, circuit: Circuit, result: ExpandedResult) -> Dict:
     return {
         "circuit": name,
         "dffs": circuit.num_dffs(),

@@ -48,6 +48,12 @@ class HarnessConfig:
     # table1..table8 plus figure3).  Section names follow the task
     # graph: "table2" implies the HITEC runs that also feed tables 6/8.
     tables: Optional[Tuple[str, ...]] = None
+    # Static fault-analysis level fed to the engines (repro.fault
+    # .analysis): "equiv" = equivalence classes only, the default adds
+    # dominance/checkpoint reduction.  Reports always expand over the
+    # full fault universe, so tables from either level agree fault-for-
+    # fault; the level changes search effort, not reported coverage.
+    collapse_level: str = "equiv+dom+checkpoint"
 
     # ---- execution knobs (repro.harness.runner) ----------------------
     # These shape *how* cells run, never *what* they compute, so they
@@ -79,6 +85,7 @@ class HarnessConfig:
         "lint_mode",
         "lint_fail_on",
         "tables",
+        "collapse_level",
     )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -166,3 +173,26 @@ def sample_faults(faults, config: HarnessConfig):
     rng = make_rng(config.fault_sample_seed)
     indices = sorted(rng.sample(range(len(faults)), config.max_faults))
     return [faults[i] for i in indices]
+
+
+def select_target_faults(analysis, config: HarnessConfig):
+    """The engine's target list for one analyzed circuit.
+
+    The sample is always drawn from the *equivalence-level* candidates
+    (classes minus provably-untestable ones) and dominance pruning is
+    applied afterwards, so the ``equiv+dom+checkpoint`` level targets a
+    strict subset of what ``equiv`` targets under the same seed.  That
+    subset property is what makes effort comparisons across collapse
+    levels (and against perf baselines) well-founded: the fuller level
+    can only remove work, never swap in a different-sized sample of
+    different faults.
+    """
+    candidates = [
+        rep
+        for rep in analysis.equiv_representatives
+        if rep not in analysis.untestable
+    ]
+    sampled = sample_faults(candidates, config)
+    if not analysis.dominated:
+        return sampled
+    return [fault for fault in sampled if fault not in analysis.dominated]

@@ -14,8 +14,8 @@ from typing import Dict, List, Optional, Tuple
 
 from ..analysis.density import reachability_report
 from ..atpg.hitec import HitecEngine
-from ..fault.collapse import collapse_faults
-from .config import HarnessConfig, sample_faults
+from ..fault.analysis import analyze_faults_cached
+from .config import HarnessConfig, select_target_faults
 from .suite import TABLE7_CIRCUIT
 from .table7 import sweep_circuits
 
@@ -72,9 +72,12 @@ def generate(
     curves: List[Curve] = []
     for circuit in circuits:
         density = reachability_report(circuit).density_of_encoding
-        faults = sample_faults(
-            collapse_faults(circuit).representatives, config
+        # Engine-side FE curves: the reduced target list is the point
+        # (same analysis cache as the tables), no expansion needed.
+        analysis = analyze_faults_cached(
+            circuit, level=config.collapse_level
         )
+        faults = select_target_faults(analysis, config)
         result = HitecEngine(circuit, budget=config.budget).run(faults)
         points = [
             (cp.cpu_seconds, cp.fault_efficiency)

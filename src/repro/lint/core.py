@@ -195,6 +195,14 @@ class LintConfig:
     min_density: float = 0.05
     # SCOAP fixpoint iteration cap (DRC105).
     scoap_iterations: int = 60
+    # Checkpoint-ratio advisory band (DRC110): checkpoints (PIs +
+    # fanout stems + DFF outputs) over fault sites.  The Table 2 suite
+    # spans [0.013, 0.221]; ratios outside the band mean the checkpoint
+    # reduction behaves anomalously — near-zero suggests a degenerate
+    # fanout-free chain, high ratios mean collapsing buys almost
+    # nothing.
+    min_checkpoint_ratio: float = 0.005
+    max_checkpoint_ratio: float = 0.5
 
     def is_enabled(self, rule: Rule) -> bool:
         if rule.rule_id in self.disabled:

@@ -2,7 +2,7 @@
 
 ``DRC001``-``DRC005`` are the checks ported from the original
 ``repro.circuit.validate`` module (which remains as a thin shim over
-this registry).  ``DRC101``-``DRC108`` are the new structural analyses;
+this registry).  ``DRC101``-``DRC110`` are the new structural analyses;
 each exploits an existing substrate (graph traversals, ternary
 simulation semantics, SCOAP, levelization) to catch — *before* any ATPG
 CPU is spent — the netlist pathologies the paper shows structural test
@@ -21,11 +21,10 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from ..circuit.gates import GateType, ONE, X, ZERO, eval_gate, ternary_to_char
+from ..circuit.gates import GateType, X, ternary_to_char
 from ..circuit.graph import (
     dead_nodes,
     levelize,
-    topological_order,
     transitive_fanin,
 )
 from ..circuit.netlist import Circuit, NodeKind
@@ -56,59 +55,23 @@ def _is_well_formed(context: LintContext) -> bool:
 def _ternary_fixpoint(
     context: LintContext,
 ) -> Optional[Tuple[Dict[str, int], Dict[str, int]]]:
-    """Abstract reachability over ternary values.
+    """Abstract ternary reachability (see :mod:`repro.analysis.ternary`).
 
-    Returns ``(values, state)`` where ``state`` maps each DFF to the
-    join of its value over *all* cycles (``0``/``1`` = provably stuck at
-    that value, ``X`` = may vary) and ``values`` maps every node to the
-    join of its value over all cycles under all input sequences.  Sound
-    because ternary gate evaluation is monotone: a definite 0/1 at the
-    abstract fixpoint holds in every reachable concrete cycle.  Returns
-    ``None`` for circuits that are not well-formed.
+    The computation is shared with the static fault analyzer
+    (:mod:`repro.fault.analysis`); this wrapper only adds the per-run
+    cache and the well-formedness screen.
     """
 
     def compute() -> Optional[Tuple[Dict[str, int], Dict[str, int]]]:
-        circuit = context.circuit
+        # Lazy: repro.analysis pulls in the ATPG result types, and this
+        # module loads during the circuit package's own import.
+        from ..analysis.ternary import ternary_fixpoint
+
         if not _is_well_formed(context):
             return None
-        order = topological_order(circuit)
-        state = {d.name: d.init for d in circuit.dffs()}
-        while True:
-            values = _evaluate(circuit, order, state)
-            # Join each register's abstract value with its next value;
-            # the join lattice only moves toward X, so this converges in
-            # at most #DFF+1 sweeps.
-            merged = {
-                dff.name: (
-                    state[dff.name]
-                    if state[dff.name] == values[dff.fanin[0]]
-                    else X
-                )
-                for dff in circuit.dffs()
-            }
-            if merged == state:
-                return values, state
-            state = merged
+        return ternary_fixpoint(context.circuit)
 
     return context.cached("ternary_fixpoint", compute)  # type: ignore[return-value]
-
-
-def _evaluate(
-    circuit: Circuit, order: List[str], state: Dict[str, int]
-) -> Dict[str, int]:
-    """One combinational ternary evaluation with PIs at X."""
-    values: Dict[str, int] = {}
-    for name in order:
-        node = circuit.node(name)
-        if node.kind is NodeKind.INPUT:
-            values[name] = X
-        elif node.kind is NodeKind.DFF:
-            values[name] = state[name]
-        else:
-            values[name] = eval_gate(
-                node.gate, [values[f] for f in node.fanin]
-            )
-    return values
 
 
 def _levels(context: LintContext) -> Optional[Dict[str, int]]:
@@ -622,3 +585,91 @@ def check_fanout_budget(context: LintContext) -> Iterator[Tuple[str, ...]]:
                 f"budget ({budget})",
                 "buffer the net into a fanout tree",
             )
+
+
+@rule(
+    "DRC109",
+    name="untestable-fault-site",
+    severity=Severity.WARNING,
+    category="testability",
+)
+def check_untestable_fault_sites(
+    context: LintContext,
+) -> Iterator[Tuple[str, ...]]:
+    """Fault sites with statically provable untestable stuck-at faults.
+
+    The static fault analyzer (:mod:`repro.fault.analysis`) proves
+    faults undetectable without search: unexcitable (the line is
+    provably constant, sharing DRC102's ternary fixpoint) or
+    unobservable (no structural path to any primary output).  Every
+    such fault is dead weight in the fault list and usually marks
+    removable logic.
+    """
+    if not _is_well_formed(context):
+        return
+
+    def compute() -> Dict[str, List[str]]:
+        # Lazy: repro.fault imports the circuit package this module
+        # loads under.
+        from ..fault.analysis import untestable_faults
+
+        by_node: Dict[str, List[str]] = {}
+        for fault, reason in untestable_faults(context.circuit).items():
+            by_node.setdefault(fault.node, []).append(
+                f"{fault}: {reason}"
+            )
+        return by_node
+
+    by_node = context.cached("untestable_faults", compute)
+    for name in sorted(by_node):  # type: ignore[union-attr]
+        proofs = by_node[name]  # type: ignore[index]
+        yield (
+            name,
+            "; ".join(sorted(proofs)),
+            "remove the dead logic or tie the line off explicitly",
+        )
+
+
+@rule(
+    "DRC110",
+    name="checkpoint-ratio",
+    severity=Severity.NOTE,
+    category="testability",
+)
+def check_checkpoint_ratio(
+    context: LintContext,
+) -> Iterator[Tuple[str, ...]]:
+    """Checkpoint-to-site ratio outside the suite's normal band.
+
+    Checkpoints (primary inputs, fanout stems, DFF outputs) bound the
+    fault-collapsing yield: a near-zero ratio means the netlist is one
+    long fanout-free chain (degenerate structure, suspiciously
+    serial), a high ratio means nearly every line branches and
+    dominance/checkpoint collapsing buys almost nothing.  The band is
+    ``LintConfig.min_checkpoint_ratio``/``max_checkpoint_ratio``.
+    """
+    if not _is_well_formed(context):
+        return
+    from ..fault.analysis import checkpoint_nodes  # lazy, see DRC109
+
+    circuit = context.circuit
+    sites = len(circuit)
+    if sites == 0:
+        return
+    ratio = len(checkpoint_nodes(circuit)) / sites
+    low = context.config.min_checkpoint_ratio
+    high = context.config.max_checkpoint_ratio
+    if ratio < low:
+        yield (
+            circuit.name,
+            f"checkpoint ratio {ratio:.4f} below {low} — the netlist "
+            "is nearly one fanout-free chain; expect anomalously deep "
+            "backtrace cones",
+        )
+    elif ratio > high:
+        yield (
+            circuit.name,
+            f"checkpoint ratio {ratio:.4f} above {high} — almost every "
+            "line is a stem; dominance/checkpoint collapsing will buy "
+            "little",
+        )

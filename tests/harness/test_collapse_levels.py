@@ -1,0 +1,158 @@
+"""Harness integration of the static fault analyzer.
+
+The collapse level is a science knob: it changes which faults the
+engines *target*, never the fault universe the tables *report* over.
+These tests pin the contract on the quick-preset circuits: the full
+level hands the engine a strictly smaller list, the expanded detection
+table equals a direct full-universe fault simulation of the emitted
+test set, and the run's counters carry the ``collapse.*``/``cover.*``
+blocks the perf gate consumes.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.atpg import EffortBudget
+from repro.fault import FaultSimulator, full_fault_list
+from repro.fault.analysis import LEVEL_EQUIV, LEVEL_FULL, analyze_faults
+from repro.harness import HarnessConfig, select_target_faults
+from repro.harness.atpg_tables import run_engine_on_circuit
+from repro.harness.suite import synthesize_named
+
+
+def tiny_config(**overrides):
+    config = HarnessConfig(
+        budget=EffortBudget(
+            max_backtracks=80,
+            max_frames=3,
+            max_justify_depth=6,
+            max_preimages=2,
+            per_fault_seconds=0.3,
+            total_seconds=15.0,
+            random_sequences=12,
+            random_length=20,
+        ),
+        max_faults=120,
+        circuits=("dk16.ji.sd",),
+    )
+    return dataclasses.replace(config, **overrides)
+
+
+@pytest.fixture
+def dk16_circuit():
+    return synthesize_named("dk16.ji.sd").circuit
+
+
+class TestCollapseLevelKnob:
+    def test_default_is_full_level(self):
+        assert HarnessConfig.smoke().collapse_level == LEVEL_FULL
+
+    def test_fingerprint_tracks_collapse_level(self):
+        full = tiny_config()
+        equiv = tiny_config(collapse_level=LEVEL_EQUIV)
+        assert full.fingerprint() != equiv.fingerprint()
+
+    def test_round_trips_through_dict(self):
+        config = tiny_config(collapse_level=LEVEL_EQUIV)
+        restored = HarnessConfig.from_dict(config.to_dict())
+        assert restored.collapse_level == LEVEL_EQUIV
+
+    def test_quick_preset_strictly_smaller_targets(self):
+        for name in ("dk16.ji.sd", "s820.jc.sr"):
+            circuit = synthesize_named(name).circuit
+            equiv = analyze_faults(circuit, level=LEVEL_EQUIV)
+            full = analyze_faults(circuit, level=LEVEL_FULL)
+            assert len(full.representatives) < len(
+                equiv.representatives
+            )
+
+    def test_target_sample_is_subset_across_levels(self):
+        # The full level must never swap in a different sample of
+        # different faults — it only prunes the equiv-level sample, so
+        # effort comparisons across levels are apples-to-apples.
+        config = tiny_config()
+        for name in ("dk16.ji.sd", "s820.jc.sr"):
+            circuit = synthesize_named(name).circuit
+            equiv_targets = select_target_faults(
+                analyze_faults(circuit, level=LEVEL_EQUIV), config
+            )
+            full_targets = select_target_faults(
+                analyze_faults(circuit, level=LEVEL_FULL), config
+            )
+            assert set(full_targets) < set(equiv_targets)
+            assert len(equiv_targets) <= config.max_faults
+
+
+class TestExpandedHarnessRun:
+    def test_expanded_table_equals_direct_full_simulation(
+        self, dk16_circuit
+    ):
+        result = run_engine_on_circuit(
+            dk16_circuit, "hitec", tiny_config()
+        )
+        direct = FaultSimulator(
+            dk16_circuit, faults=full_fault_list(dk16_circuit)
+        ).run(result.test_set.sequences)
+        expanded_detected = {
+            fault: status.detected_by
+            for fault, status in result.statuses.items()
+            if status.state == "detected"
+        }
+        assert expanded_detected == direct.detected
+
+    def test_counters_carry_collapse_and_cover_blocks(
+        self, dk16_circuit
+    ):
+        result = run_engine_on_circuit(
+            dk16_circuit, "hitec", tiny_config()
+        )
+        counters = result.counters()
+        summary = result.summary()
+        assert counters["cover.faults_total"] == len(
+            full_fault_list(dk16_circuit)
+        )
+        assert counters["cover.faults_detected"] == summary.detected
+        assert counters["collapse.dominated_classes"] > 0
+        assert counters["sim.expansion_events"] > 0
+        # Engine-level counts keep reduced-list semantics alongside.
+        assert (
+            counters["atpg.faults_total"]
+            <= counters["collapse.representatives"]
+        )
+
+    def test_full_level_never_costs_more_engine_effort(
+        self, dk16_circuit
+    ):
+        # At the quick preset the subset-sampled target list makes
+        # engine effort non-increasing counter-for-counter, and the
+        # narrower fault-simulation width strictly cuts sim events.
+        quick = HarnessConfig.quick()
+        full = run_engine_on_circuit(
+            dk16_circuit, "hitec", quick
+        ).counters()
+        equiv = run_engine_on_circuit(
+            dk16_circuit,
+            "hitec",
+            dataclasses.replace(quick, collapse_level=LEVEL_EQUIV),
+        ).counters()
+        assert full["atpg.faults_total"] < equiv["atpg.faults_total"]
+        assert full["sim.events"] < equiv["sim.events"]
+        for key in ("atpg.backtracks", "atpg.frames_expanded"):
+            assert full[key] <= equiv[key]
+
+    def test_levels_report_same_universe(self, dk16_circuit):
+        full = run_engine_on_circuit(
+            dk16_circuit, "hitec", tiny_config()
+        )
+        equiv = run_engine_on_circuit(
+            dk16_circuit,
+            "hitec",
+            tiny_config(collapse_level=LEVEL_EQUIV),
+        )
+        assert set(full.statuses) == set(equiv.statuses)
+        assert (
+            full.summary().total
+            == equiv.summary().total
+            == len(full_fault_list(dk16_circuit))
+        )

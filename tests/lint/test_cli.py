@@ -18,7 +18,8 @@ def clean_blif(tmp_path, half_adder):
 
 @pytest.fixture
 def warning_blif(tmp_path):
-    """Two DRC warnings: input b is dead (DRC002) + disconnected (DRC005)."""
+    """Warnings only: input b is dead (DRC002), disconnected (DRC005)
+    and an untestable fault site (DRC109)."""
     builder = CircuitBuilder("warny")
     a, b = builder.inputs("a", "b")
     builder.output(builder.not_(a, name="out"))
@@ -44,7 +45,8 @@ class TestExitCodes:
     def test_disable_silences_rule(self, warning_blif):
         code = main(
             [warning_blif, "--fail-on", "warning",
-             "--disable", "DRC002", "--disable", "DRC005"]
+             "--disable", "DRC002", "--disable", "DRC005",
+             "--disable", "DRC109"]
         )
         assert code == 0
 

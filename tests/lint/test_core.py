@@ -122,7 +122,8 @@ class TestRunner:
         stored = [d for d in report if d.rule_id == "DRC002"
                   and d.severity is not Severity.NOTE]
         assert len(stored) == 2
-        notes = [d for d in report if d.severity is Severity.NOTE]
+        notes = [d for d in report if d.severity is Severity.NOTE
+                 and d.rule_id == "DRC002"]
         assert len(notes) == 1
         assert "2 further finding(s) truncated" in notes[0].message
 

@@ -257,3 +257,62 @@ class TestDRC108FanoutBudget:
         # fraction * #nodes lifts the budget over the absolute floor.
         config = LintConfig(max_fanout=2, max_fanout_fraction=1.0)
         assert not findings(self._fan(3), "DRC108", config)
+
+
+class TestDRC109UntestableFaultSite:
+    def test_unobservable_site_flagged_with_proofs(self):
+        builder = CircuitBuilder("deadwood")
+        a, b = builder.inputs("a", "b")
+        builder.and_(a, b, name="dead")
+        builder.output(builder.not_(a, name="y"))
+        circuit = builder.build(check=False)
+        circuit.check()
+        hits = findings(circuit, "DRC109")
+        subjects = {d.subject for d in hits}
+        assert "dead" in subjects and "b" in subjects
+        dead = next(d for d in hits if d.subject == "dead")
+        assert "unobservable" in dead.message
+        assert "dead/sa0" in dead.message and "dead/sa1" in dead.message
+
+    def test_constant_line_flagged_one_fault_only(self):
+        builder = CircuitBuilder("tied")
+        a = builder.input("a")
+        one = builder.const1(name="vdd")
+        builder.output(builder.and_(a, one, name="y"))
+        hits = findings(builder.build(), "DRC109")
+        tied = next(d for d in hits if d.subject == "vdd")
+        assert "vdd/sa1" in tied.message
+        assert "vdd/sa0" not in tied.message
+
+    def test_clean_circuit_is_silent(self, two_bit_counter):
+        assert not findings(two_bit_counter, "DRC109")
+
+
+class TestDRC110CheckpointRatio:
+    def _chain(self, length):
+        """One long fanout-free NOT chain: minimal checkpoint ratio."""
+        builder = CircuitBuilder("chain")
+        signal = builder.input("a")
+        for i in range(length):
+            signal = builder.not_(signal, name=f"n{i}")
+        builder.output(signal)
+        return builder.build()
+
+    def test_low_ratio_flagged(self):
+        config = LintConfig(min_checkpoint_ratio=0.2)
+        hits = findings(self._chain(20), "DRC110", config)
+        assert len(hits) == 1
+        assert "below" in hits[0].message
+
+    def test_high_ratio_flagged(self, two_bit_counter):
+        # Every line in the counter is a PI/DFF/stem or near it.
+        config = LintConfig(max_checkpoint_ratio=0.1)
+        hits = findings(two_bit_counter, "DRC110", config)
+        assert len(hits) == 1
+        assert "above" in hits[0].message
+
+    def test_suite_band_default_is_silent(
+        self, dk16_rugged, s820_rugged
+    ):
+        assert not findings(dk16_rugged.circuit, "DRC110")
+        assert not findings(s820_rugged.circuit, "DRC110")

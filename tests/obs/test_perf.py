@@ -90,11 +90,17 @@ class TestDirectionPolicy:
         assert classify_delta("retimed/atpg.backtracks", -5) == "improvement"
 
     def test_quality_down_is_regression(self):
-        assert classify_delta("x/atpg.faults_detected", -1) == "regression"
-        assert classify_delta("x/atpg.faults_detected", +1) == "improvement"
+        assert classify_delta("x/cover.faults_detected", -1) == "regression"
+        assert classify_delta("x/cover.faults_detected", +1) == "improvement"
+
+    def test_expansion_effort_up_is_regression(self):
+        assert classify_delta("x/sim.expansion_events", +1) == "regression"
 
     def test_undeclared_metric_is_drift(self):
         assert classify_delta("x/atpg.test_vectors", +3) == "drift"
+        # Engine-level detects deliberately carry no direction: a
+        # better static collapse shrinks the engine's target list.
+        assert classify_delta("x/atpg.faults_detected", -1) == "drift"
 
 
 class TestDiff:
