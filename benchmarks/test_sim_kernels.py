@@ -1,0 +1,50 @@
+"""Microbenchmarks: interpreted vs compiled word-op simulation kernels.
+
+Unlike the bench_* table regenerations these are true microbenchmarks —
+the same fault-simulation workload is timed on both simulation backends
+for a few Table-2 circuits, so the kernel speedup is visible in
+isolation from engine search.  Results persist into
+``benchmarks/baselines/pytest-bench.json`` (advisory, never gates).
+"""
+
+import pytest
+
+from repro._util import make_rng
+from repro.fault import FaultSimulator
+from repro.harness.suite import synthesize_named
+
+# A small spread of Table-2 circuits: the smallest, a mid-size FSM and
+# one of the larger s-series synthesis results.
+CIRCUITS = ("dk16.ji.sd", "s510.jc.sr", "s820.jc.sr")
+BACKENDS = ("interpreted", "compiled")
+
+
+def _workload(circuit, seed=29, num_sequences=8, length=24):
+    rng = make_rng(seed)
+    return [
+        [
+            [rng.randrange(2) for _ in circuit.inputs]
+            for _ in range(length)
+        ]
+        for _ in range(num_sequences)
+    ]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_fault_sim_kernels(benchmark, name, backend):
+    circuit = synthesize_named(name).circuit
+    sequences = _workload(circuit)
+    simulator = FaultSimulator(circuit, backend=backend)
+    simulator.run(sequences)  # warm the program/kernel caches
+
+    report = benchmark.pedantic(
+        simulator.run, args=(sequences,), rounds=3, iterations=1
+    )
+    # Backends must agree on the science; the oracle test pins this
+    # exhaustively, the bench just refuses to time a wrong kernel.
+    reference = FaultSimulator(circuit, backend="interpreted").run(
+        sequences
+    )
+    assert report.detected == reference.detected
+    assert report.undetected == reference.undetected

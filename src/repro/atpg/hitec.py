@@ -309,6 +309,7 @@ class HitecEngine:
         rng_seed: int = 17,
         obs: Optional[Observability] = None,
         fill_seed: Optional[int] = None,
+        sim_backend: str = "compiled",
     ):
         if fill_seed is not None:
             warnings.warn(
@@ -346,7 +347,9 @@ class HitecEngine:
             IllegalStateCache(metrics=registry, **labels) if learning else None
         )
         self._rng = make_rng(rng_seed)
-        self._simulator = FaultSimulator(circuit, metrics=registry)
+        self._simulator = FaultSimulator(
+            circuit, metrics=registry, backend=sim_backend
+        )
         self._good_sim = TernarySimulator(circuit)
         self._num_pis = len(circuit.inputs)
         # One valid/invalid oracle per engine instance: the reachable

@@ -35,6 +35,8 @@ class RtgOptions:
     # Probability that an input holds last cycle's value instead of
     # re-rolling (temporal correlation).
     hold_probability: float = 0.0
+    # Fault-sim substrate ("compiled" | "interpreted"; ablation knob).
+    sim_backend: str = "compiled"
 
 
 @dataclasses.dataclass
@@ -77,7 +79,9 @@ class RandomTestGenerator:
         self.options = options or RtgOptions()
         if not 0.0 <= self.options.hold_probability < 1.0:
             raise AtpgError("hold_probability must be in [0, 1)")
-        self._simulator = FaultSimulator(circuit, faults=faults)
+        self._simulator = FaultSimulator(
+            circuit, faults=faults, backend=self.options.sim_backend
+        )
         self._weights = self._resolve_weights()
 
     def _resolve_weights(self) -> List[float]:

@@ -58,6 +58,7 @@ class SimBasedOptions:
     mutation_rate: float = 0.08  # per-bit flip probability
     stall_rounds: int = 6  # rounds without improvement before stopping
     elite_pool: int = 8  # best sequences kept for mutation
+    sim_backend: str = "compiled"  # fault-sim substrate (ablation knob)
 
 
 class SimBasedEngine:
@@ -99,7 +100,9 @@ class SimBasedEngine:
         )
         self._ctr_aborted = registry.counter("atpg.faults_aborted", **labels)
         self._rng = make_rng(rng_seed)
-        self._simulator = FaultSimulator(circuit, metrics=registry)
+        self._simulator = FaultSimulator(
+            circuit, metrics=registry, backend=self.options.sim_backend
+        )
         self._num_pis = len(circuit.inputs)
         # Shared valid/invalid oracle (memoized across runs); a fresh
         # per-run observer streams every newly traversed state through

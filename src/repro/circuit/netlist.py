@@ -80,6 +80,7 @@ class Circuit:
         self._inputs: List[str] = []
         self._outputs: List[str] = []
         self._fanout_cache: Optional[Dict[str, Tuple[str, ...]]] = None
+        self._structure_version = 0
 
     # -- introspection ----------------------------------------------------
 
@@ -150,8 +151,20 @@ class Circuit:
     def is_output(self, name: str) -> bool:
         return name in self._outputs
 
+    @property
+    def structure_version(self) -> int:
+        """Monotone counter bumped on every structural mutation.
+
+        Compiled simulation artifacts (see :mod:`repro.sim.compile`)
+        key their caches on ``(circuit object, structure_version)`` so
+        a netlist mutated after compilation recompiles transparently
+        instead of aliasing a stale evaluation plan.
+        """
+        return getattr(self, "_structure_version", 0)
+
     def _dirty(self) -> None:
         self._fanout_cache = None
+        self._structure_version = self.structure_version + 1
 
     # -- construction -----------------------------------------------------
 

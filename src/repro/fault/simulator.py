@@ -8,6 +8,15 @@ Each sequence starts from the circuit's reset state (every test the ATPG
 engines emit is a from-reset sequence, per the paper's explicit-reset /
 power-up-reset setup).
 
+Fault batches are scheduled PROOFS-style: surviving faults are regrouped
+between sequences (drop-on-detect compaction), so later passes run fewer,
+fuller words.  Each group's stuck-at overrides are resolved once into a
+bound stepper (:meth:`~repro.sim.parallel.ParallelSimulator.bind_overrides`)
+— flat keep/force arrays driving a pre-compiled masked word-op kernel —
+so the per-vector path does no dict probing and no recompilation.  ``regroup=False`` freezes the
+initial grouping for ablation; both schedules produce byte-identical
+reports and counters (pinned by ``tests/fault/test_batching.py``).
+
 Besides coverage, the simulator records the set of fully-specified
 machine states the *good* machine traverses, which is exactly the
 "#states trav by orig test set" instrumentation of the paper's Table 8.
@@ -28,6 +37,8 @@ from .collapse import collapse_faults
 from .model import Fault
 
 TestSequence = Sequence[Sequence[int]]  # vectors, each of width #PI
+
+MAX_GROUP_WIDTH = WORD_BITS - 1  # bit 0 is reserved for the good machine
 
 
 @dataclasses.dataclass
@@ -58,6 +69,15 @@ class FaultSimulator:
     ``sim.events`` counts machine-steps (one simulated machine through
     one vector), ``sim.faults_dropped`` counts per-pass fault drops,
     ``sim.sequences`` counts sequences simulated.
+
+    ``group_width`` caps the number of faulty machines packed per word
+    (1..63; 63 fills the word).  ``regroup=True`` re-chunks the
+    surviving fault list before every sequence so drop-on-detect
+    compacts later passes into fewer, fuller words; ``regroup=False``
+    freezes the initial grouping and merely skips dead machines.  Both
+    knobs are pure scheduling — reports and deterministic counters are
+    invariant.  ``backend`` is forwarded to the underlying
+    :class:`~repro.sim.parallel.ParallelSimulator`.
     """
 
     def __init__(
@@ -65,15 +85,27 @@ class FaultSimulator:
         circuit: Circuit,
         faults: Optional[Sequence[Fault]] = None,
         metrics: Optional[MetricsRegistry] = None,
+        group_width: int = MAX_GROUP_WIDTH,
+        regroup: bool = True,
+        backend: str = "compiled",
     ):
         if any(dff.init == X for dff in circuit.dffs()):
             raise FaultError(
                 f"circuit {circuit.name!r} has DFFs with unknown initial "
                 "values; two-valued fault simulation needs a reset state"
             )
+        if not 1 <= group_width <= MAX_GROUP_WIDTH:
+            raise FaultError(
+                f"group_width must be in 1..{MAX_GROUP_WIDTH}, got "
+                f"{group_width}"
+            )
         self.circuit = circuit
+        self.group_width = group_width
+        self.regroup = regroup
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self._parallel = ParallelSimulator(circuit, metrics=self.metrics)
+        self._parallel = ParallelSimulator(
+            circuit, metrics=self.metrics, backend=backend
+        )
         self.events_counter = self.metrics.counter(
             "sim.events", circuit=circuit.name
         )
@@ -111,13 +143,18 @@ class FaultSimulator:
         again.
         """
         remaining = list(self.faults if faults is None else faults)
+        static_groups: Optional[List[List[Fault]]] = None
+        if not self.regroup:
+            static_groups = list(chunked(remaining, self.group_width)) or [[]]
         detected: Dict[Fault, int] = {}
         states: Set[Tuple[int, ...]] = set()
         vectors = 0
         for index, sequence in enumerate(sequences):
             vectors += len(sequence)
             self.sequences_counter.inc()
-            caught = self._simulate_sequence(sequence, remaining, states)
+            caught = self._simulate_sequence(
+                sequence, remaining, states, static_groups
+            )
             # Insert in fault-list order, not set order: callers feed
             # report.detected back into the simulator (e.g. trimming), so
             # hash-dependent ordering would leak into batch composition.
@@ -180,7 +217,7 @@ class FaultSimulator:
 
     def detects(self, sequence: TestSequence, fault: Fault) -> bool:
         """Serial convenience: does this one sequence detect this fault?"""
-        caught = self._simulate_sequence(sequence, [fault], set())
+        caught = self._simulate_sequence(sequence, [fault], None)
         return fault in caught
 
     def good_trace_states(
@@ -198,20 +235,60 @@ class FaultSimulator:
         self,
         sequence: TestSequence,
         faults: Sequence[Fault],
-        states_out: Set[Tuple[int, ...]],
+        states_out: Optional[Set[Tuple[int, ...]]],
+        static_groups: Optional[List[List[Fault]]] = None,
     ) -> Set[Fault]:
-        """Simulate one sequence against ``faults``; returns those caught."""
+        """Simulate one sequence against ``faults``; returns those caught.
+
+        ``states_out`` is an accumulator for good-machine states, or
+        ``None`` for a state-free run (e.g. :meth:`detects`).  With
+        ``static_groups`` the frozen grouping is reused, dead machines
+        filtered out; otherwise survivors are re-chunked fresh.
+        """
+        # Validate and pack each vector once per sequence (full-width
+        # words; the stepper masks on load), not once per fault group.
+        full = (1 << WORD_BITS) - 1
+        packed: List[List[int]] = []
+        for vector in sequence:
+            pi_words = []
+            for bit in vector:
+                if bit not in (ZERO, ONE):
+                    raise FaultError(
+                        "test vectors must be fully specified 0/1 values"
+                    )
+                pi_words.append(full if bit == ONE else 0)
+            packed.append(pi_words)
         caught: Set[Fault] = set()
-        groups = list(chunked(list(faults), WORD_BITS - 1)) or [[]]
+        groups = self._schedule(faults, static_groups)
         for group in groups:
-            caught |= self._simulate_group(sequence, list(group), states_out)
+            caught |= self._simulate_group(packed, list(group), states_out)
         return caught
+
+    def _schedule(
+        self,
+        faults: Sequence[Fault],
+        static_groups: Optional[List[List[Fault]]],
+    ) -> List[List[Fault]]:
+        """Partition surviving ``faults`` into word-sized batches.
+
+        Either path degenerates to one empty group when nothing survives
+        — the good machine still runs (state recording, event
+        accounting stay identical whether or not faults ride along).
+        """
+        if static_groups is None:
+            return list(chunked(list(faults), self.group_width)) or [[]]
+        alive = set(faults)
+        groups = [
+            [fault for fault in group if fault in alive]
+            for group in static_groups
+        ]
+        return [group for group in groups if group] or [[]]
 
     def _simulate_group(
         self,
-        sequence: TestSequence,
+        packed: List[List[int]],
         group: List[Fault],
-        states_out: Set[Tuple[int, ...]],
+        states_out: Optional[Set[Tuple[int, ...]]],
     ) -> Set[Fault]:
         sim = self._parallel
         num_machines = len(group) + 1  # bit 0 = good machine
@@ -225,36 +302,17 @@ class FaultSimulator:
             if fault.stuck_at == ONE:
                 forced |= 1 << position
             overrides[node_index] = (affected, forced)
+        stepper = sim.bind_overrides(overrides, mask)
 
         state_words = [
             mask if bit == ONE else 0 for bit in self._initial_state
         ]
-        detected_mask = 0
-        events = 0
-        record_states = states_out is not None
-        if record_states:
+        if states_out is not None:
             states_out.add(self._good_state(state_words))
-        for vector in sequence:
-            events += num_machines
-            pi_words = []
-            for bit in vector:
-                if bit not in (ZERO, ONE):
-                    raise FaultError(
-                        "test vectors must be fully specified 0/1 values"
-                    )
-                pi_words.append(mask if bit == ONE else 0)
-            po_words, state_words = sim.step(
-                pi_words, state_words, mask, overrides
-            )
-            if record_states:
-                states_out.add(self._good_state(state_words))
-            for word in po_words:
-                good = word & 1
-                reference = mask if good else 0
-                detected_mask |= (word ^ reference) & mask
-            if detected_mask == mask & ~1:
-                break  # every fault in the group already caught
-        self.events_counter.inc(events)
+        detected_mask, steps = stepper.run_detect(
+            packed, state_words, states_out
+        )
+        self.events_counter.inc(num_machines * steps)
         caught: Set[Fault] = set()
         for position, fault in enumerate(group, start=1):
             if (detected_mask >> position) & 1:

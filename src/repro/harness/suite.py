@@ -167,11 +167,13 @@ def build_pairs(names: Tuple[str, ...]) -> List[CircuitPair]:
 def clear_caches() -> None:
     """Drop all cached synthesis/retiming results (tests use this)."""
     from ..fault.analysis import clear_analysis_cache
+    from ..sim.compile import clear_program_cache
 
     _synthesis_cache.clear()
     _pair_cache.clear()
-    # Fault analyses are keyed weakly by circuit object, so clearing the
-    # synthesis caches would orphan them anyway; drop them eagerly so a
-    # rebuilt circuit never aliases a stale analysis through an
-    # interned object.
+    # Fault analyses and compiled simulation programs are keyed weakly
+    # by circuit object, so clearing the synthesis caches would orphan
+    # them anyway; drop them eagerly so a rebuilt circuit never aliases
+    # stale derived state through an interned object.
     clear_analysis_cache()
+    clear_program_cache()

@@ -202,6 +202,40 @@ class BddManager:
         cache[f] = result
         return result
 
+    def cofactor_is_true(self, f: int, by_level: Dict[int, int]) -> bool:
+        """Decide ``restrict(f, assignment) == TRUE`` without building
+        the cofactored BDD.
+
+        The hot-path form of the containment query (level-keyed partial
+        assignment, see :meth:`level_of`): a pure traversal that
+        allocates no result nodes and exits on the first falsified
+        path.  Exactly equivalent to materializing the cofactor and
+        comparing against TRUE.
+        """
+        return self._cofactor_is_true(by_level, f, {})
+
+    def _cofactor_is_true(
+        self, by_level: Dict[int, int], f: int, cache: Dict[int, bool]
+    ) -> bool:
+        if f == self.TRUE:
+            return True
+        if f == self.FALSE:
+            return False
+        cached = cache.get(f)
+        if cached is not None:
+            return cached
+        level = self._level[f]
+        bit = by_level.get(level)
+        if bit is not None:
+            branch = self._high[f] if bit else self._low[f]
+            result = self._cofactor_is_true(by_level, branch, cache)
+        else:
+            result = self._cofactor_is_true(
+                by_level, self._low[f], cache
+            ) and self._cofactor_is_true(by_level, self._high[f], cache)
+        cache[f] = result
+        return result
+
     # -- evaluation & counting --------------------------------------------------------
 
     def evaluate(self, f: int, assignment: Dict[str, int]) -> int:

@@ -80,9 +80,11 @@ class _Oracle:
         self._manager = BddManager([f"x{p}" for p in order])
         self._vars = {}
         self._nvars = {}
+        self._levels = {}
         for position in order:
             self._vars[position] = self._manager.var(f"x{position}")
             self._nvars[position] = self._manager.nvar(f"x{position}")
+            self._levels[position] = self._manager.level_of(f"x{position}")
         # Positions from deepest BDD level to shallowest, so cube
         # conjunctions build bottom-up (linear work).
         self._build_order = list(reversed(order))
@@ -90,12 +92,15 @@ class _Oracle:
     def cube_bdd(self, cube: Cube) -> int:
         m = self._manager
         acc = m.TRUE
+        cube_mask = cube.mask
+        cube_value = cube.value
         for position in self._build_order:
-            polarity = cube.literal(position)
-            if polarity is None:
+            if not (cube_mask >> position) & 1:
                 continue
             literal = (
-                self._vars[position] if polarity else self._nvars[position]
+                self._vars[position]
+                if (cube_value >> position) & 1
+                else self._nvars[position]
             )
             acc = m.and_(literal, acc)
         return acc
@@ -111,13 +116,16 @@ class _Oracle:
         return self._manager.or_(f, g)
 
     def cube_inside(self, cube: Cube, space_bdd: int) -> bool:
-        assignment = {}
-        for position in range(self.width):
-            polarity = cube.literal(position)
-            if polarity is not None:
-                assignment[f"x{position}"] = polarity
-        m = self._manager
-        return m.restrict(space_bdd, assignment) == m.TRUE
+        by_level = {}
+        levels = self._levels
+        cube_value = cube.value
+        remaining = cube.mask
+        while remaining:
+            low_bit = remaining & -remaining
+            remaining ^= low_bit
+            position = low_bit.bit_length() - 1
+            by_level[levels[position]] = (cube_value >> position) & 1
+        return self._manager.cofactor_is_true(space_bdd, by_level)
 
 
 def minimize(

@@ -40,6 +40,12 @@ HIGHER_IS_WORSE = frozenset(
         "atpg.cpu_seconds",
         "atpg.faults_aborted",
         "sim.events",
+        # Word-level effort of the parallel simulator: more evaluate
+        # calls or more words loaded per run = more simulation work for
+        # the same science.
+        "sim.pattern_batches",
+        "sim.words_packed",
+        "sim.sequences",
         # Expansion bookkeeping (post-simulating collapsed-away faults)
         # is cheap but real work; growth means the analyzer is dropping
         # more than the engine covers.

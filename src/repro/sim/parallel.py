@@ -6,21 +6,31 @@ simulator packs one pattern per bit of a Python integer, evaluating each
 gate once per word with bitwise operations — the classical
 "parallel-pattern single-fault propagation" substrate.
 
+Evaluation runs on the word-op kernels of :mod:`repro.sim.compile`: the
+netlist is compiled once into a flat plan and ``exec``-generated Python
+kernels (no per-gate dispatch, no dict lookups in the hot loop).  The
+``backend="interpreted"`` switch selects the retained reference
+interpreter over the same plan — the slow twin the differential oracle
+pins byte-identical to the kernels.
+
 Values must be fully specified (0/1).  For unknown-value reasoning use
-:class:`repro.sim.logicsim.TernarySimulator`.
+:class:`repro.sim.logicsim.TernarySimulator` (or the two-bit dual-rail
+:class:`repro.sim.compile.TernaryWordProgram`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..circuit.gates import ONE, ZERO, eval_gate2
-from ..circuit.graph import topological_order
-from ..circuit.netlist import Circuit, NodeKind
+from ..circuit.gates import ONE, ZERO
+from ..circuit.netlist import Circuit
 from ..errors import SimulationError
 from ..obs import MetricsRegistry
+from .compile import CompiledProgram, compiled_program_cached
 
 WORD_BITS = 64
+
+BACKENDS = ("compiled", "interpreted")
 
 
 def pack_patterns(patterns: Sequence[Sequence[int]], position: int) -> int:
@@ -55,6 +65,155 @@ def unpack_word(word: int, count: int) -> List[int]:
     return [(word >> i) & 1 for i in range(count)]
 
 
+class BoundStepper:
+    """One override map bound to one simulator at a fixed mask.
+
+    Built once per fault batch (:meth:`ParallelSimulator.bind_overrides`),
+    then stepped per vector: the override split (source vs gate slots),
+    the kernel choice and the flat keep/force arrays are all resolved
+    here, so the per-step path does no dict probing at all.
+    """
+
+    __slots__ = (
+        "_sim",
+        "_program",
+        "_mask",
+        "_source_ops",
+        "_run_kernel",
+        "_gate_overrides",
+        "_scratch",
+    )
+
+    def __init__(
+        self,
+        sim: "ParallelSimulator",
+        overrides: Optional[Dict[int, Tuple[int, int]]],
+        mask: int,
+    ):
+        self._sim = sim
+        program = sim.program
+        self._program = program
+        self._mask = mask
+        source_ops: List[Tuple[int, int, int]] = []
+        gate_overrides: Dict[int, Tuple[int, int]] = {}
+        for slot, (affected, forced) in (overrides or {}).items():
+            if slot in program.source_slots:
+                source_ops.append(
+                    (slot, ~affected, forced & affected & mask)
+                )
+            else:
+                gate_overrides[slot] = (affected, forced)
+        self._source_ops = source_ops
+        self._gate_overrides = gate_overrides or None
+        if sim.backend == "interpreted":
+            overrides_ref = self._gate_overrides
+
+            def run_kernel(values):
+                program.interpret(values, mask, overrides_ref)
+
+        elif gate_overrides:
+            # The batch's override program: flat keep/force arrays for
+            # the masked kernel, computed once per bind.
+            keep, force = program.override_arrays(gate_overrides, mask)
+            masked_kernel = program.masked_kernel
+
+            def run_kernel(values):
+                masked_kernel(values, mask, keep, force)
+
+        else:
+            clean_kernel = program.kernel
+
+            def run_kernel(values):
+                clean_kernel(values, mask)
+
+        self._run_kernel = run_kernel
+        # All slots are rewritten on every step (sources reloaded, every
+        # gate slot assigned by the plan), so one scratch array serves
+        # the stepper's whole lifetime.
+        self._scratch = [0] * program.num_slots
+
+    def step(
+        self, pi_words: Sequence[int], state_words: Sequence[int]
+    ) -> Tuple[List[int], List[int]]:
+        """Apply one packed vector: returns ``(po_words, next_state)``.
+
+        Interior kernel values are unmasked (sign-extended words above
+        the pattern mask), so extraction masks on read — returned words
+        are always canonical.
+        """
+        sim = self._sim
+        sim._batches.inc()
+        sim._words.inc(len(pi_words) + len(state_words))
+        program = self._program
+        mask = self._mask
+        values = self._scratch
+        for slot, word in zip(program.input_slots, pi_words):
+            values[slot] = word & mask
+        for slot, word in zip(program.dff_out_slots, state_words):
+            values[slot] = word & mask
+        for slot, keep, force in self._source_ops:
+            values[slot] = values[slot] & keep | force
+        self._run_kernel(values)
+        po_words = [values[slot] & mask for slot in program.output_slots]
+        next_state = [values[slot] & mask for slot in program.dff_d_slots]
+        return po_words, next_state
+
+    def run_detect(
+        self,
+        packed: Sequence[Sequence[int]],
+        state_words: Sequence[int],
+        states_out=None,
+    ) -> Tuple[int, int]:
+        """Run one prepacked sequence, accumulating fault detection.
+
+        The fault simulator's group loop, fused: bit 0 carries the
+        reference (good) machine and a fault is detected when its bit
+        differs from bit 0 at any PO in any cycle.  Returns
+        ``(detected_mask, steps)`` where ``steps`` counts vectors
+        actually applied — the loop exits early once every faulty lane
+        has diverged.  ``states_out`` (a set or ``None``) collects the
+        good machine's state after each step.  Counter totals are
+        identical to stepping vector-by-vector; the fused loop only
+        avoids per-step list building and counter calls.
+        """
+        program = self._program
+        mask = self._mask
+        target = mask & ~1
+        input_slots = program.input_slots
+        dff_out_slots = program.dff_out_slots
+        output_slots = program.output_slots
+        dff_d_slots = program.dff_d_slots
+        source_ops = self._source_ops
+        run_kernel = self._run_kernel
+        values = self._scratch
+        state = state_words
+        detected = 0
+        steps = 0
+        for pi_words in packed:
+            steps += 1
+            for slot, word in zip(input_slots, pi_words):
+                values[slot] = word & mask
+            for slot, word in zip(dff_out_slots, state):
+                values[slot] = word & mask
+            for slot, keep, force in source_ops:
+                values[slot] = values[slot] & keep | force
+            run_kernel(values)
+            # Next-state words stay unmasked; the source load above
+            # masks them on the way back in.
+            state = [values[slot] for slot in dff_d_slots]
+            if states_out is not None:
+                states_out.add(tuple(word & 1 for word in state))
+            for slot in output_slots:
+                word = values[slot]
+                detected |= (word ^ -(word & 1)) & mask
+            if detected == target:
+                break  # every fault in the group already caught
+        sim = self._sim
+        sim._batches.inc(steps)
+        sim._words.inc(steps * (len(input_slots) + len(dff_out_slots)))
+        return detected, steps
+
+
 class ParallelSimulator:
     """Compiled word-parallel two-valued simulator for one circuit.
 
@@ -62,13 +221,27 @@ class ParallelSimulator:
     ``sim.pattern_batches`` / ``sim.words_packed`` effort counters; a
     private registry is created when none is shared, so counting is
     unconditional and the hot path stays branch-free.
+
+    ``backend`` selects ``"compiled"`` (generated word-op kernels, the
+    default) or ``"interpreted"`` (the reference plan interpreter).
+    Both produce byte-identical words and counters; the interpreter
+    exists for differential testing and ablation.
     """
 
     def __init__(
-        self, circuit: Circuit, metrics: Optional[MetricsRegistry] = None
+        self,
+        circuit: Circuit,
+        metrics: Optional[MetricsRegistry] = None,
+        backend: str = "compiled",
     ):
-        circuit.check()
+        if backend not in BACKENDS:
+            raise SimulationError(
+                f"unknown simulation backend {backend!r}; expected one "
+                f"of {BACKENDS}"
+            )
         self.circuit = circuit
+        self.backend = backend
+        self.program: CompiledProgram = compiled_program_cached(circuit)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._batches = self.metrics.counter(
             "sim.pattern_batches", circuit=circuit.name
@@ -76,36 +249,39 @@ class ParallelSimulator:
         self._words = self.metrics.counter(
             "sim.words_packed", circuit=circuit.name
         )
-        self._order = topological_order(circuit)
-        self._index: Dict[str, int] = {n: i for i, n in enumerate(self._order)}
-        self._inputs = [self._index[n] for n in circuit.inputs]
-        self._outputs = [self._index[n] for n in circuit.outputs]
-        self._dff_names = circuit.dff_names()
-        self._dff_out = [self._index[n] for n in self._dff_names]
-        self._dff_d = [
-            self._index[circuit.node(n).fanin[0]] for n in self._dff_names
-        ]
-        self._plan: List[Tuple[int, object, List[int]]] = []
-        for name in self._order:
-            node = circuit.node(name)
-            if node.kind is NodeKind.GATE:
-                self._plan.append(
-                    (
-                        self._index[name],
-                        node.gate,
-                        [self._index[f] for f in node.fanin],
-                    )
-                )
+        # Legacy aliases (pre-compile layout); external code and tests
+        # navigate slots through node_index(), these stay for direct
+        # pokes at the value array.
+        self._order = list(self.program.order)
+        self._index = self.program.index
+        self._inputs = list(self.program.input_slots)
+        self._outputs = list(self.program.output_slots)
+        self._dff_out = list(self.program.dff_out_slots)
+        self._dff_d = list(self.program.dff_d_slots)
 
     @property
     def num_dffs(self) -> int:
-        return len(self._dff_out)
+        return len(self.program.dff_out_slots)
 
     def node_index(self, name: str) -> int:
         try:
-            return self._index[name]
+            return self.program.index[name]
         except KeyError:
             raise SimulationError(f"no node named {name!r}") from None
+
+    def bind_overrides(
+        self,
+        overrides: Optional[Dict[int, Tuple[int, int]]],
+        mask: int,
+    ) -> BoundStepper:
+        """Precompile one override map into a reusable stepper.
+
+        ``overrides`` maps node slot -> ``(affected_bits, forced_word)``
+        exactly as :meth:`evaluate` documents; the returned stepper
+        applies them with baked constants instead of per-step dict
+        probes.
+        """
+        return BoundStepper(self, overrides, mask)
 
     def evaluate(
         self,
@@ -123,43 +299,50 @@ class ParallelSimulator:
         up to 64 machines per word, each with its own stuck-at fault: a
         stuck-at-1 on node n affecting machine ``i`` is
         ``overrides[n] = (1 << i, 1 << i)``.
+
+        The returned array is the raw kernel value store: gate slots may
+        carry sign-extended words whose bits above ``mask`` are garbage
+        (interior values are unmasked — identically so on both
+        backends).  Bits within ``mask`` are always exact; ``& mask``
+        before interpreting a gate slot's word.
         """
-        if len(pi_words) != len(self._inputs):
+        program = self.program
+        if len(pi_words) != len(program.input_slots):
             raise SimulationError(
-                f"expected {len(self._inputs)} PI words, got {len(pi_words)}"
+                f"expected {len(program.input_slots)} PI words, got "
+                f"{len(pi_words)}"
             )
-        if len(state_words) != len(self._dff_out):
+        if len(state_words) != len(program.dff_out_slots):
             raise SimulationError(
-                f"expected {len(self._dff_out)} state words, got "
+                f"expected {len(program.dff_out_slots)} state words, got "
                 f"{len(state_words)}"
             )
         self._batches.inc()
         self._words.inc(len(pi_words) + len(state_words))
-        values = [0] * len(self._order)
-        for idx, word in zip(self._inputs, pi_words):
-            values[idx] = word & mask
-        for idx, word in zip(self._dff_out, state_words):
-            values[idx] = word & mask
+        values = [0] * program.num_slots
+        for slot, word in zip(program.input_slots, pi_words):
+            values[slot] = word & mask
+        for slot, word in zip(program.dff_out_slots, state_words):
+            values[slot] = word & mask
+        gate_overrides: Optional[Dict[int, Tuple[int, int]]] = None
         if overrides:
-            for idx, (affected, forced) in overrides.items():
-                if idx in self._sources():
-                    values[idx] = (values[idx] & ~affected) | (
+            for slot, (affected, forced) in overrides.items():
+                if slot in program.source_slots:
+                    values[slot] = (values[slot] & ~affected) | (
                         forced & affected & mask
                     )
-        for out_idx, gate, fanin_idx in self._plan:
-            word = eval_gate2(gate, [values[i] for i in fanin_idx], mask)
-            if overrides and out_idx in overrides:
-                affected, forced = overrides[out_idx]
-                word = (word & ~affected) | (forced & affected & mask)
-            values[out_idx] = word
+                else:
+                    if gate_overrides is None:
+                        gate_overrides = {}
+                    gate_overrides[slot] = (affected, forced)
+        if self.backend == "interpreted":
+            program.interpret(values, mask, gate_overrides)
+        elif gate_overrides:
+            keep, force = program.override_arrays(gate_overrides, mask)
+            program.masked_kernel(values, mask, keep, force)
+        else:
+            program.kernel(values, mask)
         return values
-
-    def _sources(self) -> set:
-        sources = getattr(self, "_source_set", None)
-        if sources is None:
-            sources = set(self._inputs) | set(self._dff_out)
-            self._source_set = sources
-        return sources
 
     def step(
         self,
@@ -168,10 +351,12 @@ class ParallelSimulator:
         mask: int,
         overrides: Optional[Dict[int, Tuple[int, int]]] = None,
     ) -> Tuple[List[int], List[int]]:
-        """Apply one packed vector: returns ``(po_words, next_state_words)``."""
+        """Apply one packed vector: returns ``(po_words, next_state_words)``.
+        Extraction masks on read, so the returned words are canonical."""
         values = self.evaluate(pi_words, state_words, mask, overrides)
-        po_words = [values[i] for i in self._outputs]
-        next_state = [values[i] for i in self._dff_d]
+        program = self.program
+        po_words = [values[slot] & mask for slot in program.output_slots]
+        next_state = [values[slot] & mask for slot in program.dff_d_slots]
         return po_words, next_state
 
     def run(
@@ -190,11 +375,10 @@ class ParallelSimulator:
         state_words = [
             (mask if bit == ONE else 0) for bit in initial_state
         ]
+        stepper = self.bind_overrides(overrides, mask)
         po_trace: List[List[int]] = []
         for vector in vectors:
             pi_words = [mask if bit == ONE else 0 for bit in vector]
-            po_words, state_words = self.step(
-                pi_words, state_words, mask, overrides
-            )
+            po_words, state_words = stepper.step(pi_words, state_words)
             po_trace.append(po_words)
         return po_trace, state_words

@@ -1,0 +1,137 @@
+"""Batching invariance: fault-group width and regrouping are pure
+scheduling.
+
+Drop-on-detect compaction (regrouping survivors into fewer, fuller
+words between sequences) and the group width itself must never change
+*what* is detected — only how much word-level work it costs.  This pins
+the tentpole's fault-parallel batch scheduler as a perf-only move.
+"""
+
+import pytest
+
+from repro._util import make_rng
+from repro.errors import FaultError
+from repro.fault import FaultSimulator
+from repro.fault.analysis import LEVEL_FULL, analyze_faults
+
+from tests.helpers import random_circuit
+
+WIDTHS = (1, 7, 63)
+
+
+def _sequences(circuit, seed, num_sequences=6, length=12):
+    rng = make_rng(seed)
+    return [
+        [
+            [rng.randrange(2) for _ in circuit.inputs]
+            for _ in range(length)
+        ]
+        for _ in range(num_sequences)
+    ]
+
+
+def _report_core(report):
+    return (
+        report.detected,
+        report.undetected,
+        report.coverage_percent(),
+        report.vectors_simulated,
+        report.states_traversed,
+    )
+
+
+class TestRunInvariance:
+    @pytest.mark.parametrize("drop", [True, False])
+    def test_width_and_regroup_invariant(self, dk16_rugged, drop):
+        circuit = dk16_rugged.circuit
+        sequences = _sequences(circuit, seed=3)
+        reference = None
+        for width in WIDTHS:
+            for regroup in (True, False):
+                simulator = FaultSimulator(
+                    circuit, group_width=width, regroup=regroup
+                )
+                assert len(simulator.faults) > 63
+                core = _report_core(
+                    simulator.run(sequences, drop=drop)
+                )
+                if reference is None:
+                    reference = core
+                else:
+                    assert core == reference
+
+    def test_random_circuits_invariant(self):
+        for seed in (11, 12, 13):
+            circuit = random_circuit(seed, num_gates=18, num_dffs=3)
+            sequences = _sequences(circuit, seed=seed + 100)
+            cores = {
+                (width, regroup): _report_core(
+                    FaultSimulator(
+                        circuit, group_width=width, regroup=regroup
+                    ).run(sequences)
+                )
+                for width in WIDTHS
+                for regroup in (True, False)
+            }
+            assert len(set(map(repr, cores.values()))) == 1
+
+
+class TestRunAnalyzedInvariance:
+    def test_width_and_regroup_invariant(self, dk16_rugged):
+        circuit = dk16_rugged.circuit
+        analysis = analyze_faults(circuit, level=LEVEL_FULL)
+        sequences = _sequences(circuit, seed=5, num_sequences=4)
+        reference = None
+        for width in WIDTHS:
+            for regroup in (True, False):
+                report = FaultSimulator(
+                    circuit, group_width=width, regroup=regroup
+                ).run_analyzed(sequences, analysis)
+                core = (
+                    report.detected,
+                    report.undetected,
+                    report.coverage_percent(),
+                )
+                if reference is None:
+                    reference = core
+                else:
+                    assert core == reference
+
+
+class TestSchedulingKnobs:
+    def test_default_width_is_63(self, two_bit_counter):
+        simulator = FaultSimulator(two_bit_counter)
+        assert simulator.group_width == 63
+        assert simulator.regroup is True
+
+    @pytest.mark.parametrize("width", [0, -1, 64, 1000])
+    def test_bad_width_rejected(self, two_bit_counter, width):
+        with pytest.raises(FaultError, match="group_width"):
+            FaultSimulator(two_bit_counter, group_width=width)
+
+    def test_narrow_width_costs_more_events(self, dk16_rugged):
+        """Width 1 runs one fault per word — strictly more machine-steps
+        than full words for the same science."""
+        circuit = dk16_rugged.circuit
+        sequences = _sequences(circuit, seed=7, num_sequences=2)
+        events = {}
+        for width in (1, 63):
+            simulator = FaultSimulator(circuit, group_width=width)
+            simulator.run(sequences)
+            events[width] = simulator.events_counter.snapshot()
+        assert events[1] > events[63]
+
+    def test_regroup_compacts_words(self, dk16_rugged):
+        """With drop-on-detect, regrouping survivors must need at most
+        as many evaluate calls (pattern batches) as the frozen static
+        grouping."""
+        circuit = dk16_rugged.circuit
+        sequences = _sequences(circuit, seed=9, num_sequences=6)
+        batches = {}
+        for regroup in (True, False):
+            simulator = FaultSimulator(circuit, regroup=regroup)
+            simulator.run(sequences)
+            batches[regroup] = simulator.metrics.counter(
+                "sim.pattern_batches", circuit=circuit.name
+            ).snapshot()
+        assert batches[True] <= batches[False]

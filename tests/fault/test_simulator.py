@@ -97,6 +97,35 @@ class TestRunSemantics:
         with pytest.raises(FaultError):
             FaultSimulator(builder.build())
 
+    def test_state_free_simulation_accepts_none(self, two_bit_counter):
+        """``states_out=None`` runs state-free: same verdicts, no
+        accumulator (the contract :meth:`detects` relies on)."""
+        simulator = FaultSimulator(two_bit_counter)
+        sequence = [[1]] * 6
+        recorded = set()
+        with_states = simulator._simulate_sequence(
+            sequence, list(simulator.faults), recorded
+        )
+        without_states = simulator._simulate_sequence(
+            sequence, list(simulator.faults), None
+        )
+        assert with_states == without_states
+        assert recorded  # the recording path still records
+
+    def test_detects_runs_state_free(self, two_bit_counter, monkeypatch):
+        simulator = FaultSimulator(two_bit_counter)
+        fault = simulator.faults[0]
+        seen = []
+        original = simulator._simulate_group
+
+        def spy(sequence, group, states_out):
+            seen.append(states_out)
+            return original(sequence, group, states_out)
+
+        monkeypatch.setattr(simulator, "_simulate_group", spy)
+        simulator.detects([[1]] * 4, fault)
+        assert seen and all(states is None for states in seen)
+
     def test_more_than_63_faults_grouped(self, dk16_rugged):
         circuit = dk16_rugged.circuit
         simulator = FaultSimulator(circuit)

@@ -62,13 +62,16 @@ class TestPacking:
 
 
 class TestAgainstTernary:
-    @given(st.integers(min_value=0, max_value=300))
+    @given(
+        st.integers(min_value=0, max_value=300),
+        st.sampled_from(["compiled", "interpreted"]),
+    )
     @settings(max_examples=30, deadline=None)
-    def test_random_circuits_agree(self, seed):
+    def test_random_circuits_agree(self, seed, backend):
         from tests.helpers import random_circuit
 
         circuit = random_circuit(seed)
-        parallel = ParallelSimulator(circuit)
+        parallel = ParallelSimulator(circuit, backend=backend)
         ternary = TernarySimulator(circuit)
         rng = make_rng(seed + 7)
         num_patterns = 10
@@ -93,8 +96,9 @@ class TestAgainstTernary:
 
 
 class TestOverrides:
-    def test_stuck_at_injection(self, two_bit_counter):
-        parallel = ParallelSimulator(two_bit_counter)
+    @pytest.mark.parametrize("backend", ["compiled", "interpreted"])
+    def test_stuck_at_injection(self, two_bit_counter, backend):
+        parallel = ParallelSimulator(two_bit_counter, backend=backend)
         mask = 0b11  # lane 0 = good, lane 1 = faulty
         d0_index = parallel.node_index("d0")
         overrides = {d0_index: (0b10, 0)}  # d0 stuck-at-0 in lane 1
@@ -104,8 +108,9 @@ class TestOverrides:
         last_q0 = po_trace[-1][0]
         assert last_q0 & 1 != (last_q0 >> 1) & 1
 
-    def test_override_on_state_source(self, toggle_circuit):
-        parallel = ParallelSimulator(toggle_circuit)
+    @pytest.mark.parametrize("backend", ["compiled", "interpreted"])
+    def test_override_on_state_source(self, toggle_circuit, backend):
+        parallel = ParallelSimulator(toggle_circuit, backend=backend)
         q_index = parallel.node_index("q")
         mask = 0b11
         overrides = {q_index: (0b10, 0b10)}  # q stuck-at-1 in lane 1
