@@ -26,11 +26,9 @@ from .result import (
     AtpgResult,
     Checkpoint,
     EffortBudget,
-    LEGACY_COUNTER_KEYS,
     Stopwatch,
     TestSet,
     WorkClock,
-    normalize_counters,
 )
 from .hitec import HitecEngine, Justifier, run_hitec
 from .sest import SestEngine, run_sest
@@ -77,7 +75,6 @@ __all__ = [
     "ENGINES",
     "EngineSpec",
     "FaultPodem",
-    "LEGACY_COUNTER_KEYS",
     "HitecEngine",
     "IllegalStateCache",
     "Justifier",
@@ -105,7 +102,6 @@ __all__ = [
     "cube_key",
     "engine_names",
     "get_engine",
-    "normalize_counters",
     "run_hitec",
     "run_sest",
     "run_simbased",

@@ -47,7 +47,6 @@ simulation.  Construct with ``learning=True`` for the SEST-style engine
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..circuit.gates import ONE, X, ZERO
@@ -308,16 +307,8 @@ class HitecEngine:
         learning: bool = False,
         rng_seed: int = 17,
         obs: Optional[Observability] = None,
-        fill_seed: Optional[int] = None,
         sim_backend: str = "compiled",
     ):
-        if fill_seed is not None:
-            warnings.warn(
-                "HitecEngine(fill_seed=...) is deprecated; use rng_seed=",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            rng_seed = fill_seed
         circuit.check()
         if any(dff.init == X for dff in circuit.dffs()):
             raise AtpgError(

@@ -171,9 +171,8 @@ class AtpgResult:
     def counters(self) -> Dict[str, float]:
         """Flat JSON-able effort/outcome counters for the run ledger.
 
-        Keys follow the obs dotted naming convention (see DESIGN.md);
-        :func:`normalize_counters` upgrades the flat legacy spelling
-        found in pre-v2 ledgers.
+        Keys follow the obs dotted naming convention (see DESIGN.md
+        "Metric naming"); ledger rows store them verbatim.
         """
         summary = self.summary()
         counters: Dict[str, float] = {
@@ -210,42 +209,6 @@ class AtpgResult:
             f"{self.cpu_seconds:.1f}s, {len(self.test_set)} sequences, "
             f"{len(self.states_traversed)} states traversed"
         )
-
-
-#: Pre-observability (ledger RECORD_VERSION 1) counter spellings →
-#: dotted metric names.  ``normalize_counters`` applies this when old
-#: ledgers are resumed; new code should emit dotted names directly.
-LEGACY_COUNTER_KEYS: Dict[str, str] = {
-    "total_faults": "atpg.faults_total",
-    "detected": "atpg.faults_detected",
-    "redundant": "atpg.faults_redundant",
-    "aborted_faults": "atpg.faults_aborted",
-    "backtracks": "atpg.backtracks",
-    "frames_expanded": "atpg.frames_expanded",
-    "states_traversed": "atpg.states_traversed",
-    "states_examined": "atpg.states_examined",
-    "test_sequences": "atpg.test_sequences",
-    "test_vectors": "atpg.test_vectors",
-    "cpu_seconds": "atpg.cpu_seconds",
-    "sim_events": "sim.events",
-}
-
-
-def normalize_counters(counters: Dict[str, object]) -> Dict[str, object]:
-    """Upgrade a counters mapping to dotted metric names, recursively.
-
-    Idempotent: dotted keys pass through unchanged, so it is safe to
-    apply to every ledger record regardless of version.  Handles the
-    nested ``{"original": {...}, "retimed": {...}}`` shape the
-    engine-pair tasks store.
-    """
-    out: Dict[str, object] = {}
-    for key, value in counters.items():
-        if isinstance(value, dict):
-            out[key] = normalize_counters(value)
-        else:
-            out[LEGACY_COUNTER_KEYS.get(key, key)] = value
-    return out
 
 
 class WorkClock:

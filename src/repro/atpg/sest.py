@@ -24,7 +24,6 @@ examined cubes and a nonzero prune count relative to plain HITEC.
 
 from __future__ import annotations
 
-import warnings
 from typing import Optional, Sequence
 
 from ..circuit.netlist import Circuit
@@ -43,15 +42,7 @@ class SestEngine(HitecEngine):
         budget: Optional[EffortBudget] = None,
         rng_seed: int = 29,
         obs: Optional[Observability] = None,
-        fill_seed: Optional[int] = None,
     ):
-        if fill_seed is not None:
-            warnings.warn(
-                "SestEngine(fill_seed=...) is deprecated; use rng_seed=",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            rng_seed = fill_seed
         super().__init__(
             circuit, budget=budget, learning=True, rng_seed=rng_seed, obs=obs
         )

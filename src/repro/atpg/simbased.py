@@ -27,7 +27,6 @@ mechanism.
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..circuit.gates import X
@@ -73,15 +72,7 @@ class SimBasedEngine:
         options: Optional[SimBasedOptions] = None,
         rng_seed: int = 23,
         obs: Optional[Observability] = None,
-        seed: Optional[int] = None,
     ):
-        if seed is not None:
-            warnings.warn(
-                "SimBasedEngine(seed=...) is deprecated; use rng_seed=",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            rng_seed = seed
         circuit.check()
         if any(dff.init == X for dff in circuit.dffs()):
             raise AtpgError(

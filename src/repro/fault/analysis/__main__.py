@@ -127,4 +127,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 if __name__ == "__main__":
+    from ..._util import note_legacy_entry
+
+    note_legacy_entry(
+        "python -m repro.fault.analysis",
+        "python -m repro fault-analysis",
+    )
     sys.exit(main())

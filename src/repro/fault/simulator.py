@@ -127,6 +127,18 @@ class FaultSimulator:
         self._initial_state = [
             ONE if dff.init == ONE else ZERO for dff in circuit.dffs()
         ]
+        # Bound steppers for groups of at most one fault, keyed by the
+        # canonical (mask, overrides) pair.  HITEC validates every
+        # candidate sequence with a single-fault :meth:`detects` call;
+        # rebinding the override program each time re-derived the same
+        # keep/force arrays, so the compiled kernel path is reused here.
+        # Binding increments no counters, so caching cannot drift any
+        # deterministic counter; the cache is bounded by the fault
+        # universe (one entry per distinct single fault, plus the
+        # fault-free stepper).
+        self._single_steppers: Dict[
+            Tuple[int, Tuple[Tuple[int, Tuple[int, int]], ...]], object
+        ] = {}
 
     # -- public API -----------------------------------------------------------
 
@@ -216,7 +228,13 @@ class FaultSimulator:
         )
 
     def detects(self, sequence: TestSequence, fault: Fault) -> bool:
-        """Serial convenience: does this one sequence detect this fault?"""
+        """Serial convenience: does this one sequence detect this fault?
+
+        Runs on the compiled kernel path like every other call; the
+        single-fault bound stepper is cached, so HITEC validating many
+        candidate sequences against one fault binds the override
+        program once instead of per call.
+        """
         caught = self._simulate_sequence(sequence, [fault], None)
         return fault in caught
 
@@ -302,7 +320,16 @@ class FaultSimulator:
             if fault.stuck_at == ONE:
                 forced |= 1 << position
             overrides[node_index] = (affected, forced)
-        stepper = sim.bind_overrides(overrides, mask)
+        if len(group) <= 1:
+            # The detects() validation path binds the same single-fault
+            # override program over and over; reuse the compiled stepper.
+            cache_key = (mask, tuple(sorted(overrides.items())))
+            stepper = self._single_steppers.get(cache_key)
+            if stepper is None:
+                stepper = sim.bind_overrides(overrides, mask)
+                self._single_steppers[cache_key] = stepper
+        else:
+            stepper = sim.bind_overrides(overrides, mask)
 
         state_words = [
             mask if bit == ONE else 0 for bit in self._initial_state

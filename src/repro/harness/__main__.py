@@ -117,6 +117,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run's PerfSnapshot (one perf record per cell) "
         "to FILE; diff with python -m repro.obs.perf",
     )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="content-addressed result store: serve already-computed "
+        "cells from cache and store fresh ones (repro.service)",
+    )
+    parser.add_argument(
+        "--service-socket",
+        default=None,
+        metavar="PATH",
+        help="send cache misses to the service daemon at this unix "
+        "socket instead of a local worker pool",
+    )
     return parser
 
 
@@ -146,9 +160,14 @@ def main(argv=None) -> int:
         profile=args.profile or None,
         quiet=args.quiet,
         perf_snapshot=args.perf_snapshot,
+        store_dir=args.store,
+        service_socket=args.service_socket,
     )
     return 0
 
 
 if __name__ == "__main__":
+    from .._util import note_legacy_entry
+
+    note_legacy_entry("python -m repro.harness", "python -m repro run")
     sys.exit(main())

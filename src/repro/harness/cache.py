@@ -1,0 +1,175 @@
+"""Cache-first execution: the harness as a client of repro.service.
+
+With ``config.store_dir`` set, :func:`repro.harness.runner
+.run_experiment` routes every to-do cell through a
+:class:`ServiceSession` before computing anything:
+
+* each cell's canonical content address is built by
+  :func:`repro.service.keys.cell_key` (task coordinates × science
+  config × circuit structure hashes — the parent synthesizes the pair
+  once, through the in-process suite cache, to hash its structure);
+* cells already in the store append their cached
+  :class:`~repro.harness.ledger.TaskRecord` to the run ledger verbatim
+  — report assembly and resume then treat them exactly like freshly
+  computed rows, so a warm run's tables and reports are byte-identical
+  to the cold run that populated the store;
+* cache misses execute as usual (local pool, or a service daemon when
+  ``config.service_socket`` is set) and their successful records are
+  stored for every later run.
+
+Cache traffic is counted in ``service.cache_hits`` /
+``service.cache_misses`` / ``service.queue_depth`` on a parent-side
+:class:`~repro.obs.MetricsRegistry`, dumped to
+``<run_dir>/service.json``.  Probing happens in canonical task order
+in the parent, so the counters are deterministic across ``--jobs``
+levels; they never enter ledger rows or the report text (which must
+stay byte-identical between cold and warm runs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Callable, Dict, List, Optional
+
+from ..obs import MetricsRegistry
+from ..service import ResultStore, ServiceClient
+from ..service import keys as service_keys
+from . import ledger as ledger_mod
+from .config import HarnessConfig
+from .ledger import TaskRecord
+from .suite import build_pair
+
+Emit = Callable[[str], None]
+
+
+class ServiceSession:
+    """One run's view of the result cache (and optional daemon)."""
+
+    def __init__(self, config: HarnessConfig):
+        self.config = config
+        self.store: Optional[ResultStore] = (
+            ResultStore(config.store_dir) if config.store_dir else None
+        )
+        self.metrics = MetricsRegistry()
+        self.hits = self.metrics.counter("service.cache_hits")
+        self.misses = self.metrics.counter("service.cache_misses")
+        self.queue_depth = self.metrics.gauge("service.queue_depth")
+        self._cell_keys: Dict[str, str] = {}
+
+    # -- keys ----------------------------------------------------------
+
+    def cell_key(self, task) -> str:
+        """Content address of one task cell (memoized per task key)."""
+        if task.key not in self._cell_keys:
+            structures = None
+            if task.pair is not None:
+                pair = build_pair(
+                    task.pair, self.config.retime_target_ratio
+                )
+                structures = {
+                    "original": service_keys.circuit_structure_hash(
+                        pair.original_circuit
+                    ),
+                    "retimed": service_keys.circuit_structure_hash(
+                        pair.retimed_circuit
+                    ),
+                }
+            self._cell_keys[task.key] = service_keys.cell_key(
+                task, self.config, structures
+            )
+        return self._cell_keys[task.key]
+
+    # -- cache probe ---------------------------------------------------
+
+    def serve_cached(self, tasks: List, ledger_file: str, emit: Emit) -> List:
+        """Append cache hits to the run ledger; returns the misses.
+
+        Probes in canonical task order so hit/miss counters are
+        scheduling-independent.  Without a store every task is a miss
+        (counted, so daemon-only runs still report traffic).
+        """
+        remaining = []
+        for task in tasks:
+            data = (
+                self.store.get(self.cell_key(task)) if self.store else None
+            )
+            if data is None:
+                self.misses.inc()
+                remaining.append(task)
+                continue
+            ledger_mod.append_record(ledger_file, TaskRecord.from_dict(data))
+            self.hits.inc()
+            emit(f"[service] {task.key} served from cache")
+        return remaining
+
+    # -- write-back ----------------------------------------------------
+
+    def store_fresh(
+        self, tasks: List, records: List[TaskRecord], fingerprint: str
+    ) -> int:
+        """Persist the successful records of locally computed cells;
+        returns how many entries were written."""
+        if self.store is None:
+            return 0
+        completed = ledger_mod.completed_by_key(records, fingerprint)
+        stored = 0
+        for task in tasks:
+            record = completed.get(task.key)
+            if record is None:
+                continue
+            self.store.put(
+                self.cell_key(task), json.loads(record.to_json())
+            )
+            stored += 1
+        return stored
+
+    # -- daemon execution ----------------------------------------------
+
+    def run_via_daemon(
+        self, tasks: List, ledger_file: str, emit: Emit
+    ) -> None:
+        """Execute cache misses on the daemon at ``config.service_socket``.
+
+        Submits every cell (the daemon dedups in-flight keys), then
+        collects results in canonical order, appending each returned
+        record — success or quarantine — to the run ledger so report
+        assembly is oblivious to where the cell ran.
+        """
+        client = ServiceClient(self.config.service_socket)
+        config_data = self.config.to_dict()
+        jobs = []
+        for task in tasks:
+            response = client.submit(
+                self.cell_key(task), dataclasses.asdict(task), config_data
+            )
+            jobs.append((task, response["job"]))
+        pending = len(jobs)
+        self.queue_depth.set(pending)
+        for task, job in jobs:
+            # No client-side deadline: the daemon enforces per-task
+            # timeouts/retries and always reaches a terminal state.
+            response = client.result(job)
+            pending -= 1
+            self.queue_depth.set(pending)
+            record_data = response.get("record")
+            if record_data is not None:
+                ledger_mod.append_record(
+                    ledger_file, TaskRecord.from_dict(record_data)
+                )
+            emit(
+                f"[service] {task.key} {response['state']} via daemon"
+            )
+
+    # -- reporting -----------------------------------------------------
+
+    def summary(self) -> Dict:
+        """JSON-able session summary (written to ``service.json``)."""
+        data = {
+            "metrics": self.metrics.dump(),
+            "cache_hits": self.hits.value,
+            "cache_misses": self.misses.value,
+            "store": self.store.stats().to_dict() if self.store else None,
+            "socket": self.config.service_socket,
+        }
+        return data

@@ -18,11 +18,10 @@ presets:
 from __future__ import annotations
 
 import dataclasses
-import hashlib
-import json
 from typing import Any, Dict, Optional, Tuple
 
 from ..atpg.result import EffortBudget
+from ..service import keys as service_keys
 
 
 @dataclasses.dataclass
@@ -73,6 +72,14 @@ class HarnessConfig:
     # Test-only fault-injection hook: "pkg.module:function", called in
     # the worker as hook(task, config) before the cell executes.
     task_hook: Optional[str] = None
+    # Content-addressed result store (repro.service.store): cells whose
+    # cell_key is already present are served from cache instead of
+    # recomputed.  Cache-served rows are byte-identical to computed
+    # ones, so this is pure execution policy.
+    store_dir: Optional[str] = None
+    # Unix-domain socket of a running service daemon; cache misses are
+    # submitted there instead of executing in this process's pool.
+    service_socket: Optional[str] = None
 
     #: Fields that change experiment results (everything else is
     #: execution policy).
@@ -106,13 +113,12 @@ class HarnessConfig:
         """Hash of every result-affecting field.
 
         Ledger rows record this; ``--resume`` refuses to mix rows
-        produced under a different science configuration.
+        produced under a different science configuration.  Delegates to
+        :func:`repro.service.keys.config_fingerprint` — the same schema
+        keys the content-addressed result cache, so resume and cache
+        can never disagree about what "same configuration" means.
         """
-        payload = {
-            field: self.to_dict()[field] for field in self.SCIENCE_FIELDS
-        }
-        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+        return service_keys.config_fingerprint(self)
 
     @classmethod
     def smoke(cls) -> "HarnessConfig":

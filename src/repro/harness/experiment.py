@@ -51,17 +51,27 @@ def run_all(
     quiet: bool = False,
     reporter: Optional[Reporter] = None,
     perf_snapshot: Optional[str] = None,
+    store_dir: Optional[str] = None,
+    service_socket: Optional[str] = None,
 ) -> str:
     """Regenerate every table/figure; returns the combined report text.
 
-    ``jobs``/``resume``/``runs_dir``/``profile`` override the
-    corresponding config fields.  Progress lines go to ``stream`` (via
-    the ``repro.harness`` logger) as cells complete; the report is also
-    written to ``<run_dir>/report.txt``.  With profiling on, the
-    assembled ``trace.jsonl`` is summarized as a per-phase rollup plus
-    a metrics table after the report.  ``perf_snapshot`` names a file
-    to write the run's :class:`~repro.obs.perf.PerfSnapshot` to (one
-    PerfRecord per completed cell, with environment provenance).
+    ``jobs``/``resume``/``runs_dir``/``profile``/``store_dir``/
+    ``service_socket`` override the corresponding config fields.
+    Progress lines go to ``stream`` (via the ``repro.harness`` logger)
+    as cells complete; the report is also written to
+    ``<run_dir>/report.txt``.  With profiling on, the assembled
+    ``trace.jsonl`` is summarized as a per-phase rollup plus a metrics
+    table after the report.  ``perf_snapshot`` names a file to write
+    the run's :class:`~repro.obs.perf.PerfSnapshot` to (one PerfRecord
+    per completed cell, with environment provenance).
+
+    With ``store_dir`` set the run is cache-first: cells whose
+    canonical key is already stored are served from the cache (and
+    fresh results stored back), producing byte-identical reports in a
+    fraction of the time; ``service_socket`` additionally sends cache
+    misses to a running daemon instead of a local pool (see
+    :mod:`repro.harness.cache`).
     """
     config = config or HarnessConfig.default()
     overrides = {}
@@ -73,6 +83,10 @@ def run_all(
         overrides["runs_dir"] = runs_dir
     if profile is not None:
         overrides["profile"] = profile
+    if store_dir is not None:
+        overrides["store_dir"] = store_dir
+    if service_socket is not None:
+        overrides["service_socket"] = service_socket
     if overrides:
         config = dataclasses.replace(config, **overrides)
 
@@ -91,6 +105,10 @@ def run_all(
             f"[runner] run {result.run_id} complete; "
             f"report at {report_path}"
         )
+        if result.service_file:
+            reporter.progress(
+                f"[service] cache session summary at {result.service_file}"
+            )
         reporter.report(report)
         if result.trace_file:
             reporter.report(_profile_summary(config, result))

@@ -36,14 +36,18 @@ Record schema (one JSON object per line)::
     }
 
 Version history: v1 rows used flat counter keys (``backtracks``,
-``total_faults`` …) and had no ``metrics`` field;
-:meth:`TaskRecord.from_dict` normalizes them to the dotted schema via
-:func:`repro.atpg.normalize_counters`, so old ledgers keep resuming
-and rendering.  v2 rows had no ``perf`` field; loading synthesizes it
-from the (normalized) counters, so pre-perf ledgers feed the
+``total_faults`` …) and had no ``metrics`` field; support for
+normalizing them was retired with the service-layer redesign —
+:data:`MIN_RECORD_VERSION` is 2 and :meth:`TaskRecord.from_dict`
+rejects v1 rows (``load_records`` counts them with the torn lines), so
+a pre-v2 ledger resumes as if empty instead of resuming with
+mis-spelled counters.  v2 rows had no ``perf`` field; loading
+synthesizes it from the counters, so pre-perf ledgers feed the
 perf-snapshot and diff tooling unchanged.  v3 rows had no ``search``
 field; loading synthesizes it the same way (old rows have no
-``search.*`` counters, so it is usually empty).  The ``perf`` and
+``search.*`` counters, so it is usually empty).  v4 rows are also what
+the :mod:`repro.service` content-addressed store holds — a cache hit
+replays the stored row into the run ledger verbatim.  The ``perf`` and
 ``search`` payloads hold only deterministic fields — wall seconds and
 peak RSS stay in the designated wall-time columns — keeping rows
 byte-identical across ``--jobs`` levels modulo
@@ -64,7 +68,6 @@ import time
 import uuid
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from ..atpg.result import normalize_counters
 from ..lint.gate import _SUMMARY_DETAIL_LIMIT, LintLedger
 from ..lint.severity import Severity
 from ..obs.perf import PerfRecord, deterministic_core, record_from_ledger_row
@@ -72,6 +75,9 @@ from ..obs.search import search_core
 
 LEDGER_NAME = "ledger.jsonl"
 RECORD_VERSION = 4
+#: Oldest record version still loadable (v1's flat counter keys are no
+#: longer normalized; see the version history above).
+MIN_RECORD_VERSION = 2
 
 #: Ledger fields that vary run-to-run even for identical science
 #: (excluded by the serial-vs-parallel equivalence tests).
@@ -110,14 +116,16 @@ class TaskRecord:
     def from_dict(cls, data: Dict[str, Any]) -> "TaskRecord":
         data = dict(data)
         version = data.pop("v", RECORD_VERSION)
+        if version < MIN_RECORD_VERSION:
+            raise ValueError(
+                f"ledger record version {version} predates "
+                f"MIN_RECORD_VERSION={MIN_RECORD_VERSION} (v1 flat "
+                "counter keys are no longer supported)"
+            )
         data["tables"] = tuple(data.get("tables") or ())
-        # v1 rows carried flat counter keys; map them onto the dotted
-        # schema so resumed/rendered old ledgers match new rows.
-        if data.get("counters"):
-            data["counters"] = normalize_counters(data["counters"])
         # Pre-v3 rows had no perf payload; synthesize the deterministic
-        # core from the normalized counters so old ledgers feed the
-        # perf tooling like new ones.
+        # core from the counters so old ledgers feed the perf tooling
+        # like new ones.
         if version < 3 and data.get("outcome") == "ok":
             data["perf"] = deterministic_core(data.get("counters") or {})
         # Pre-v4 rows had no search payload; synthesize it so old

@@ -71,6 +71,25 @@ def preformatted(text: str) -> str:
     return "```text\n" + text.rstrip("\n") + "\n```"
 
 
+#: Prefix of the one report line carrying wall-clock time.
+WALL_TIME_LINE_PREFIX = "total harness time: "
+
+
+def science_text(report: str) -> str:
+    """The report minus its wall-clock footer.
+
+    The report analogue of :data:`repro.harness.ledger
+    .WALL_TIME_FIELDS`: every line except the harness-time footer is a
+    pure function of the ledger's science rows, so equivalence checks
+    (serial vs parallel, cold vs warm cache) compare this text.
+    """
+    return "\n".join(
+        line
+        for line in report.splitlines()
+        if not line.startswith(WALL_TIME_LINE_PREFIX)
+    )
+
+
 def assemble_report(
     config,
     records: List[TaskRecord],

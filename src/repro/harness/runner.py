@@ -315,6 +315,7 @@ class RunResult:
     records: List[TaskRecord]  # full ledger contents (incl. resumed rows)
     torn_lines: int = 0
     trace_file: Optional[str] = None  # assembled trace.jsonl (profile)
+    service_file: Optional[str] = None  # service.json (cache-first runs)
 
 
 def _scaled_config(config: HarnessConfig, attempt: int) -> HarnessConfig:
@@ -677,8 +678,25 @@ def run_experiment(
             f"[runner] resume {run_id}: {len(completed)} cell(s) already "
             f"complete, {len(todo)} to run"
         )
+
+    # Cache-first path (repro.harness.cache): hits land in the ledger
+    # before any execution, misses run locally or on the daemon.
+    session = None
+    if config.store_dir or config.service_socket:
+        from .cache import ServiceSession
+
+        session = ServiceSession(config)
+        todo = session.serve_cached(todo, ledger_file, emit)
+        if session.hits.value:
+            emit(
+                f"[service] {session.hits.value} cell(s) from cache, "
+                f"{len(todo)} to compute"
+            )
+
     if todo:
-        if config.jobs <= 1:
+        if session is not None and config.service_socket:
+            session.run_via_daemon(todo, ledger_file, emit)
+        elif config.jobs <= 1:
             _run_serial(
                 todo, config, fingerprint, ledger_file, run_dir, emit
             )
@@ -690,6 +708,16 @@ def run_experiment(
     # Re-read the ledger: the file is the single source of truth the
     # report is assembled from (also exactly what resume would see).
     records, torn = ledger_mod.load_records(ledger_file)
+
+    service_file = None
+    if session is not None:
+        if todo and not config.service_socket:
+            stored = session.store_fresh(todo, records, fingerprint)
+            if stored:
+                emit(f"[service] stored {stored} fresh cell(s)")
+        service_file = os.path.join(run_dir, "service.json")
+        with open(service_file, "w", encoding="utf-8") as handle:
+            json.dump(session.summary(), handle, indent=2, sort_keys=True)
     trace_file = None
     if config.profile:
         trace_file = assemble_trace(run_dir, tasks, records, fingerprint)
@@ -701,4 +729,5 @@ def run_experiment(
         records=records,
         torn_lines=torn,
         trace_file=trace_file,
+        service_file=service_file,
     )

@@ -172,4 +172,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 if __name__ == "__main__":
+    from .._util import note_legacy_entry
+
+    note_legacy_entry("python -m repro.lint", "python -m repro lint")
     sys.exit(main())

@@ -198,6 +198,9 @@ def main(argv=None) -> int:
 
 
 if __name__ == "__main__":
+    from ..._util import note_legacy_entry
+
+    note_legacy_entry("python -m repro.obs.perf", "python -m repro perf")
     try:
         sys.exit(main())
     except BrokenPipeError:  # e.g. `... | head` closed the pipe

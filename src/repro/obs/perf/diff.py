@@ -56,6 +56,9 @@ HIGHER_IS_WORSE = frozenset(
         "search.states_examined",
         "search.invalid_events",
         "search.unique_invalid",
+        # Cache-first runs (repro.service): a miss is a cell computed
+        # from scratch that a warm store would have served.
+        "service.cache_misses",
     }
 )
 
@@ -68,6 +71,9 @@ LOWER_IS_WORSE = frozenset(
     {
         "cover.faults_detected",
         "cover.faults_redundant",
+        # Cache-first runs: fewer hits against the same store = cells
+        # needlessly recomputed (e.g. a key-schema instability).
+        "service.cache_hits",
     }
 )
 

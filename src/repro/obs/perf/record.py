@@ -225,17 +225,14 @@ def record_from_ledger_row(row: Dict[str, Any]) -> PerfRecord:
     """Assemble the full PerfRecord of one successful ledger row.
 
     Rows of RECORD_VERSION >= 3 embed the deterministic core under
-    ``perf``; older rows are upgraded here by flattening their (already
-    normalized, or legacy flat) counters, so pre-perf ledgers diff fine.
+    ``perf``; v2 rows are upgraded here by flattening their dotted
+    counters, so pre-perf ledgers diff fine.  (v1 flat-key rows are
+    rejected at load time — see ``repro.harness.ledger``.)
     """
     perf = row.get("perf") or {}
     counters = perf.get("counters")
     if counters is None:
-        from ...atpg.result import normalize_counters
-
-        counters = flatten_counters(
-            normalize_counters(row.get("counters") or {})
-        )
+        counters = flatten_counters(row.get("counters") or {})
     return PerfRecord(
         key=row["key"],
         kind=KIND_HARNESS_CELL,

@@ -126,6 +126,9 @@ def main(argv=None) -> int:
 
 
 if __name__ == "__main__":
+    from ..._util import note_legacy_entry
+
+    note_legacy_entry("python -m repro.obs.search", "python -m repro search")
     try:
         sys.exit(main())
     except BrokenPipeError:  # e.g. `... | head` closed the pipe

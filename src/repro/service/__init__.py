@@ -1,0 +1,73 @@
+"""ATPG-as-a-service: persistent daemon + content-addressed result cache.
+
+The harness ledger (PR 2) already fingerprints every (circuit pair ×
+engine × config) cell; this package promotes that fingerprint into a
+service layer so any cell ever computed — across runs, presets and
+users — is served from cache instead of recomputed:
+
+* :mod:`repro.service.keys` — the **one** canonical cell-key schema.
+  ``HarnessConfig.fingerprint()`` and the resume path of
+  :func:`repro.harness.ledger.completed_by_key` delegate here, so the
+  run-resume notion of "same cell" and the cache notion of "same cell"
+  can never disagree.
+* :mod:`repro.service.store` — content-addressed on-disk store of full
+  :class:`~repro.harness.ledger.TaskRecord` rows with atomic fsync'd
+  writes, integrity hashes and corruption quarantine.
+* :mod:`repro.service.daemon` — a long-lived worker-pool daemon
+  (``python -m repro.service serve``) reusing the runner's spawned
+  worker machinery (timeouts, retries, quarantine, deterministic
+  WorkClock) behind an async job API on a unix-domain socket.
+* :mod:`repro.service.client` — the line-delimited JSON protocol and a
+  blocking client (``python -m repro.service submit|get|stats``); the
+  harness's cache-first execution path
+  (:func:`repro.harness.experiment.run_all` with ``store_dir``/
+  ``service_socket`` set) is just another client.
+"""
+
+from .keys import (
+    KEY_SCHEMA_VERSION,
+    cell_key,
+    cell_key_payload,
+    circuit_structure_hash,
+    config_fingerprint,
+    science_payload,
+)
+from .store import ResultStore, StoreStats
+from .client import (
+    DEFAULT_SOCKET,
+    ProtocolError,
+    ServiceClient,
+    ServiceError,
+    recv_message,
+    send_message,
+)
+
+
+def __getattr__(name):
+    # ServiceDaemon is loaded lazily: repro.harness.config imports this
+    # package for the shared key schema, and the daemon module imports
+    # repro.harness for the runner machinery — an eager import here
+    # would close that cycle mid-initialization.
+    if name == "ServiceDaemon":
+        from .daemon import ServiceDaemon
+
+        return ServiceDaemon
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "DEFAULT_SOCKET",
+    "KEY_SCHEMA_VERSION",
+    "ProtocolError",
+    "ResultStore",
+    "ServiceClient",
+    "ServiceDaemon",
+    "ServiceError",
+    "StoreStats",
+    "cell_key",
+    "cell_key_payload",
+    "circuit_structure_hash",
+    "config_fingerprint",
+    "recv_message",
+    "science_payload",
+    "send_message",
+]

@@ -1,0 +1,159 @@
+"""CLI for the ATPG service: daemon and blocking client in one tool.
+
+    python -m repro.service serve  --store cache --socket /tmp/repro.sock
+    python -m repro.service submit --preset quick --wait
+    python -m repro.service get    --job job-3
+    python -m repro.service stats
+
+``submit`` expands a harness preset into its experiment cells (the
+same task graph ``python -m repro run`` executes) and submits each
+cell's canonical key; with ``--wait`` it blocks until every job is
+terminal and prints one line per cell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .client import DEFAULT_SOCKET, ProtocolError, ServiceClient, ServiceError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="ATPG-as-a-service daemon and client.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the service daemon")
+    serve.add_argument("--store", required=True, help="result store root")
+    serve.add_argument("--socket", default=DEFAULT_SOCKET)
+    serve.add_argument(
+        "--jobs", type=int, default=1, help="worker pool size"
+    )
+    serve.add_argument(
+        "--work-dir", default=None,
+        help="daemon ledger/results dir (default: <store>/daemon)",
+    )
+
+    submit = sub.add_parser("submit", help="submit experiment cells")
+    submit.add_argument("--socket", default=DEFAULT_SOCKET)
+    submit.add_argument(
+        "--preset", default="quick",
+        choices=("smoke", "quick", "default", "heavy"),
+    )
+    submit.add_argument(
+        "--task", action="append", default=None, metavar="KEY",
+        help="submit only this task key (repeatable; default: all cells)",
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until every submitted job is terminal",
+    )
+
+    get = sub.add_parser("get", help="fetch one job's state/result")
+    get.add_argument("--socket", default=DEFAULT_SOCKET)
+    get.add_argument("--job", required=True)
+    get.add_argument(
+        "--wait", action="store_true", help="block until terminal"
+    )
+
+    stats = sub.add_parser("stats", help="print daemon statistics")
+    stats.add_argument("--socket", default=DEFAULT_SOCKET)
+    return parser
+
+
+def _cmd_serve(args) -> int:
+    from .daemon import ServiceDaemon
+
+    daemon = ServiceDaemon(
+        socket_path=args.socket,
+        store_dir=args.store,
+        jobs=args.jobs,
+        work_dir=args.work_dir,
+        emit=lambda line: print(line, flush=True),
+    )
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    import dataclasses
+
+    from ..harness.cache import ServiceSession
+    from ..harness.config import HarnessConfig
+    from ..harness.runner import build_task_graph
+
+    config = getattr(HarnessConfig, args.preset)()
+    tasks = build_task_graph(config)
+    if args.task:
+        wanted = set(args.task)
+        tasks = [task for task in tasks if task.key in wanted]
+        missing = wanted - {task.key for task in tasks}
+        if missing:
+            print(f"unknown task key(s): {sorted(missing)}", file=sys.stderr)
+            return 2
+    session = ServiceSession(config)
+    client = ServiceClient(args.socket)
+    config_data = config.to_dict()
+    jobs = []
+    for task in tasks:
+        response = client.submit(
+            session.cell_key(task), dataclasses.asdict(task), config_data
+        )
+        jobs.append((task, response))
+        tag = "cached" if response.get("cached") else response["state"]
+        print(f"{task.key}: {response['job']} ({tag})")
+    if not args.wait:
+        return 0
+    failures = 0
+    for task, response in jobs:
+        final = client.result(response["job"])
+        state = final["state"]
+        if state != "done":
+            failures += 1
+        print(f"{task.key}: {state}")
+    return 1 if failures else 0
+
+
+def _cmd_get(args) -> int:
+    client = ServiceClient(args.socket)
+    if args.wait:
+        response = client.result(args.job)
+    else:
+        response = client.request({"op": "result", "job": args.job})
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0 if response.get("state") == "done" else 1
+
+
+def _cmd_stats(args) -> int:
+    print(
+        json.dumps(ServiceClient(args.socket).stats(), indent=2,
+                   sort_keys=True)
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    commands = {
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "get": _cmd_get,
+        "stats": _cmd_stats,
+    }
+    try:
+        return commands[args.command](args)
+    except (ServiceError, ProtocolError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

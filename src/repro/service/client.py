@@ -1,0 +1,153 @@
+"""Line-delimited JSON protocol + blocking client for the ATPG daemon.
+
+Transport: a unix-domain stream socket.  Each request is one JSON
+object on one line; the daemon answers with one JSON object on one
+line and the connection handles any number of request/response pairs.
+Responses always carry ``"ok"``: ``true`` with op-specific fields, or
+``false`` with ``"error"``.
+
+Operations (see :mod:`repro.service.daemon` for server semantics)::
+
+    {"op": "ping"}
+    {"op": "submit", "cell": "<64-hex key>", "task": {...}, "config": {...}}
+    {"op": "status", "job": "<job id>"}
+    {"op": "result", "job": "<job id>"}
+    {"op": "cancel", "job": "<job id>"}
+    {"op": "stats"}
+    {"op": "shutdown"}
+
+:class:`ServiceClient` opens one connection per call, so a client
+object is trivially safe to share across threads and survives daemon
+restarts between calls.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import tempfile
+import time
+from typing import Any, Dict, Optional
+
+#: Where ``python -m repro.service`` talks when --socket is not given.
+DEFAULT_SOCKET = os.path.join(
+    tempfile.gettempdir(), f"repro-service-{os.getuid()}.sock"
+)
+
+#: Single line cap (a full TaskRecord envelope fits well under this;
+#: anything larger is a protocol violation, not a big record).
+MAX_LINE_BYTES = 32 * 1024 * 1024
+
+
+class ServiceError(Exception):
+    """The daemon answered, and the answer is an error."""
+
+
+class ProtocolError(Exception):
+    """The byte stream is not the protocol (truncated/oversized/non-JSON)."""
+
+
+def send_message(handle, message: Dict[str, Any]) -> None:
+    """Write one protocol message to a socket makefile handle."""
+    handle.write(json.dumps(message, sort_keys=True) + "\n")
+    handle.flush()
+
+
+def recv_message(handle) -> Optional[Dict[str, Any]]:
+    """Read one protocol message; None on clean EOF."""
+    line = handle.readline(MAX_LINE_BYTES)
+    if not line:
+        return None
+    if not line.endswith("\n"):
+        raise ProtocolError("truncated or oversized protocol line")
+    try:
+        message = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"undecodable protocol line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("protocol messages must be JSON objects")
+    return message
+
+
+class ServiceClient:
+    """Blocking client for one daemon socket."""
+
+    def __init__(self, socket_path: str = DEFAULT_SOCKET, timeout: float = 30.0):
+        self.socket_path = socket_path
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """One request/response round trip; raises ServiceError on an
+        error response, ProtocolError on a broken stream."""
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.settimeout(self.timeout)
+            try:
+                sock.connect(self.socket_path)
+            except OSError as exc:
+                raise ServiceError(
+                    f"no daemon at {self.socket_path}: {exc}"
+                ) from exc
+            with sock.makefile("rw", encoding="utf-8", newline="\n") as handle:
+                send_message(handle, message)
+                response = recv_message(handle)
+        if response is None:
+            raise ProtocolError("daemon closed the connection mid-request")
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "unspecified error"))
+        return response
+
+    # -- operations ----------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("ok"))
+
+    def submit(
+        self,
+        cell: str,
+        task: Dict[str, Any],
+        config: Dict[str, Any],
+    ) -> Dict[str, Any]:
+        """Submit one cell; returns ``{"job": id, "state": ..., "cached": bool}``.
+
+        Submitting a key whose result is already stored answers
+        ``state="done"``/``cached=True`` without creating a job;
+        submitting a key already in flight attaches to the existing job.
+        """
+        return self.request(
+            {"op": "submit", "cell": cell, "task": task, "config": config}
+        )
+
+    def status(self, job: str) -> Dict[str, Any]:
+        return self.request({"op": "status", "job": job})
+
+    def cancel(self, job: str) -> Dict[str, Any]:
+        return self.request({"op": "cancel", "job": job})
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request({"op": "stats"})["stats"]
+
+    def shutdown(self) -> None:
+        self.request({"op": "shutdown"})
+
+    def result(
+        self,
+        job: str,
+        timeout: Optional[float] = None,
+        poll_seconds: float = 0.05,
+    ) -> Dict[str, Any]:
+        """Block until ``job`` reaches a terminal state; returns the
+        daemon's result response (``record`` present when done)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            response = self.request({"op": "result", "job": job})
+            if response.get("state") in ("done", "failed", "cancelled"):
+                return response
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    f"timed out waiting for job {job} "
+                    f"(state={response.get('state')})"
+                )
+            time.sleep(poll_seconds)

@@ -1,0 +1,474 @@
+"""The long-lived ATPG service daemon.
+
+``python -m repro.service serve --store <dir> --socket <path>`` runs a
+:class:`ServiceDaemon`: a threaded unix-domain socket server speaking
+the line-delimited JSON protocol of :mod:`repro.service.client`, in
+front of a worker pool that executes submitted experiment cells with
+the harness runner's machinery — spawned worker processes
+(:func:`repro.harness.runner._worker_main`), per-task wall-clock
+timeout kill, retry with ``budget.scaled``, poison-task quarantine,
+and the deterministic WorkClock whenever the submitted config uses it.
+
+Job semantics:
+
+* **submit** with a cell key already in the store answers a completed
+  job immediately (``cached: true``) — the daemon never recomputes a
+  known cell;
+* **submit** with a cell key already queued or running attaches to the
+  existing job (``attached: true``) — concurrent clients cost one
+  computation per key, never two;
+* every completed attempt is appended to the daemon's own durable
+  ledger (``<work_dir>/ledger.jsonl``), and successful records are
+  written to the content-addressed store, so a daemon killed mid-job
+  loses at most the in-flight attempt — never a stored result.
+
+All science runs in spawned worker processes from ``(task, config)``
+alone, so daemon-computed records are byte-identical to local-runner
+records for the same cell key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import socketserver
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from .client import recv_message, send_message
+from .store import ResultStore
+
+#: Job lifecycle states (terminal: done / failed / cancelled).
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+
+@dataclasses.dataclass
+class _Job:
+    """One submitted cell, from queue to terminal state."""
+
+    id: str
+    cell: str
+    task_data: Dict[str, Any]
+    config_data: Dict[str, Any]
+    state: str = "queued"
+    submitted: float = 0.0
+    record: Optional[Dict[str, Any]] = None
+    error: str = ""
+    cancel_requested: bool = False
+    process: Optional[Any] = None  # live worker process while running
+
+    def public(self) -> Dict[str, Any]:
+        return {
+            "job": self.id,
+            "cell": self.cell,
+            "task": self.task_data.get("key"),
+            "state": self.state,
+            "error": self.error,
+        }
+
+
+class ServiceDaemon:
+    """Worker pool + job table + protocol server behind one socket."""
+
+    def __init__(
+        self,
+        socket_path: str,
+        store_dir: str,
+        jobs: int = 1,
+        work_dir: Optional[str] = None,
+        emit: Optional[Callable[[str], None]] = None,
+    ):
+        self.socket_path = socket_path
+        self.store = ResultStore(store_dir)
+        self.jobs = max(1, jobs)
+        self.work_dir = work_dir or os.path.join(store_dir, "daemon")
+        self.ledger_file = os.path.join(self.work_dir, "ledger.jsonl")
+        self.emit = emit or (lambda line: None)
+        os.makedirs(os.path.join(self.work_dir, "results"), exist_ok=True)
+
+        self._lock = threading.Lock()
+        self._queue_ready = threading.Condition(self._lock)
+        self._jobs: Dict[str, _Job] = {}
+        self._by_cell: Dict[str, str] = {}  # in-flight cell key -> job id
+        self._queue: List[str] = []
+        self._counter = 0
+        self._started = time.monotonic()
+        self._stats = {
+            "submitted": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "attached": 0,
+            "completed": 0,
+            "failed": 0,
+            "cancelled": 0,
+        }
+        self._shutdown = threading.Event()
+        self._server: Optional[socketserver.ThreadingUnixStreamServer] = None
+        self._workers: List[threading.Thread] = []
+
+    # -- protocol dispatch ---------------------------------------------
+
+    def handle_message(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        op = message.get("op")
+        handlers = {
+            "ping": self._op_ping,
+            "submit": self._op_submit,
+            "status": self._op_status,
+            "result": self._op_status,  # result = status + record
+            "cancel": self._op_cancel,
+            "stats": self._op_stats,
+            "shutdown": self._op_shutdown,
+        }
+        handler = handlers.get(op)
+        if handler is None:
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        try:
+            return handler(message)
+        except Exception as exc:  # a bad request must not kill the daemon
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    def _op_ping(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        return {"ok": True, "pid": os.getpid()}
+
+    def _op_submit(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        cell = message.get("cell")
+        task_data = message.get("task")
+        config_data = message.get("config")
+        if not isinstance(cell, str) or not cell:
+            return {"ok": False, "error": "submit requires a cell key"}
+        if not isinstance(task_data, dict) or not isinstance(
+            config_data, dict
+        ):
+            return {
+                "ok": False,
+                "error": "submit requires task and config objects",
+            }
+        with self._lock:
+            self._stats["submitted"] += 1
+            # Store hit: answer a synthetic completed job, no work.
+            cached = self.store.get(cell)
+            if cached is not None:
+                self._stats["cache_hits"] += 1
+                job = self._new_job(cell, task_data, config_data)
+                job.state = "done"
+                job.record = cached
+                response = job.public()
+                response.update({"ok": True, "cached": True})
+                return response
+            # In-flight dedup: attach to the existing job for this key.
+            existing = self._by_cell.get(cell)
+            if existing is not None:
+                self._stats["attached"] += 1
+                response = self._jobs[existing].public()
+                response.update({"ok": True, "cached": False, "attached": True})
+                return response
+            self._stats["cache_misses"] += 1
+            job = self._new_job(cell, task_data, config_data)
+            self._by_cell[cell] = job.id
+            self._queue.append(job.id)
+            self._queue_ready.notify()
+            response = job.public()
+            response.update({"ok": True, "cached": False, "attached": False})
+            return response
+
+    def _op_status(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        with self._lock:
+            job = self._jobs.get(message.get("job"))
+            if job is None:
+                return {"ok": False, "error": f"no job {message.get('job')!r}"}
+            response = job.public()
+            response["ok"] = True
+            if message.get("op") == "result" and job.record is not None:
+                response["record"] = job.record
+            return response
+
+    def _op_cancel(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        with self._lock:
+            job = self._jobs.get(message.get("job"))
+            if job is None:
+                return {"ok": False, "error": f"no job {message.get('job')!r}"}
+            if job.state == "queued":
+                self._queue.remove(job.id)
+                self._finish(job, "cancelled", error="cancelled while queued")
+            elif job.state == "running":
+                job.cancel_requested = True
+                if job.process is not None and job.process.is_alive():
+                    job.process.terminate()
+            response = job.public()
+            response["ok"] = True
+            return response
+
+    def _op_stats(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        with self._lock:
+            running = sum(
+                1 for job in self._jobs.values() if job.state == "running"
+            )
+            stats = dict(self._stats)
+            stats.update(
+                {
+                    "queue_depth": len(self._queue),
+                    "running": running,
+                    "workers": self.jobs,
+                    "uptime_seconds": round(
+                        time.monotonic() - self._started, 3
+                    ),
+                    "store": self.store.stats().to_dict(),
+                }
+            )
+        return {"ok": True, "stats": stats}
+
+    def _op_shutdown(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        self._shutdown.set()
+        with self._lock:
+            self._queue_ready.notify_all()
+        if self._server is not None:
+            # shutdown() must come from another thread than the handler.
+            threading.Thread(
+                target=self._server.shutdown, daemon=True
+            ).start()
+        return {"ok": True}
+
+    # -- job table ------------------------------------------------------
+
+    def _new_job(self, cell, task_data, config_data) -> _Job:
+        self._counter += 1
+        job = _Job(
+            id=f"job-{self._counter}",
+            cell=cell,
+            task_data=task_data,
+            config_data=config_data,
+            submitted=time.monotonic(),
+        )
+        self._jobs[job.id] = job
+        return job
+
+    def _finish(
+        self,
+        job: _Job,
+        state: str,
+        record: Optional[Dict[str, Any]] = None,
+        error: str = "",
+    ) -> None:
+        """Move a job to a terminal state (caller holds the lock)."""
+        job.state = state
+        job.record = record
+        job.error = error
+        job.process = None
+        if self._by_cell.get(job.cell) == job.id:
+            del self._by_cell[job.cell]
+        key = {"done": "completed", "failed": "failed", "cancelled": "cancelled"}
+        self._stats[key[state]] += 1
+
+    # -- worker pool ----------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._shutdown.is_set():
+                    self._queue_ready.wait(0.2)
+                if self._shutdown.is_set() and not self._queue:
+                    return
+                job = self._jobs[self._queue.pop(0)]
+                job.state = "running"
+            try:
+                self._execute(job)
+            except Exception as exc:  # defensive: keep the pool alive
+                with self._lock:
+                    self._finish(
+                        job, "failed", error=f"daemon execution error: {exc}"
+                    )
+
+    def _execute(self, job: _Job) -> None:
+        """One cell through the runner machinery: spawn, timeout,
+        retry-with-scaled-budget, quarantine."""
+        # Imported here, not at module top: repro.harness.config imports
+        # repro.service for the shared key schema.
+        import multiprocessing
+
+        from ..harness import ledger as ledger_mod
+        from ..harness.config import HarnessConfig
+        from ..harness.runner import (
+            TaskSpec,
+            _record_for,
+            _result_file,
+            _scaled_config,
+        )
+
+        task_data = dict(job.task_data)
+        task_data["tables"] = tuple(task_data.get("tables") or ())
+        task = TaskSpec(**task_data)
+        config = HarnessConfig.from_dict(job.config_data)
+        fingerprint = config.fingerprint()
+        context = multiprocessing.get_context("spawn")
+
+        final_record = None
+        for attempt in range(config.max_task_retries + 1):
+            if job.cancel_requested:
+                with self._lock:
+                    self._finish(job, "cancelled", error="cancelled")
+                return
+            attempt_config = _scaled_config(config, attempt)
+            result_path = _result_file(self.work_dir, task, attempt)
+            process = context.Process(
+                target=_daemon_worker_entry,
+                args=(task, attempt_config.to_dict(), result_path),
+                daemon=True,
+            )
+            started = time.monotonic()
+            process.start()
+            with self._lock:
+                job.process = process
+            timed_out = False
+            timeout = config.task_timeout_seconds
+            while process.is_alive():
+                process.join(0.02)
+                if (
+                    timeout is not None
+                    and time.monotonic() - started > timeout
+                    and process.is_alive()
+                ):
+                    process.terminate()
+                    process.join(2.0)
+                    if process.is_alive():
+                        process.kill()
+                        process.join()
+                    timed_out = True
+                    break
+            wall = time.monotonic() - started
+            with self._lock:
+                job.process = None
+
+            outcome, payload, rss_kb, error = _classify(
+                result_path, process.exitcode, timed_out, timeout
+            )
+            record = _record_for(
+                task, fingerprint, attempt, config, outcome, wall,
+                payload=payload, rss_kb=rss_kb, error=error,
+            )
+            ledger_mod.append_record(self.ledger_file, record)
+            if outcome == "ok":
+                final_record = json.loads(record.to_json())
+                self.store.put(job.cell, final_record)
+                break
+            self.emit(f"[daemon] {task.key} {outcome} (attempt {attempt})")
+        else:
+            quarantine = _record_for(
+                task, fingerprint, config.max_task_retries, config,
+                "quarantined", 0.0,
+                error="every attempt crashed or timed out",
+            )
+            ledger_mod.append_record(self.ledger_file, quarantine)
+            with self._lock:
+                self._finish(
+                    job,
+                    "failed",
+                    record=json.loads(quarantine.to_json()),
+                    error="quarantined after "
+                    f"{config.max_task_retries + 1} attempt(s)",
+                )
+            self.emit(f"[daemon] {task.key} quarantined")
+            return
+
+        with self._lock:
+            self._finish(job, "done", record=final_record)
+        self.emit(f"[daemon] {task.key} ok")
+
+    # -- server ---------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Bind the socket, start the pool, and serve until shutdown."""
+        daemon = self
+
+        class Handler(socketserver.BaseRequestHandler):
+            def handle(self):
+                with self.request.makefile(
+                    "rw", encoding="utf-8", newline="\n"
+                ) as handle:
+                    try:
+                        while True:
+                            try:
+                                message = recv_message(handle)
+                            except Exception as exc:
+                                send_message(
+                                    handle, {"ok": False, "error": str(exc)}
+                                )
+                                return
+                            if message is None:
+                                return
+                            send_message(
+                                handle, daemon.handle_message(message)
+                            )
+                    except (BrokenPipeError, ConnectionResetError):
+                        return
+
+        class Server(socketserver.ThreadingUnixStreamServer):
+            daemon_threads = True
+            allow_reuse_address = True
+
+        if os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)  # stale socket from a dead daemon
+        os.makedirs(
+            os.path.dirname(os.path.abspath(self.socket_path)), exist_ok=True
+        )
+        self._server = Server(self.socket_path, Handler)
+        for _ in range(self.jobs):
+            thread = threading.Thread(target=self._worker_loop, daemon=True)
+            thread.start()
+            self._workers.append(thread)
+        self.emit(
+            f"[daemon] serving on {self.socket_path} "
+            f"(store={self.store.root}, workers={self.jobs})"
+        )
+        try:
+            self._server.serve_forever(poll_interval=0.1)
+        finally:
+            self._shutdown.set()
+            with self._lock:
+                self._queue_ready.notify_all()
+            for thread in self._workers:
+                thread.join(timeout=5.0)
+            self._server.server_close()
+            if os.path.exists(self.socket_path):
+                os.unlink(self.socket_path)
+
+
+def _classify(result_path, exitcode, timed_out, timeout):
+    """Map a finished/killed worker to (outcome, payload, rss_kb, error)
+    with the same semantics as the runner's ``_finish_attempt``."""
+    if os.path.exists(result_path):
+        try:
+            with open(result_path, "r", encoding="utf-8") as handle:
+                result = json.load(handle)
+            rss_kb = int(result.get("peak_rss_kb", 0))
+            if result.get("ok"):
+                return "ok", result["payload"], rss_kb, ""
+            return (
+                "crashed",
+                None,
+                rss_kb,
+                result.get("error", f"worker exit code {exitcode}"),
+            )
+        except (ValueError, KeyError) as exc:
+            return "crashed", None, 0, f"unreadable worker result: {exc}"
+    if timed_out:
+        return (
+            "timeout",
+            None,
+            0,
+            f"exceeded task timeout of {timeout}s; worker killed",
+        )
+    return (
+        "crashed",
+        None,
+        0,
+        f"worker died with exit code {exitcode} and no result",
+    )
+
+
+def _daemon_worker_entry(task, config_data, result_path):
+    """Picklable spawn target: delegate to the runner's worker main."""
+    from ..harness.runner import _worker_main
+
+    _worker_main(task, config_data, result_path)

@@ -1,4 +1,4 @@
-"""Engine registry, AtpgEngine protocol and deprecation shims."""
+"""Engine registry, AtpgEngine protocol and retired legacy spellings."""
 
 import warnings
 
@@ -19,10 +19,8 @@ from repro.atpg.registry import EngineSpec, register_engine
 from repro.errors import AtpgError
 from repro.obs import Observability
 
-# Any DeprecationWarning not explicitly expected by a test is a bug:
-# either our own code calls a shimmed API, or a shim fires when the
-# modern spelling is used.  (pytest.warns blocks override this filter,
-# so the shim tests below still pass.)
+# Any DeprecationWarning raised in this file is a bug: the PR 3
+# engine-kwarg shims are retired, so nothing here should warn.
 pytestmark = pytest.mark.filterwarnings("error::DeprecationWarning")
 
 LEAN = EffortBudget(
@@ -110,55 +108,25 @@ class TestProtocol:
         assert not isinstance(NotAnEngine(), AtpgEngine)
 
 
-class TestDeprecationShims:
-    def test_hitec_fill_seed_warns_and_maps(self, dk16_rugged):
-        with pytest.warns(DeprecationWarning, match="fill_seed"):
-            engine = HitecEngine(
-                dk16_rugged.circuit, budget=LEAN, fill_seed=5
-            )
-        reference = HitecEngine(dk16_rugged.circuit, budget=LEAN, rng_seed=5)
-        assert engine.run().counters() == reference.run().counters()
+class TestRetiredShims:
+    """The PR 3 ``fill_seed``/``seed`` DeprecationWarning shims are
+    gone: the legacy spellings now fail loudly instead of warning."""
 
-    def test_sest_fill_seed_warns(self, dk16_rugged):
-        with pytest.warns(DeprecationWarning, match="fill_seed"):
+    def test_hitec_fill_seed_rejected(self, dk16_rugged):
+        with pytest.raises(TypeError, match="fill_seed"):
+            HitecEngine(dk16_rugged.circuit, budget=LEAN, fill_seed=5)
+
+    def test_sest_fill_seed_rejected(self, dk16_rugged):
+        with pytest.raises(TypeError, match="fill_seed"):
             SestEngine(dk16_rugged.circuit, budget=LEAN, fill_seed=5)
 
-    def test_simbased_seed_warns_and_maps(self, dk16_rugged):
-        with pytest.warns(DeprecationWarning, match="seed"):
-            engine = SimBasedEngine(dk16_rugged.circuit, budget=LEAN, seed=5)
-        reference = SimBasedEngine(
-            dk16_rugged.circuit, budget=LEAN, rng_seed=5
-        )
-        assert engine.run().counters() == reference.run().counters()
-
-    def test_warning_attributed_to_call_site(self, dk16_rugged):
-        """stacklevel=2: the warning points at the caller, not at the
-        shim inside the engine module — so per-call-site dedup and
-        ``-W error`` tracebacks name the line to fix."""
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            HitecEngine(dk16_rugged.circuit, budget=LEAN, fill_seed=5)
-        (warning,) = caught
-        assert warning.filename == __file__
-
-    def test_warns_once_per_call_site(self, dk16_rugged):
-        """Under the default filter, repeated calls from the same line
-        produce one warning — a migration loop doesn't spam the log."""
-
-        def construct():
-            return HitecEngine(
-                dk16_rugged.circuit, budget=LEAN, fill_seed=5
-            )
-
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("default")
-            for _ in range(5):
-                construct()
-        assert len(caught) == 1
-        assert issubclass(caught[0].category, DeprecationWarning)
+    def test_simbased_seed_rejected(self, dk16_rugged):
+        with pytest.raises(TypeError, match="seed"):
+            SimBasedEngine(dk16_rugged.circuit, budget=LEAN, seed=5)
 
     def test_modern_spelling_is_silent(self, dk16_rugged):
-        """rng_seed= must not trip any shim (the module-level
+        """rng_seed= is the one seed spelling, and constructing engines
+        with it must not raise any DeprecationWarning (the module-level
         error::DeprecationWarning filter enforces this for the whole
         file; this test pins it explicitly)."""
         with warnings.catch_warnings():
@@ -166,3 +134,9 @@ class TestDeprecationShims:
             HitecEngine(dk16_rugged.circuit, budget=LEAN, rng_seed=5)
             SestEngine(dk16_rugged.circuit, budget=LEAN, rng_seed=5)
             SimBasedEngine(dk16_rugged.circuit, budget=LEAN, rng_seed=5)
+
+    def test_legacy_counter_exports_removed(self):
+        import repro.atpg as atpg
+
+        assert not hasattr(atpg, "LEGACY_COUNTER_KEYS")
+        assert not hasattr(atpg, "normalize_counters")

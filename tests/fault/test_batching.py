@@ -135,3 +135,72 @@ class TestSchedulingKnobs:
                 "sim.pattern_batches", circuit=circuit.name
             ).snapshot()
         assert batches[True] <= batches[False]
+
+
+class TestSingleFaultStepperCache:
+    """detects() reuses a cached bound stepper per single fault — a
+    pure perf move: results and every deterministic counter must match
+    a fresh-bind-per-call simulator exactly, on both backends."""
+
+    def _counters(self, simulator):
+        circuit = simulator.circuit
+        return {
+            "sim.events": simulator.events_counter.snapshot(),
+            "sim.pattern_batches": simulator.metrics.counter(
+                "sim.pattern_batches", circuit=circuit.name
+            ).snapshot(),
+            "sim.words_packed": simulator.metrics.counter(
+                "sim.words_packed", circuit=circuit.name
+            ).snapshot(),
+        }
+
+    @pytest.mark.parametrize("backend", ["compiled", "interpreted"])
+    def test_repeated_detects_matches_fresh_binds(
+        self, dk16_rugged, backend
+    ):
+        circuit = dk16_rugged.circuit
+        sequences = _sequences(circuit, seed=21, num_sequences=5)
+        cached = FaultSimulator(circuit, backend=backend)
+        faults = cached.faults[:8]
+
+        # Oracle: a fresh simulator per call can never share a stepper.
+        fresh_results = []
+        fresh_totals = {
+            "sim.events": 0,
+            "sim.pattern_batches": 0,
+            "sim.words_packed": 0,
+        }
+        for fault in faults:
+            for sequence in sequences:
+                oracle = FaultSimulator(
+                    circuit, faults=faults, backend=backend
+                )
+                fresh_results.append(oracle.detects(sequence, fault))
+                for key, value in self._counters(oracle).items():
+                    fresh_totals[key] += value
+
+        cached_results = [
+            cached.detects(sequence, fault)
+            for fault in faults
+            for sequence in sequences
+        ]
+        assert cached_results == fresh_results
+        assert any(cached_results)  # the oracle must exercise hits
+        assert self._counters(cached) == fresh_totals
+        # The cache actually engaged: one stepper per distinct fault.
+        assert len(cached._single_steppers) == len(faults)
+
+    def test_detects_interleaved_with_run_stays_invariant(
+        self, dk16_rugged
+    ):
+        """Mixing group runs and cached single-fault detects leaves the
+        batch reports untouched."""
+        circuit = dk16_rugged.circuit
+        sequences = _sequences(circuit, seed=23)
+        reference = _report_core(FaultSimulator(circuit).run(sequences))
+
+        mixed = FaultSimulator(circuit)
+        fault = mixed.faults[0]
+        for sequence in sequences:
+            mixed.detects(sequence, fault)
+        assert _report_core(mixed.run(sequences)) == reference

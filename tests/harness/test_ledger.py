@@ -49,22 +49,19 @@ class TestRecordRoundTrip:
         data["added_in_v9"] = {"future": True}
         assert TaskRecord.from_dict(data) == record()
 
-    def test_v1_flat_counters_are_normalized(self):
-        """A v1 ledger row (flat counter keys, no metrics field) loads
-        as a record carrying the dotted schema."""
+    def test_v1_rows_are_rejected(self):
+        """A v1 ledger row (flat counter keys) predates
+        MIN_RECORD_VERSION: from_dict raises, and load_records counts
+        the line with the torn ones so a pre-v2 ledger resumes as if
+        empty instead of resuming with mis-spelled counters."""
         data = json.loads(record().to_json())
         data["v"] = 1
         del data["metrics"]
         data["counters"] = {
             "original": {"backtracks": 7, "total_faults": 50},
-            "retimed": {"cpu_seconds": 1.5},
         }
-        restored = TaskRecord.from_dict(data)
-        assert restored.counters == {
-            "original": {"atpg.backtracks": 7, "atpg.faults_total": 50},
-            "retimed": {"atpg.cpu_seconds": 1.5},
-        }
-        assert restored.metrics == {}
+        with pytest.raises(ValueError, match="MIN_RECORD_VERSION"):
+            TaskRecord.from_dict(data)
 
     def test_v2_rows_get_perf_synthesized_on_load(self):
         """A v2 row (no perf payload) loads with the deterministic perf

@@ -1,0 +1,18 @@
+"""Service-test fixtures.
+
+The synthesis/pair caches in :mod:`repro.harness.suite` are process
+globals; cell-key construction synthesizes pairs through them, so every
+service test starts and ends with cold caches (same policy as the
+harness tests).
+"""
+
+import pytest
+
+from repro.harness import suite
+
+
+@pytest.fixture(autouse=True)
+def fresh_suite_caches():
+    suite.clear_caches()
+    yield
+    suite.clear_caches()

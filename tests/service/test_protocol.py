@@ -1,0 +1,106 @@
+"""Wire protocol framing and client error taxonomy (no daemon)."""
+
+import socket
+
+import pytest
+
+from repro.service.client import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    ServiceClient,
+    ServiceError,
+    recv_message,
+    send_message,
+)
+
+
+class _End:
+    """One side of a socketpair: the protocol handle plus the socket
+    (closing a makefile handle does not close the socket, so EOF tests
+    must close both)."""
+
+    def __init__(self, sock):
+        self.sock = sock
+        self.handle = sock.makefile("rw", encoding="utf-8", newline="\n")
+
+    def close(self):
+        try:
+            self.handle.close()
+        except (BrokenPipeError, OSError):
+            pass
+        self.sock.close()
+
+
+@pytest.fixture
+def pipe():
+    """Two connected protocol endpoints over a local socketpair."""
+    left_sock, right_sock = socket.socketpair()
+    left, right = _End(left_sock), _End(right_sock)
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestFraming:
+    def test_round_trip(self, pipe):
+        left, right = pipe
+        send_message(left.handle, {"op": "ping", "n": 1})
+        assert recv_message(right.handle) == {"op": "ping", "n": 1}
+
+    def test_multiple_messages_per_connection(self, pipe):
+        left, right = pipe
+        for index in range(3):
+            send_message(left.handle, {"n": index})
+        assert [recv_message(right.handle)["n"] for _ in range(3)] == [
+            0,
+            1,
+            2,
+        ]
+
+    def test_clean_eof_is_none(self, pipe):
+        left, right = pipe
+        left.close()
+        assert recv_message(right.handle) is None
+
+    def test_non_json_line_raises(self, pipe):
+        left, right = pipe
+        left.handle.write("this is not json\n")
+        left.handle.flush()
+        with pytest.raises(ProtocolError, match="undecodable"):
+            recv_message(right.handle)
+
+    def test_non_object_message_raises(self, pipe):
+        left, right = pipe
+        left.handle.write("[1,2,3]\n")
+        left.handle.flush()
+        with pytest.raises(ProtocolError, match="JSON objects"):
+            recv_message(right.handle)
+
+    def test_unterminated_line_raises(self, pipe):
+        left, right = pipe
+        left.handle.write('{"op": "ping"}')  # no newline, then EOF
+        left.close()
+        with pytest.raises(ProtocolError, match="truncated"):
+            recv_message(right.handle)
+
+    def test_line_cap_is_generous(self):
+        """A full TaskRecord envelope is well under the frame cap."""
+        assert MAX_LINE_BYTES >= 16 * 1024 * 1024
+
+
+class TestClientErrors:
+    def test_no_daemon_is_service_error(self, tmp_path):
+        client = ServiceClient(str(tmp_path / "nowhere.sock"), timeout=0.5)
+        with pytest.raises(ServiceError, match="no daemon"):
+            client.ping()
+
+    def test_dead_socket_file_is_service_error(self, tmp_path):
+        """A socket file with no listener (daemon killed) must raise the
+        clean client error, not leak ConnectionRefusedError."""
+        path = str(tmp_path / "stale.sock")
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.bind(path)
+        sock.close()  # file remains, nobody listens
+        client = ServiceClient(path, timeout=0.5)
+        with pytest.raises(ServiceError, match="no daemon"):
+            client.ping()
