@@ -16,6 +16,15 @@ By default the cold run's cache misses are executed by a spawned
 stats are dumped to ``--stats-output`` as the CI artifact.  Pass
 ``--no-daemon`` to exercise only the in-process store path.
 
+With the daemon up, the smoke also exercises its telemetry plane: the
+``metrics`` op is scraped after the cold run (per-op request counters
+must match the submitted cell count) and again after a direct
+cache-hit resubmit (``service.cache_hits`` must appear and read 1);
+two consecutive scrapes of the then-quiesced daemon must be
+byte-identical, and the final exposition is written to
+``<work-dir>/metrics.txt`` next to the daemon's ``telemetry.jsonl``
+for CI to upload.
+
 Usage::
 
     python scripts/cache_smoke.py                      # quick preset
@@ -37,6 +46,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 from repro.harness import run_all  # noqa: E402
+from repro.harness.cache import ServiceSession  # noqa: E402
 from repro.harness.config import HarnessConfig  # noqa: E402
 from repro.harness.report import science_text  # noqa: E402
 from repro.harness.runner import build_task_graph  # noqa: E402
@@ -214,6 +224,25 @@ def main(argv=None) -> int:
             f"store holds {cold['store']['entries']} entries after the "
             f"cold run, expected {cells}",
         )
+        if client is not None:
+            # Cold-side telemetry: every miss went over the socket, so
+            # the daemon's per-op submit counter must equal the cell
+            # count, and its own cache saw only misses.
+            exposition = client.metrics()["exposition"]
+            lines = exposition.splitlines()
+            check(
+                f"service.requests{{op=submit}} {cells}" in lines,
+                "cold exposition does not count one submit per cell",
+            )
+            check(
+                "service.cache_hits 0" in lines,
+                "cold exposition reports daemon-side cache hits",
+            )
+            check(
+                f"service.cache_misses {cells}" in lines,
+                "cold exposition misses do not match the cell count",
+            )
+            emit("[cache-smoke] cold metrics exposition OK")
 
         warm_report, warm_dir, warm = run_once(
             base, "warm", work_dir, args.jobs, socket_path
@@ -244,6 +273,38 @@ def main(argv=None) -> int:
         emit("[cache-smoke] warm run is a byte-identical replay")
 
         if client is not None:
+            # The warm harness is served by the parent-side store probe
+            # and never reaches the daemon, so resubmit one known cell
+            # directly to exercise the daemon's own cache-hit path.
+            session = ServiceSession(base)
+            task = build_task_graph(base)[0]
+            response = client.submit(
+                session.cell_key(task),
+                dataclasses.asdict(task),
+                base.to_dict(),
+            )
+            check(
+                response.get("cached") is True,
+                "daemon did not serve a known cell from its store",
+            )
+            check(
+                bool(response.get("trace_id")),
+                "daemon cache-hit response carries no trace id",
+            )
+            scrape = client.metrics()["exposition"]
+            check(
+                scrape == client.metrics()["exposition"],
+                "two scrapes of a quiesced daemon are not byte-identical",
+            )
+            check(
+                "service.cache_hits 1" in scrape.splitlines(),
+                "warm exposition does not show the daemon-side cache hit",
+            )
+            metrics_file = os.path.join(work_dir, "metrics.txt")
+            with open(metrics_file, "w", encoding="utf-8") as handle:
+                handle.write(scrape)
+            emit(f"[cache-smoke] metrics artifact: {metrics_file}")
+
             daemon_stats = client.stats()
             check(
                 daemon_stats["store"]["entries"] == cells,

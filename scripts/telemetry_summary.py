@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""Per-job rollup of a service daemon's telemetry.jsonl event log.
+
+Usage::
+
+    python scripts/telemetry_summary.py cache/daemon/telemetry.jsonl
+    python scripts/telemetry_summary.py --store cache     # <store>/daemon/
+    python scripts/telemetry_summary.py --store cache --json
+
+One row per job: terminal state, cache/attach status, attempts,
+retries, queue wait and run time — the fleet-health view of a daemon's
+lifetime, built from the same event stream the unified traces are
+reassembled from.  Tolerates the torn tail of a SIGKILLed daemon
+(dropped lines are reported to stderr).
+
+Exit codes::
+
+    0  every job healthy (done or served from cache)
+    1  findings: failed / quarantined / watchdog-flagged jobs
+    2  no usable event log (missing file or store)
+
+Diagnostics go to stderr so a piped summary stays clean.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"),
+)
+
+from repro.obs.telemetry import TELEMETRY_NAME, load_events, summarize_jobs
+
+
+class TelemetryError(Exception):
+    """No usable event log (exit code 2)."""
+
+
+def find_log(args) -> str:
+    if args.telemetry:
+        return args.telemetry
+    if args.store:
+        return os.path.join(args.store, "daemon", TELEMETRY_NAME)
+    raise TelemetryError("pass a telemetry.jsonl path or --store")
+
+
+def _fmt_seconds(value) -> str:
+    return "-" if value is None else f"{value:.3f}"
+
+
+def render_table(summaries) -> str:
+    width = max([len("job")] + [len(s.job) for s in summaries])
+    task_width = max([len("task")] + [len(s.task or "-") for s in summaries])
+    lines = [
+        f"  {'job'.ljust(width)}  {'task'.ljust(task_width)}  "
+        f"{'state':<9}  {'att':>3}  {'retry':>5}  {'queue s':>8}  "
+        f"{'run s':>8}  flags",
+    ]
+    for s in summaries:
+        state = "cached" if s.cached else s.state
+        flags = []
+        if s.quarantined:
+            flags.append("quarantined")
+        if s.watchdog_flags:
+            flags.append(f"watchdog×{s.watchdog_flags}")
+        lines.append(
+            f"  {s.job.ljust(width)}  {(s.task or '-').ljust(task_width)}  "
+            f"{state:<9}  {s.attempts:>3}  {s.retries:>5}  "
+            f"{_fmt_seconds(s.queue_seconds):>8}  "
+            f"{_fmt_seconds(s.run_seconds):>8}  {','.join(flags) or '-'}"
+        )
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Per-job latency/retry rollup of a daemon's "
+        "telemetry.jsonl structured event log.",
+        epilog="examples:\n"
+        "  python scripts/telemetry_summary.py "
+        "cache/daemon/telemetry.jsonl\n"
+        "  python scripts/telemetry_summary.py --store cache\n"
+        "\n"
+        "exit codes: 0 = all jobs healthy, 1 = failed/quarantined/"
+        "watchdog-flagged jobs, 2 = no usable event log",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "telemetry",
+        nargs="?",
+        default=None,
+        help="path to a telemetry.jsonl (default: derive from --store)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help=f"result store root; reads <DIR>/daemon/{TELEMETRY_NAME}",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the rollup as a JSON array instead of a table",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        log_file = find_log(args)
+        events, dropped = load_events(log_file)
+    except TelemetryError as exc:
+        print(f"telemetry_summary: error: {exc}", file=sys.stderr)
+        return 2
+    except (FileNotFoundError, OSError) as exc:
+        print(
+            f"telemetry_summary: error: unreadable event log: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    if dropped:
+        print(
+            f"telemetry_summary: warning: dropped {dropped} torn/invalid "
+            "line(s)",
+            file=sys.stderr,
+        )
+
+    summaries = summarize_jobs(events)
+    unhealthy = [
+        s
+        for s in summaries
+        if s.quarantined
+        or s.watchdog_flags
+        or (not s.cached and s.state not in ("done", "cancelled"))
+    ]
+    if args.json:
+        print(json.dumps([s.to_dict() for s in summaries], indent=2))
+    else:
+        print(f"Telemetry rollup ({log_file}): {len(summaries)} job(s)")
+        if summaries:
+            print(render_table(summaries))
+        watchdogs = sum(
+            1 for e in events if e.get("event") == "watchdog"
+        )
+        retries = sum(s.retries for s in summaries)
+        cached = sum(1 for s in summaries if s.cached)
+        print(
+            f"  cached={cached} retries={retries} "
+            f"watchdog_events={watchdogs} unhealthy={len(unhealthy)}"
+        )
+    if unhealthy:
+        print(
+            "telemetry_summary: unhealthy jobs: "
+            + ", ".join(s.job for s in unhealthy),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `... | head` closed the pipe
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

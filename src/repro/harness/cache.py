@@ -33,6 +33,7 @@ import json
 from typing import Callable, Dict, List, Optional
 
 from ..obs import MetricsRegistry
+from ..obs.telemetry import TraceContext
 from ..service import ResultStore, ServiceClient
 from ..service import keys as service_keys
 from . import ledger as ledger_mod
@@ -56,6 +57,9 @@ class ServiceSession:
         self.misses = self.metrics.counter("service.cache_misses")
         self.queue_depth = self.metrics.gauge("service.queue_depth")
         self._cell_keys: Dict[str, str] = {}
+        #: task key -> trace id for cells routed through the daemon
+        #: (advisory: joins this run to the daemon's telemetry.jsonl).
+        self.daemon_traces: Dict[str, str] = {}
 
     # -- keys ----------------------------------------------------------
 
@@ -135,13 +139,25 @@ class ServiceSession:
         collects results in canonical order, appending each returned
         record — success or quarantine — to the run ledger so report
         assembly is oblivious to where the cell ran.
+
+        Each submit is stamped with a fresh trace context whose trace
+        id is kept in :attr:`daemon_traces` (and the session summary),
+        so the daemon-side telemetry event log can be joined back to
+        this run's cells.
         """
         client = ServiceClient(self.config.service_socket)
         config_data = self.config.to_dict()
         jobs = []
         for task in tasks:
+            context = TraceContext.new()
             response = client.submit(
-                self.cell_key(task), dataclasses.asdict(task), config_data
+                self.cell_key(task),
+                dataclasses.asdict(task),
+                config_data,
+                trace=context,
+            )
+            self.daemon_traces[task.key] = response.get(
+                "trace_id", context.trace_id
             )
             jobs.append((task, response["job"]))
         pending = len(jobs)
@@ -171,5 +187,8 @@ class ServiceSession:
             "cache_misses": self.misses.value,
             "store": self.store.stats().to_dict() if self.store else None,
             "socket": self.config.service_socket,
+            # None (not {}) when no cell went through the daemon, so
+            # store-only cold/warm summaries stay comparable.
+            "daemon_traces": self.daemon_traces or None,
         }
         return data

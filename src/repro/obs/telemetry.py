@@ -1,0 +1,408 @@
+"""Cross-process telemetry: trace propagation, event logs, fleet health.
+
+:mod:`repro.obs.trace` made effort observable *inside* one process —
+every engine run is a WorkClock-timed span tree.  The service layer
+(PR 8) broke that visibility: a job submitted over the unix socket
+crosses client → daemon → worker with nothing tying the three sides
+together.  This module is the glue:
+
+* :class:`TraceContext` — the propagated identity of one distributed
+  trace: a ``trace_id`` shared by every span of one job plus the
+  ``span_id`` of the *current* span, stamped into protocol messages by
+  :meth:`repro.service.client.ServiceClient.submit` and continued by
+  the daemon;
+* :class:`TelemetryLog` — an append-only structured event log
+  (``telemetry.jsonl`` next to the daemon ledger): one JSON object per
+  job-lifecycle event (``submitted``/``started``/``retried``/
+  ``quarantined``/``cached``/``finished``/…) with monotonic
+  timestamps, written with a lock so the daemon's worker threads can
+  share one log;
+* :func:`assemble_job_trace` — reassembles one job's unified trace:
+  the client submit span, the daemon queue/execute spans (rebuilt from
+  the event log) and the worker-side span tree (riding in the
+  TaskRecord payload when the config profiles), all linked by span ids
+  under one trace id and exportable through the existing
+  :func:`repro.obs.export.canonical_lines` machinery.
+
+Science boundary: everything here is advisory.  Trace ids are random,
+timestamps are wall/monotonic clocks — none of it may enter ledger
+rows, reports or perf fingerprints.  Worker span trees therefore stay
+*untouched* in the TaskRecord (a daemon-computed record must remain
+byte-identical to a locally computed one); the linking happens at
+reassembly time, keyed by job identity recorded in the event log.  In
+assembled spans every machine-dependent timestamp lives under a
+``wall``-prefixed field, which :func:`~repro.obs.export
+.canonical_lines` strips before any equivalence comparison.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .export import read_jsonl
+from .trace import make_span_record
+
+#: File name of the daemon's structured event log (sits next to the
+#: daemon ledger in its work directory).
+TELEMETRY_NAME = "telemetry.jsonl"
+
+#: Event kinds the daemon emits (documented contract; the log itself
+#: accepts any kind so the schema can grow without a version bump).
+EVENT_KINDS = (
+    "daemon.start",
+    "daemon.stop",
+    "submitted",
+    "cached",
+    "attached",
+    "started",
+    "retried",
+    "quarantined",
+    "cancelled",
+    "finished",
+    "watchdog",
+)
+
+#: Latency histogram buckets in seconds: sub-second queue waits up to
+#: multi-minute heavy cells.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.01, 0.05, 0.1, 0.5, 1, 5, 15, 60, 300, 1200,
+)
+
+
+def gen_trace_id() -> str:
+    """A fresh 128-bit trace id (random — telemetry is not science)."""
+    return os.urandom(16).hex()
+
+
+def gen_span_id() -> str:
+    """A fresh 64-bit span id."""
+    return os.urandom(8).hex()
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceContext:
+    """The propagated identity of one distributed trace.
+
+    ``trace_id`` names the whole trace; ``span_id`` names the span the
+    carrier is currently inside (so a receiver parents its own spans
+    under it).
+    """
+
+    trace_id: str
+    span_id: str
+
+    @classmethod
+    def new(cls) -> "TraceContext":
+        return cls(trace_id=gen_trace_id(), span_id=gen_span_id())
+
+    def child(self) -> "TraceContext":
+        """A context for a new span continuing this trace."""
+        return TraceContext(trace_id=self.trace_id, span_id=gen_span_id())
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_dict(cls, data: Any) -> Optional["TraceContext"]:
+        """Parse a propagated context; None if the carrier is absent or
+        malformed (telemetry must never fail a request)."""
+        if not isinstance(data, dict):
+            return None
+        trace_id = data.get("trace_id")
+        span_id = data.get("span_id")
+        if not isinstance(trace_id, str) or not isinstance(span_id, str):
+            return None
+        if not trace_id or not span_id:
+            return None
+        return cls(trace_id=trace_id, span_id=span_id)
+
+
+class TelemetryLog:
+    """Append-only JSONL event log with monotonic timestamps.
+
+    Thread-safe: the daemon's protocol handlers, worker threads and the
+    watchdog all write to one log.  Every record carries ``event`` (the
+    kind), ``t_mono`` (monotonic seconds, orders events within one
+    daemon lifetime) and ``t_wall`` (epoch seconds, for humans); the
+    remaining fields are the event's own.  Writes are line-buffered and
+    flushed per event — a SIGKILL loses at most the final line, and
+    :func:`load_events` tolerates that torn tail.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._lock = threading.Lock()
+        self._handle = None
+
+    def event(self, kind: str, /, **fields: Any) -> Dict[str, Any]:
+        """Append one event; returns the record written.
+
+        ``kind`` is positional-only so events may carry their own
+        ``kind`` field (the watchdog does).
+        """
+        record: Dict[str, Any] = {
+            "event": kind,
+            "t_mono": time.monotonic(),
+            "t_wall": time.time(),
+        }
+        record.update(fields)
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            if self._handle is None:
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(line + "\n")
+            self._handle.flush()
+        return record
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+def load_events(path: str) -> Tuple[List[Dict[str, Any]], int]:
+    """Read an event log; returns ``(events, dropped_lines)``.
+
+    Undecodable lines (the torn tail of a SIGKILLed daemon) are
+    dropped and counted, never raised — a health report must work on
+    the log of a crashed fleet.
+    """
+    return read_jsonl(path, tolerant=True)
+
+
+def events_for_job(
+    events: Iterable[Dict[str, Any]], job: str
+) -> List[Dict[str, Any]]:
+    """The subset of events belonging to one job id, in log order."""
+    return [event for event in events if event.get("job") == job]
+
+
+# ---------------------------------------------------------------------------
+# Unified-trace reassembly.
+
+
+def assemble_job_trace(
+    events: Iterable[Dict[str, Any]],
+    job: str,
+    worker_spans: Sequence[Dict[str, Any]] = (),
+) -> List[Dict[str, Any]]:
+    """One job's unified trace: client → daemon → worker, linked.
+
+    ``events`` is a full (or pre-filtered) event log; ``worker_spans``
+    is the job record's ``payload["trace"]`` (present when the
+    submitted config profiles; pass ``()`` otherwise).  Returns span
+    records shaped for :func:`repro.obs.export.write_trace_jsonl` /
+    :func:`~repro.obs.export.canonical_lines`:
+
+    * ``client.submit`` — the root, its ``span_id`` taken from the
+      trace context the client stamped into the submit;
+    * ``service.queue`` — child of the submit span, covering
+      submission to first execution attempt (or to the terminal event
+      for jobs that never ran);
+    * ``service.execute`` — one child of the queue span per attempt;
+    * the worker span tree — re-rooted under the final execute span,
+      worker-local integer ``seq``/``parent`` links preserved and
+      mirrored as ``w<seq>`` span ids.
+
+    Every span carries ``trace_id`` and ``job``; monotonic event
+    timestamps land in ``wall_t0``/``wall_t1`` so the canonical form of
+    the assembled trace is machine-independent.
+    """
+    job_events = events_for_job(events, job)
+    if not job_events:
+        return []
+    spans: List[Dict[str, Any]] = []
+    root = next(
+        (
+            event
+            for event in job_events
+            if event["event"] in ("submitted", "cached", "attached")
+        ),
+        None,
+    )
+    if root is None:
+        return []
+    trace_id = root.get("trace_id")
+    client_span = root.get("client_span") or gen_span_id()
+    terminal = next(
+        (e for e in job_events if e["event"] == "finished"), job_events[-1]
+    )
+
+    def span(name, span_id, parent_id, t0, t1, **attrs):
+        record = make_span_record(
+            seq=len(spans),
+            parent=None,
+            name=name,
+            path=name,
+            attrs=attrs,
+            t0=None,
+            t1=None,
+            wall_ms=None,
+        )
+        record.update(
+            {
+                "trace_id": trace_id,
+                "job": job,
+                "span_id": span_id,
+                "parent_id": parent_id,
+                "wall_t0": t0,
+                "wall_t1": t1,
+            }
+        )
+        spans.append(record)
+        return record
+
+    span(
+        "client.submit",
+        client_span,
+        None,
+        root["t_mono"],
+        terminal["t_mono"],
+        cell=root.get("cell"),
+        task=root.get("task"),
+        cached=root["event"] == "cached",
+    )
+    if root["event"] == "cached":
+        return spans
+
+    starts = [e for e in job_events if e["event"] == "started"]
+    queue_span = root.get("queue_span") or gen_span_id()
+    queue_end = starts[0]["t_mono"] if starts else terminal["t_mono"]
+    span(
+        "service.queue",
+        queue_span,
+        client_span,
+        root["t_mono"],
+        queue_end,
+        cell=root.get("cell"),
+    )
+    ends_by_attempt: Dict[int, float] = {}
+    for event in job_events:
+        if event["event"] in ("retried", "finished", "quarantined"):
+            attempt = event.get("attempt")
+            if attempt is not None:
+                ends_by_attempt.setdefault(attempt, event["t_mono"])
+    exec_span = None
+    for start in starts:
+        attempt = start.get("attempt", 0)
+        exec_span = start.get("exec_span") or gen_span_id()
+        span(
+            "service.execute",
+            exec_span,
+            queue_span,
+            start["t_mono"],
+            ends_by_attempt.get(attempt, terminal["t_mono"]),
+            attempt=attempt,
+            worker=start.get("worker"),
+        )
+    if exec_span is None:
+        return spans
+
+    # Worker span tree, re-rooted under the last execute span.  The
+    # original records are never mutated: they are ledger payload.
+    for worker_span in worker_spans:
+        record = dict(worker_span)
+        seq = record.get("seq")
+        parent = record.get("parent")
+        record["trace_id"] = trace_id
+        record["job"] = job
+        record["span_id"] = f"w{seq}"
+        record["parent_id"] = f"w{parent}" if parent is not None else exec_span
+        spans.append(record)
+    return spans
+
+
+def assemble_traces(
+    events: Iterable[Dict[str, Any]],
+    worker_spans_by_job: Optional[Dict[str, Sequence[Dict[str, Any]]]] = None,
+) -> Dict[str, List[Dict[str, Any]]]:
+    """Every job's unified trace, keyed by trace id."""
+    events = list(events)
+    worker_spans_by_job = worker_spans_by_job or {}
+    jobs: List[str] = []
+    for event in events:
+        job = event.get("job")
+        if job and job not in jobs:
+            jobs.append(job)
+    traces: Dict[str, List[Dict[str, Any]]] = {}
+    for job in jobs:
+        spans = assemble_job_trace(
+            events, job, worker_spans_by_job.get(job, ())
+        )
+        if spans:
+            traces[spans[0]["trace_id"]] = spans
+    return traces
+
+
+# ---------------------------------------------------------------------------
+# Per-job rollup (scripts/telemetry_summary.py and the --watch view).
+
+
+@dataclasses.dataclass
+class JobSummary:
+    """Lifecycle rollup of one job from its event stream."""
+
+    job: str
+    cell: str = ""
+    task: str = ""
+    state: str = "unknown"
+    cached: bool = False
+    attempts: int = 0
+    retries: int = 0
+    quarantined: bool = False
+    watchdog_flags: int = 0
+    queue_seconds: Optional[float] = None
+    run_seconds: Optional[float] = None
+    total_seconds: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+def summarize_jobs(events: Iterable[Dict[str, Any]]) -> List[JobSummary]:
+    """Per-job lifecycle summaries, in first-seen order."""
+    summaries: Dict[str, JobSummary] = {}
+    first_seen: Dict[str, float] = {}
+    first_start: Dict[str, float] = {}
+    for event in events:
+        job = event.get("job")
+        if not job:
+            continue
+        summary = summaries.get(job)
+        if summary is None:
+            summary = summaries[job] = JobSummary(job=job)
+        kind = event["event"]
+        if kind in ("submitted", "cached", "attached"):
+            first_seen.setdefault(job, event["t_mono"])
+            summary.cell = event.get("cell") or summary.cell
+            summary.task = event.get("task") or summary.task
+            if kind == "cached":
+                summary.cached = True
+                summary.state = "done"
+        elif kind == "started":
+            summary.attempts += 1
+            first_start.setdefault(job, event["t_mono"])
+            if job in first_seen:
+                summary.queue_seconds = event["t_mono"] - first_seen[job]
+        elif kind == "retried":
+            summary.retries += 1
+        elif kind == "quarantined":
+            summary.quarantined = True
+        elif kind == "watchdog":
+            summary.watchdog_flags += 1
+        elif kind == "finished":
+            summary.state = event.get("state", "done")
+            if job in first_seen:
+                summary.total_seconds = event["t_mono"] - first_seen[job]
+            if job in first_start:
+                summary.run_seconds = event["t_mono"] - first_start[job]
+    return list(summaries.values())

@@ -162,17 +162,48 @@ class Tracer:
         if self._stack:
             self._stack.pop()
         t1 = span._clock.seconds() if span._clock else None
-        record: Dict[str, Any] = {
-            "seq": span.seq,
-            "parent": span.parent,
-            "name": span.name,
-            "path": span.path,
-            "attrs": span.attrs,
-            "t0": span._t0,
-            "t1": t1,
-            "wall_ms": (time.perf_counter() - span._wall0) * 1000.0,
-        }
-        self._sink.emit(record)
+        self._sink.emit(
+            make_span_record(
+                seq=span.seq,
+                parent=span.parent,
+                name=span.name,
+                path=span.path,
+                attrs=span.attrs,
+                t0=span._t0,
+                t1=t1,
+                wall_ms=(time.perf_counter() - span._wall0) * 1000.0,
+            )
+        )
+
+
+def make_span_record(
+    seq: Optional[int],
+    parent: Optional[int],
+    name: str,
+    path: str,
+    attrs: Dict[str, Any],
+    t0: Optional[float],
+    t1: Optional[float],
+    wall_ms: Optional[float],
+) -> Dict[str, Any]:
+    """The one span-record shape every producer emits.
+
+    Shared by :class:`Tracer` and the cross-process reassembly in
+    :mod:`repro.obs.telemetry`, so exporters and equivalence checks can
+    rely on a single schema: fingerprinted fields (``seq``/``parent``/
+    ``name``/``path``/``attrs``/``t0``/``t1``) plus ``wall``-prefixed
+    machine-dependent metadata.
+    """
+    return {
+        "seq": seq,
+        "parent": parent,
+        "name": name,
+        "path": path,
+        "attrs": attrs,
+        "t0": t0,
+        "t1": t1,
+        "wall_ms": wall_ms,
+    }
 
 
 def annotate(span: Any, **attrs: Any) -> None:

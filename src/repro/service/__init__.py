@@ -22,6 +22,15 @@ users — is served from cache instead of recomputed:
   harness's cache-first execution path
   (:func:`repro.harness.experiment.run_all` with ``store_dir``/
   ``service_socket`` set) is just another client.
+
+The daemon also carries a telemetry plane (PR 9, advisory only — never
+part of ledger rows or perf fingerprints): every submit propagates a
+client :class:`~repro.obs.telemetry.TraceContext` through queue and
+worker spans into one reassemblable trace, a ``telemetry.jsonl`` event
+log records the job lifecycle next to the ledger, a watchdog thread
+flags stuck workers and over-deadline jobs, and the ``metrics`` op /
+``python -m repro.service metrics`` exposes the daemon's registry in
+Prometheus text format.
 """
 
 from .keys import (

@@ -4,18 +4,27 @@
     python -m repro.service submit --preset quick --wait
     python -m repro.service get    --job job-3
     python -m repro.service stats
+    python -m repro.service metrics [--watch] [--textfile FILE]
 
 ``submit`` expands a harness preset into its experiment cells (the
 same task graph ``python -m repro run`` executes) and submits each
 cell's canonical key; with ``--wait`` it blocks until every job is
 terminal and prints one line per cell.
+
+``metrics`` scrapes the daemon's registry and prints it in the
+Prometheus-style text exposition (sorted, deterministic on a quiesced
+daemon); ``--watch`` re-scrapes every ``--interval`` seconds and
+``--textfile`` writes atomically to a node-exporter-style textfile
+instead of stdout.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import time
 from typing import List, Optional
 
 from .client import DEFAULT_SOCKET, ProtocolError, ServiceClient, ServiceError
@@ -37,6 +46,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--work-dir", default=None,
         help="daemon ledger/results dir (default: <store>/daemon)",
+    )
+    serve.add_argument(
+        "--watchdog-interval", type=float, default=5.0, metavar="SECONDS",
+        help="health-watchdog scan period (stuck workers, over-deadline "
+             "jobs; default: 5)",
     )
 
     submit = sub.add_parser("submit", help="submit experiment cells")
@@ -63,6 +77,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = sub.add_parser("stats", help="print daemon statistics")
     stats.add_argument("--socket", default=DEFAULT_SOCKET)
+
+    metrics = sub.add_parser(
+        "metrics", help="scrape the daemon's Prometheus-style exposition"
+    )
+    metrics.add_argument("--socket", default=DEFAULT_SOCKET)
+    metrics.add_argument(
+        "--watch", action="store_true",
+        help="keep scraping every --interval seconds until interrupted",
+    )
+    metrics.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="scrape period with --watch (default: 2)",
+    )
+    metrics.add_argument(
+        "--textfile", default=None, metavar="FILE",
+        help="write the exposition atomically to FILE (node-exporter "
+             "textfile collector style) instead of stdout",
+    )
     return parser
 
 
@@ -74,6 +106,7 @@ def _cmd_serve(args) -> int:
         store_dir=args.store,
         jobs=args.jobs,
         work_dir=args.work_dir,
+        watchdog_interval=args.watchdog_interval,
         emit=lambda line: print(line, flush=True),
     )
     try:
@@ -140,6 +173,33 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _write_textfile(path: str, text: str) -> None:
+    """Atomic exposition write: scrapers never see a torn file."""
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    os.replace(tmp_path, path)
+
+
+def _cmd_metrics(args) -> int:
+    client = ServiceClient(args.socket)
+    while True:
+        exposition = client.metrics()["exposition"]
+        if args.textfile:
+            _write_textfile(args.textfile, exposition)
+        else:
+            sys.stdout.write(exposition)
+            sys.stdout.flush()
+        if not args.watch:
+            return 0
+        try:
+            time.sleep(max(0.0, args.interval))
+        except KeyboardInterrupt:
+            return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     commands = {
@@ -147,6 +207,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "submit": _cmd_submit,
         "get": _cmd_get,
         "stats": _cmd_stats,
+        "metrics": _cmd_metrics,
     }
     try:
         return commands[args.command](args)

@@ -9,16 +9,28 @@ Responses always carry ``"ok"``: ``true`` with op-specific fields, or
 Operations (see :mod:`repro.service.daemon` for server semantics)::
 
     {"op": "ping"}
-    {"op": "submit", "cell": "<64-hex key>", "task": {...}, "config": {...}}
+    {"op": "submit", "cell": "<64-hex key>", "task": {...}, "config": {...},
+     "telemetry": {"trace_id": "<32 hex>", "span_id": "<16 hex>"}}
     {"op": "status", "job": "<job id>"}
     {"op": "result", "job": "<job id>"}
     {"op": "cancel", "job": "<job id>"}
     {"op": "stats"}
+    {"op": "metrics"}
     {"op": "shutdown"}
 
 :class:`ServiceClient` opens one connection per call, so a client
 object is trivially safe to share across threads and survives daemon
-restarts between calls.
+restarts between calls.  Every call is bounded by two timeouts —
+``connect_timeout`` (reaching the socket) and ``read_timeout`` (the
+daemon answering) — both surfacing as :class:`ServiceError`, so a hung
+daemon can never block a client forever.
+
+Trace propagation: ``submit`` stamps each request with a
+:class:`~repro.obs.telemetry.TraceContext` (a fresh one per submit
+unless the caller passes its own), which the daemon records into its
+``telemetry.jsonl`` event log and echoes back as ``trace_id`` — the
+handle that reassembles the client → daemon → worker spans into one
+trace (:func:`repro.obs.telemetry.assemble_job_trace`).
 """
 
 from __future__ import annotations
@@ -29,6 +41,8 @@ import socket
 import tempfile
 import time
 from typing import Any, Dict, Optional
+
+from ..obs.telemetry import TraceContext
 
 #: Where ``python -m repro.service`` talks when --socket is not given.
 DEFAULT_SOCKET = os.path.join(
@@ -73,26 +87,51 @@ def recv_message(handle) -> Optional[Dict[str, Any]]:
 class ServiceClient:
     """Blocking client for one daemon socket."""
 
-    def __init__(self, socket_path: str = DEFAULT_SOCKET, timeout: float = 30.0):
+    def __init__(
+        self,
+        socket_path: str = DEFAULT_SOCKET,
+        timeout: float = 30.0,
+        connect_timeout: Optional[float] = None,
+        read_timeout: Optional[float] = None,
+    ):
         self.socket_path = socket_path
         self.timeout = timeout
+        #: Seconds to reach the socket; falls back to ``timeout``.
+        self.connect_timeout = (
+            connect_timeout if connect_timeout is not None else timeout
+        )
+        #: Seconds for the daemon to answer one request; falls back to
+        #: ``timeout``.
+        self.read_timeout = read_timeout if read_timeout is not None else timeout
 
     # -- transport -----------------------------------------------------
 
     def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
         """One request/response round trip; raises ServiceError on an
-        error response, ProtocolError on a broken stream."""
+        error response or timeout, ProtocolError on a broken stream."""
         with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
-            sock.settimeout(self.timeout)
+            sock.settimeout(self.connect_timeout)
             try:
                 sock.connect(self.socket_path)
+            except socket.timeout as exc:
+                raise ServiceError(
+                    f"timed out connecting to {self.socket_path} "
+                    f"after {self.connect_timeout:g}s"
+                ) from exc
             except OSError as exc:
                 raise ServiceError(
                     f"no daemon at {self.socket_path}: {exc}"
                 ) from exc
+            sock.settimeout(self.read_timeout)
             with sock.makefile("rw", encoding="utf-8", newline="\n") as handle:
-                send_message(handle, message)
-                response = recv_message(handle)
+                try:
+                    send_message(handle, message)
+                    response = recv_message(handle)
+                except socket.timeout as exc:
+                    raise ServiceError(
+                        f"daemon at {self.socket_path} did not respond "
+                        f"within {self.read_timeout:g}s"
+                    ) from exc
         if response is None:
             raise ProtocolError("daemon closed the connection mid-request")
         if not response.get("ok"):
@@ -109,16 +148,36 @@ class ServiceClient:
         cell: str,
         task: Dict[str, Any],
         config: Dict[str, Any],
+        trace: Optional[TraceContext] = None,
     ) -> Dict[str, Any]:
         """Submit one cell; returns ``{"job": id, "state": ..., "cached": bool}``.
 
         Submitting a key whose result is already stored answers
         ``state="done"``/``cached=True`` without creating a job;
         submitting a key already in flight attaches to the existing job.
+
+        The submit is stamped with ``trace`` (a fresh
+        :class:`TraceContext` when not given) so the daemon's telemetry
+        event log can link this client call, the daemon queue wait and
+        the worker execution into one trace; the response always echoes
+        the ``trace_id`` used.
         """
-        return self.request(
-            {"op": "submit", "cell": cell, "task": task, "config": config}
+        context = trace if trace is not None else TraceContext.new()
+        response = self.request(
+            {
+                "op": "submit",
+                "cell": cell,
+                "task": task,
+                "config": config,
+                "telemetry": context.to_dict(),
+            }
         )
+        response.setdefault("trace_id", context.trace_id)
+        return response
+
+    def metrics(self) -> Dict[str, Any]:
+        """One metrics scrape: ``{"exposition": text, "metrics": dump}``."""
+        return self.request({"op": "metrics"})
 
     def status(self, job: str) -> Dict[str, Any]:
         return self.request({"op": "status", "job": job})

@@ -25,6 +25,26 @@ Job semantics:
 All science runs in spawned worker processes from ``(task, config)``
 alone, so daemon-computed records are byte-identical to local-runner
 records for the same cell key.
+
+Telemetry plane (all advisory, never science):
+
+* every protocol request bumps a per-op counter on the daemon's
+  :class:`~repro.obs.MetricsRegistry`; queue depth, worker liveness
+  and job latency histograms ride alongside, and the ``metrics`` op
+  renders the registry Prometheus-style
+  (:func:`repro.obs.metrics.render_exposition`).  The ``metrics`` op
+  itself is observation-only — it increments nothing, so a quiesced
+  daemon scrapes byte-identically;
+* each job's lifecycle is appended to ``<work_dir>/telemetry.jsonl``
+  (:class:`~repro.obs.telemetry.TelemetryLog`): submitted / cached /
+  attached / started / retried / quarantined / cancelled / finished
+  events with monotonic timestamps and the trace context the client
+  stamped into the submit, so
+  :func:`repro.obs.telemetry.assemble_job_trace` can rebuild one
+  unified trace per job (client submit span → daemon queue/execute
+  spans → worker span tree);
+* a watchdog thread periodically flags over-deadline jobs and dead
+  worker threads into gauges and ``watchdog`` events.
 """
 
 from __future__ import annotations
@@ -37,11 +57,33 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Optional
 
+from ..obs import MetricsRegistry
+from ..obs.metrics import render_exposition
+from ..obs.telemetry import (
+    LATENCY_BUCKETS,
+    TELEMETRY_NAME,
+    TelemetryLog,
+    TraceContext,
+    gen_span_id,
+)
 from .client import recv_message, send_message
 from .store import ResultStore
 
 #: Job lifecycle states (terminal: done / failed / cancelled).
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: Every protocol op (per-op request counters are pre-registered so an
+#: exposition lists them all, scraped cold or warm).
+PROTOCOL_OPS = (
+    "ping",
+    "submit",
+    "status",
+    "result",
+    "cancel",
+    "stats",
+    "metrics",
+    "shutdown",
+)
 
 
 @dataclasses.dataclass
@@ -58,6 +100,13 @@ class _Job:
     error: str = ""
     cancel_requested: bool = False
     process: Optional[Any] = None  # live worker process while running
+    # -- telemetry (advisory) ------------------------------------------
+    trace_id: str = ""
+    client_span: str = ""
+    queue_span: str = ""
+    started: float = 0.0  # monotonic, first execution attempt
+    attempts: int = 0
+    worker: Optional[int] = None
 
     def public(self) -> Dict[str, Any]:
         return {
@@ -66,6 +115,7 @@ class _Job:
             "task": self.task_data.get("key"),
             "state": self.state,
             "error": self.error,
+            "trace_id": self.trace_id,
         }
 
 
@@ -79,6 +129,7 @@ class ServiceDaemon:
         jobs: int = 1,
         work_dir: Optional[str] = None,
         emit: Optional[Callable[[str], None]] = None,
+        watchdog_interval: float = 5.0,
     ):
         self.socket_path = socket_path
         self.store = ResultStore(store_dir)
@@ -95,6 +146,7 @@ class ServiceDaemon:
         self._queue: List[str] = []
         self._counter = 0
         self._started = time.monotonic()
+        self._started_wall = time.time()
         self._stats = {
             "submitted": 0,
             "cache_hits": 0,
@@ -108,6 +160,48 @@ class ServiceDaemon:
         self._server: Optional[socketserver.ThreadingUnixStreamServer] = None
         self._workers: List[threading.Thread] = []
 
+        # -- telemetry plane (advisory; see module docstring) ----------
+        self.watchdog_interval = watchdog_interval
+        self.telemetry = TelemetryLog(
+            os.path.join(self.work_dir, TELEMETRY_NAME)
+        )
+        self.metrics = MetricsRegistry()
+        # Eager registration: every instrument appears in an exposition
+        # from the first scrape, value 0 — scrapers never see a key
+        # come and go.
+        self._m_hits = self.metrics.counter("service.cache_hits")
+        self._m_misses = self.metrics.counter("service.cache_misses")
+        self._m_attached = self.metrics.counter("service.attached")
+        self._m_completed = self.metrics.counter("service.jobs_completed")
+        self._m_failed = self.metrics.counter("service.jobs_failed")
+        self._m_cancelled = self.metrics.counter("service.jobs_cancelled")
+        self._m_retries = self.metrics.counter("service.retries")
+        self._m_quarantined = self.metrics.counter("service.quarantined")
+        self._m_queue_depth = self.metrics.gauge("service.queue_depth")
+        self._m_running = self.metrics.gauge("service.jobs_running")
+        self._m_workers = self.metrics.gauge("service.workers")
+        self._m_workers.set(self.jobs)
+        self._m_workers_alive = self.metrics.gauge("service.workers_alive")
+        self._m_over_deadline = self.metrics.gauge(
+            "service.jobs_over_deadline"
+        )
+        self._m_latency = self.metrics.histogram(
+            "service.job_seconds", bounds=LATENCY_BUCKETS
+        )
+        self._m_queue_wait = self.metrics.histogram(
+            "service.queue_seconds", bounds=LATENCY_BUCKETS
+        )
+        for op in PROTOCOL_OPS:
+            self.metrics.counter("service.requests", op=op)
+        for index in range(self.jobs):
+            self.metrics.gauge("service.worker_busy", worker=index)
+        self._worker_state: Dict[int, Dict[str, Any]] = {
+            index: {"state": "idle", "job": None, "cell": None, "task": None}
+            for index in range(self.jobs)
+        }
+        self._watchdog_flagged: set = set()
+        self._dead_workers: set = set()
+
     # -- protocol dispatch ---------------------------------------------
 
     def handle_message(self, message: Dict[str, Any]) -> Dict[str, Any]:
@@ -119,11 +213,18 @@ class ServiceDaemon:
             "result": self._op_status,  # result = status + record
             "cancel": self._op_cancel,
             "stats": self._op_stats,
+            "metrics": self._op_metrics,
             "shutdown": self._op_shutdown,
         }
         handler = handlers.get(op)
         if handler is None:
             return {"ok": False, "error": f"unknown op {op!r}"}
+        if op != "metrics":
+            # The metrics op is observation-only: counting it would make
+            # the scrape perturb its own output, and a quiesced daemon
+            # must expose byte-identical text on every scrape.
+            with self._lock:
+                self.metrics.counter("service.requests", op=op).inc()
         try:
             return handler(message)
         except Exception as exc:  # a bad request must not kill the daemon
@@ -145,15 +246,32 @@ class ServiceDaemon:
                 "ok": False,
                 "error": "submit requires task and config objects",
             }
+        # The client stamps each submit with a trace context; a submit
+        # without one still gets a daemon-minted trace so every job is
+        # traceable.
+        context = TraceContext.from_dict(message.get("telemetry"))
+        if context is None:
+            context = TraceContext.new()
         with self._lock:
             self._stats["submitted"] += 1
             # Store hit: answer a synthetic completed job, no work.
             cached = self.store.get(cell)
             if cached is not None:
                 self._stats["cache_hits"] += 1
+                self._m_hits.inc()
                 job = self._new_job(cell, task_data, config_data)
                 job.state = "done"
                 job.record = cached
+                job.trace_id = context.trace_id
+                job.client_span = context.span_id
+                self.telemetry.event(
+                    "cached",
+                    job=job.id,
+                    cell=cell,
+                    task=job.task_data.get("key"),
+                    trace_id=job.trace_id,
+                    client_span=job.client_span,
+                )
                 response = job.public()
                 response.update({"ok": True, "cached": True})
                 return response
@@ -161,13 +279,37 @@ class ServiceDaemon:
             existing = self._by_cell.get(cell)
             if existing is not None:
                 self._stats["attached"] += 1
-                response = self._jobs[existing].public()
+                self._m_attached.inc()
+                job = self._jobs[existing]
+                self.telemetry.event(
+                    "attached",
+                    job=job.id,
+                    cell=cell,
+                    task=job.task_data.get("key"),
+                    trace_id=context.trace_id,
+                    client_span=context.span_id,
+                )
+                response = job.public()
                 response.update({"ok": True, "cached": False, "attached": True})
                 return response
             self._stats["cache_misses"] += 1
+            self._m_misses.inc()
             job = self._new_job(cell, task_data, config_data)
+            job.trace_id = context.trace_id
+            job.client_span = context.span_id
+            job.queue_span = gen_span_id()
             self._by_cell[cell] = job.id
             self._queue.append(job.id)
+            self._m_queue_depth.set(len(self._queue))
+            self.telemetry.event(
+                "submitted",
+                job=job.id,
+                cell=cell,
+                task=job.task_data.get("key"),
+                trace_id=job.trace_id,
+                client_span=job.client_span,
+                queue_span=job.queue_span,
+            )
             self._queue_ready.notify()
             response = job.public()
             response.update({"ok": True, "cached": False, "attached": False})
@@ -191,9 +333,18 @@ class ServiceDaemon:
                 return {"ok": False, "error": f"no job {message.get('job')!r}"}
             if job.state == "queued":
                 self._queue.remove(job.id)
+                self._m_queue_depth.set(len(self._queue))
+                self.telemetry.event(
+                    "cancelled", job=job.id, cell=job.cell, state="queued",
+                    trace_id=job.trace_id,
+                )
                 self._finish(job, "cancelled", error="cancelled while queued")
             elif job.state == "running":
                 job.cancel_requested = True
+                self.telemetry.event(
+                    "cancelled", job=job.id, cell=job.cell, state="running",
+                    trace_id=job.trace_id,
+                )
                 if job.process is not None and job.process.is_alive():
                     job.process.terminate()
             response = job.public()
@@ -214,10 +365,51 @@ class ServiceDaemon:
                     "uptime_seconds": round(
                         time.monotonic() - self._started, 3
                     ),
+                    # -- daemon identity (the `--watch` header) --------
+                    "pid": os.getpid(),
+                    "started_unix": round(self._started_wall, 3),
+                    "socket": self.socket_path,
+                    "work_dir": self.work_dir,
+                    "telemetry_file": self.telemetry.path,
+                    "workers_detail": [
+                        dict(self._worker_state[index], worker=index)
+                        for index in sorted(self._worker_state)
+                    ],
                     "store": self.store.stats().to_dict(),
                 }
             )
         return {"ok": True, "stats": stats}
+
+    def _op_metrics(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Prometheus-style exposition of the daemon registry.
+
+        Observation-only: refreshes the point-in-time gauges and
+        renders — nothing is incremented, so repeated scrapes of a
+        quiesced daemon return byte-identical text.
+        """
+        with self._lock:
+            self._refresh_gauges()
+            dump = self.metrics.dump()
+        return {
+            "ok": True,
+            "exposition": render_exposition(dump),
+            "metrics": dump,
+        }
+
+    def _refresh_gauges(self) -> None:
+        """Point-in-time gauges (caller holds the lock)."""
+        self._m_queue_depth.set(len(self._queue))
+        self._m_running.set(
+            sum(1 for job in self._jobs.values() if job.state == "running")
+        )
+        if self._workers:
+            self._m_workers_alive.set(
+                sum(1 for thread in self._workers if thread.is_alive())
+            )
+        for index, state in self._worker_state.items():
+            self.metrics.gauge("service.worker_busy", worker=index).set(
+                1 if state["state"] == "running" else 0
+            )
 
     def _op_shutdown(self, message: Dict[str, Any]) -> Dict[str, Any]:
         self._shutdown.set()
@@ -260,18 +452,50 @@ class ServiceDaemon:
             del self._by_cell[job.cell]
         key = {"done": "completed", "failed": "failed", "cancelled": "cancelled"}
         self._stats[key[state]] += 1
+        {
+            "done": self._m_completed,
+            "failed": self._m_failed,
+            "cancelled": self._m_cancelled,
+        }[state].inc()
+        latency = time.monotonic() - job.submitted
+        self._m_latency.observe(latency)
+        self.telemetry.event(
+            "finished",
+            job=job.id,
+            cell=job.cell,
+            task=job.task_data.get("key"),
+            state=state,
+            error=error,
+            attempts=job.attempts,
+            latency_seconds=round(latency, 6),
+            trace_id=job.trace_id,
+        )
 
     # -- worker pool ----------------------------------------------------
 
-    def _worker_loop(self) -> None:
+    def _worker_loop(self, index: int = 0) -> None:
         while True:
             with self._lock:
                 while not self._queue and not self._shutdown.is_set():
                     self._queue_ready.wait(0.2)
                 if self._shutdown.is_set() and not self._queue:
+                    self._worker_state[index] = {
+                        "state": "idle", "job": None, "cell": None,
+                        "task": None,
+                    }
                     return
                 job = self._jobs[self._queue.pop(0)]
                 job.state = "running"
+                job.worker = index
+                job.started = time.monotonic()
+                self._m_queue_depth.set(len(self._queue))
+                self._m_queue_wait.observe(job.started - job.submitted)
+                self._worker_state[index] = {
+                    "state": "running",
+                    "job": job.id,
+                    "cell": job.cell,
+                    "task": job.task_data.get("key"),
+                }
             try:
                 self._execute(job)
             except Exception as exc:  # defensive: keep the pool alive
@@ -279,6 +503,12 @@ class ServiceDaemon:
                     self._finish(
                         job, "failed", error=f"daemon execution error: {exc}"
                     )
+            finally:
+                with self._lock:
+                    self._worker_state[index] = {
+                        "state": "idle", "job": None, "cell": None,
+                        "task": None,
+                    }
 
     def _execute(self, job: _Job) -> None:
         """One cell through the runner machinery: spawn, timeout,
@@ -316,6 +546,19 @@ class ServiceDaemon:
                 args=(task, attempt_config.to_dict(), result_path),
                 daemon=True,
             )
+            exec_span = gen_span_id()
+            with self._lock:
+                job.attempts += 1
+                self.telemetry.event(
+                    "started",
+                    job=job.id,
+                    cell=job.cell,
+                    task=task.key,
+                    attempt=attempt,
+                    worker=job.worker,
+                    exec_span=exec_span,
+                    trace_id=job.trace_id,
+                )
             started = time.monotonic()
             process.start()
             with self._lock:
@@ -352,6 +595,17 @@ class ServiceDaemon:
                 final_record = json.loads(record.to_json())
                 self.store.put(job.cell, final_record)
                 break
+            with self._lock:
+                self._m_retries.inc()
+                self.telemetry.event(
+                    "retried",
+                    job=job.id,
+                    cell=job.cell,
+                    attempt=attempt,
+                    outcome=outcome,
+                    error=error,
+                    trace_id=job.trace_id,
+                )
             self.emit(f"[daemon] {task.key} {outcome} (attempt {attempt})")
         else:
             quarantine = _record_for(
@@ -361,6 +615,14 @@ class ServiceDaemon:
             )
             ledger_mod.append_record(self.ledger_file, quarantine)
             with self._lock:
+                self._m_quarantined.inc()
+                self.telemetry.event(
+                    "quarantined",
+                    job=job.id,
+                    cell=job.cell,
+                    attempt=config.max_task_retries,
+                    trace_id=job.trace_id,
+                )
                 self._finish(
                     job,
                     "failed",
@@ -374,6 +636,78 @@ class ServiceDaemon:
         with self._lock:
             self._finish(job, "done", record=final_record)
         self.emit(f"[daemon] {task.key} ok")
+
+    # -- health watchdog -------------------------------------------------
+
+    def _watchdog_loop(self) -> None:
+        while not self._shutdown.wait(self.watchdog_interval):
+            try:
+                self.run_watchdog_scan()
+            except Exception:  # pragma: no cover - watchdog must not die
+                pass
+
+    def run_watchdog_scan(self) -> Dict[str, int]:
+        """One health sweep: flag over-deadline jobs and dead workers.
+
+        A running job is over-deadline when its total running time
+        exceeds the full retry envelope its own config allows
+        (``task_timeout_seconds × (max_task_retries + 1)``, plus one
+        watchdog interval of grace) — the per-attempt timeout kill is
+        the runner's job, the watchdog catches a *stuck pipeline* (a
+        kill that never completed, a worker thread wedged between
+        attempts).  Each condition is flagged once per job/worker into
+        a ``watchdog`` event; the gauges always reflect the current
+        census.  Public and synchronous so tests (and operators via the
+        REPL) can run a sweep deterministically.
+        """
+        now = time.monotonic()
+        flagged = {"over_deadline": 0, "dead_workers": 0}
+        with self._lock:
+            for job in self._jobs.values():
+                if job.state != "running" or not job.started:
+                    continue
+                timeout = job.config_data.get("task_timeout_seconds")
+                if not timeout:
+                    continue
+                retries = int(job.config_data.get("max_task_retries", 0))
+                allowed = (
+                    timeout * (retries + 1) + self.watchdog_interval
+                )
+                overrun = now - job.started - allowed
+                if overrun <= 0:
+                    continue
+                flagged["over_deadline"] += 1
+                if job.id not in self._watchdog_flagged:
+                    self._watchdog_flagged.add(job.id)
+                    self.telemetry.event(
+                        "watchdog",
+                        kind="job_over_deadline",
+                        job=job.id,
+                        cell=job.cell,
+                        worker=job.worker,
+                        overrun_seconds=round(overrun, 3),
+                        trace_id=job.trace_id,
+                    )
+                    self.emit(
+                        f"[daemon] watchdog: job {job.id} over deadline "
+                        f"by {overrun:.1f}s"
+                    )
+            self._m_over_deadline.set(flagged["over_deadline"])
+            for index, thread in enumerate(self._workers):
+                if thread.is_alive() or self._shutdown.is_set():
+                    continue
+                flagged["dead_workers"] += 1
+                if index not in self._dead_workers:
+                    self._dead_workers.add(index)
+                    self.telemetry.event(
+                        "watchdog",
+                        kind="worker_dead",
+                        worker=index,
+                        last=dict(self._worker_state.get(index) or {}),
+                    )
+                    self.emit(f"[daemon] watchdog: worker {index} died")
+            self._refresh_gauges()
+        return flagged
 
     # -- server ---------------------------------------------------------
 
@@ -413,10 +747,21 @@ class ServiceDaemon:
             os.path.dirname(os.path.abspath(self.socket_path)), exist_ok=True
         )
         self._server = Server(self.socket_path, Handler)
-        for _ in range(self.jobs):
-            thread = threading.Thread(target=self._worker_loop, daemon=True)
+        for index in range(self.jobs):
+            thread = threading.Thread(
+                target=self._worker_loop, args=(index,), daemon=True
+            )
             thread.start()
             self._workers.append(thread)
+        watchdog = threading.Thread(target=self._watchdog_loop, daemon=True)
+        watchdog.start()
+        self.telemetry.event(
+            "daemon.start",
+            pid=os.getpid(),
+            socket=self.socket_path,
+            store=self.store.root,
+            workers=self.jobs,
+        )
         self.emit(
             f"[daemon] serving on {self.socket_path} "
             f"(store={self.store.root}, workers={self.jobs})"
@@ -429,9 +774,12 @@ class ServiceDaemon:
                 self._queue_ready.notify_all()
             for thread in self._workers:
                 thread.join(timeout=5.0)
+            watchdog.join(timeout=5.0)
             self._server.server_close()
             if os.path.exists(self.socket_path):
                 os.unlink(self.socket_path)
+            self.telemetry.event("daemon.stop", pid=os.getpid())
+            self.telemetry.close()
 
 
 def _classify(result_path, exitcode, timed_out, timeout):

@@ -1,0 +1,362 @@
+"""Telemetry plane units: trace contexts, event logs, reassembly,
+Prometheus exposition.
+
+The daemon-facing integration (a real job producing one linked trace)
+lives in ``tests/service/test_telemetry.py``; here every piece is
+exercised in isolation, including the torn-tail tolerance and the
+render/parse round-trip the exposition format guarantees.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import (
+    EXPOSITION_HEADER,
+    parse_key,
+    render_exposition,
+)
+from repro.obs.telemetry import (
+    TELEMETRY_NAME,
+    TelemetryLog,
+    TraceContext,
+    assemble_job_trace,
+    assemble_traces,
+    events_for_job,
+    gen_span_id,
+    gen_trace_id,
+    load_events,
+    summarize_jobs,
+)
+from repro.obs.export import canonical_lines
+from repro.obs.trace import make_span_record
+
+
+class TestTraceContext:
+    def test_new_is_unique_and_round_trips(self):
+        context = TraceContext.new()
+        assert len(context.trace_id) == 32
+        assert len(context.span_id) == 16
+        assert TraceContext.from_dict(context.to_dict()) == context
+        assert TraceContext.new().trace_id != context.trace_id
+
+    def test_child_keeps_trace_id_with_fresh_span(self):
+        context = TraceContext.new()
+        child = context.child()
+        assert child.trace_id == context.trace_id
+        assert child.span_id != context.span_id
+
+    @pytest.mark.parametrize(
+        "data",
+        [
+            None,
+            "not-a-dict",
+            {},
+            {"trace_id": "abc"},
+            {"trace_id": "", "span_id": "def"},
+            {"trace_id": 12, "span_id": "def"},
+        ],
+    )
+    def test_malformed_carrier_is_none_not_an_error(self, data):
+        assert TraceContext.from_dict(data) is None
+
+    def test_ids_are_hex(self):
+        int(gen_trace_id(), 16)
+        int(gen_span_id(), 16)
+
+
+class TestTelemetryLog:
+    def test_events_append_and_load(self, tmp_path):
+        log = TelemetryLog(str(tmp_path / TELEMETRY_NAME))
+        log.event("submitted", job="job-1", cell="c1")
+        record = log.event("finished", job="job-1", state="done")
+        log.close()
+        assert record["event"] == "finished"
+        assert record["t_mono"] > 0
+        events, dropped = load_events(log.path)
+        assert dropped == 0
+        assert [e["event"] for e in events] == ["submitted", "finished"]
+        assert events[0]["job"] == "job-1"
+
+    def test_torn_tail_is_dropped_not_raised(self, tmp_path):
+        log = TelemetryLog(str(tmp_path / TELEMETRY_NAME))
+        log.event("submitted", job="job-1")
+        log.close()
+        with open(log.path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "finis')  # SIGKILL mid-write
+        events, dropped = load_events(log.path)
+        assert dropped == 1
+        assert [e["event"] for e in events] == ["submitted"]
+
+    def test_log_reopens_after_close(self, tmp_path):
+        log = TelemetryLog(str(tmp_path / TELEMETRY_NAME))
+        log.event("daemon.start")
+        log.close()
+        log.event("daemon.stop")
+        log.close()
+        events, _ = load_events(log.path)
+        assert [e["event"] for e in events] == ["daemon.start", "daemon.stop"]
+
+
+def _fake_events(trace_id="t" * 32, client_span="c" * 16):
+    """A minimal submitted→started→finished event stream for job-1."""
+    return [
+        {
+            "event": "submitted",
+            "t_mono": 1.0,
+            "t_wall": 100.0,
+            "job": "job-1",
+            "cell": "cell-a",
+            "task": "table1",
+            "trace_id": trace_id,
+            "client_span": client_span,
+            "queue_span": "q" * 16,
+        },
+        {
+            "event": "started",
+            "t_mono": 2.0,
+            "t_wall": 101.0,
+            "job": "job-1",
+            "attempt": 0,
+            "worker": 0,
+            "exec_span": "e" * 16,
+            "trace_id": trace_id,
+        },
+        {
+            "event": "finished",
+            "t_mono": 5.0,
+            "t_wall": 104.0,
+            "job": "job-1",
+            "state": "done",
+            "attempts": 1,
+            "trace_id": trace_id,
+        },
+    ]
+
+
+class TestAssembleJobTrace:
+    def test_links_client_queue_execute(self):
+        spans = assemble_job_trace(_fake_events(), "job-1")
+        assert [s["name"] for s in spans] == [
+            "client.submit",
+            "service.queue",
+            "service.execute",
+        ]
+        root, queue, execute = spans
+        assert all(s["trace_id"] == "t" * 32 for s in spans)
+        assert all(s["job"] == "job-1" for s in spans)
+        assert root["span_id"] == "c" * 16 and root["parent_id"] is None
+        assert queue["parent_id"] == root["span_id"]
+        assert execute["parent_id"] == queue["span_id"]
+        # Submit covers the whole job; queue ends where execution starts.
+        assert (root["wall_t0"], root["wall_t1"]) == (1.0, 5.0)
+        assert (queue["wall_t0"], queue["wall_t1"]) == (1.0, 2.0)
+        assert (execute["wall_t0"], execute["wall_t1"]) == (2.0, 5.0)
+
+    def test_worker_spans_rerooted_without_mutation(self):
+        worker = [
+            make_span_record(
+                seq=0, parent=None, name="task", path="task",
+                attrs={"key": "table1"}, t0=0.0, t1=1.5, wall_ms=3.0,
+            ),
+            make_span_record(
+                seq=1, parent=0, name="atpg.fault", path="task/atpg.fault",
+                attrs={}, t0=0.1, t1=0.9, wall_ms=2.0,
+            ),
+        ]
+        before = [json.dumps(s, sort_keys=True) for s in worker]
+        spans = assemble_job_trace(_fake_events(), "job-1", worker)
+        after = [json.dumps(s, sort_keys=True) for s in worker]
+        assert before == after  # ledger payload is never touched
+        tree = {s["span_id"]: s for s in spans}
+        assert tree["w0"]["parent_id"] == "e" * 16  # under the exec span
+        assert tree["w1"]["parent_id"] == "w0"
+        assert tree["w0"]["trace_id"] == "t" * 32
+        # WorkClock virtual time survives re-rooting untouched.
+        assert tree["w1"]["t0"] == 0.1 and tree["w1"]["t1"] == 0.9
+
+    def test_cached_job_is_single_span(self):
+        events = [
+            {
+                "event": "cached",
+                "t_mono": 3.0,
+                "t_wall": 100.0,
+                "job": "job-2",
+                "cell": "cell-a",
+                "task": "table1",
+                "trace_id": "u" * 32,
+                "client_span": "d" * 16,
+            }
+        ]
+        spans = assemble_job_trace(events, "job-2")
+        assert len(spans) == 1
+        assert spans[0]["name"] == "client.submit"
+        assert spans[0]["attrs"]["cached"] is True
+
+    def test_retry_splits_execute_spans(self):
+        events = _fake_events()
+        events[2:2] = [
+            {
+                "event": "retried",
+                "t_mono": 3.0,
+                "t_wall": 102.0,
+                "job": "job-1",
+                "attempt": 0,
+                "trace_id": "t" * 32,
+            },
+            {
+                "event": "started",
+                "t_mono": 3.5,
+                "t_wall": 102.5,
+                "job": "job-1",
+                "attempt": 1,
+                "worker": 0,
+                "exec_span": "f" * 16,
+                "trace_id": "t" * 32,
+            },
+        ]
+        spans = assemble_job_trace(events, "job-1")
+        executes = [s for s in spans if s["name"] == "service.execute"]
+        assert [(s["attrs"]["attempt"], s["wall_t1"]) for s in executes] == [
+            (0, 3.0),  # first attempt ends at its retried event
+            (1, 5.0),  # second runs to the finish
+        ]
+
+    def test_unknown_job_and_missing_root_are_empty(self):
+        assert assemble_job_trace(_fake_events(), "job-9") == []
+        headless = [e for e in _fake_events() if e["event"] != "submitted"]
+        assert assemble_job_trace(headless, "job-1") == []
+
+    def test_assemble_traces_keys_by_trace_id(self):
+        events = _fake_events()
+        traces = assemble_traces(events)
+        assert set(traces) == {"t" * 32}
+        assert len(traces["t" * 32]) == 3
+
+    def test_canonical_lines_strip_machine_time(self):
+        spans = assemble_job_trace(_fake_events(), "job-1")
+        for line in canonical_lines(spans):
+            assert "wall" not in json.loads(line)
+            assert "wall_t0" not in line
+
+    def test_events_for_job_filters(self):
+        events = _fake_events()
+        assert events_for_job(events, "job-1") == events
+        assert events_for_job(events, "job-2") == []
+
+
+class TestSummarizeJobs:
+    def test_lifecycle_rollup(self):
+        events = _fake_events()
+        events.insert(
+            2,
+            {
+                "event": "retried",
+                "t_mono": 1.5,
+                "t_wall": 100.5,
+                "job": "job-1",
+                "attempt": 0,
+            },
+        )
+        (summary,) = summarize_jobs(events)
+        assert summary.job == "job-1"
+        assert summary.task == "table1"
+        assert summary.state == "done"
+        assert summary.retries == 1
+        assert summary.queue_seconds == pytest.approx(1.0)
+        assert summary.total_seconds == pytest.approx(4.0)
+        assert not summary.cached and not summary.quarantined
+
+    def test_cached_job_summary(self):
+        events = [
+            {
+                "event": "cached",
+                "t_mono": 1.0,
+                "t_wall": 100.0,
+                "job": "job-3",
+                "cell": "cell-a",
+                "task": "table2",
+            }
+        ]
+        (summary,) = summarize_jobs(events)
+        assert summary.cached and summary.state == "done"
+        assert summary.to_dict()["task"] == "table2"
+
+
+GOLDEN = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    "goldens",
+    "metrics_exposition.txt",
+)
+
+
+def _golden_registry() -> MetricsRegistry:
+    """A fixed registry exercising every instrument kind, labels and
+    the characters the label escaping exists for."""
+    registry = MetricsRegistry()
+    registry.counter("service.cache_hits").inc(3)
+    registry.counter("service.requests", op="submit").inc(4)
+    registry.counter("service.requests", op="stats").inc()
+    registry.gauge("service.queue_depth").set(2)
+    registry.gauge("service.worker_busy", worker=0).set(1)
+    histogram = registry.histogram("service.job_seconds", bounds=(0.5, 5))
+    for value in (0.1, 0.7, 42.0):
+        histogram.observe(value)
+    registry.counter("service.odd_labels", path="a={b},c\\d").inc()
+    return registry
+
+
+class TestExposition:
+    def test_round_trips_through_parse_key(self):
+        dump = _golden_registry().dump()
+        text = render_exposition(dump)
+        assert text.startswith(EXPOSITION_HEADER + "\n")
+        assert text.endswith("\n")
+        seen = set()
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            key, _, value = line.rpartition(" ")
+            float(value)  # every sample value is numeric
+            name, labels = parse_key(key)
+            assert name
+            seen.add((name, labels))
+        # The escaped label value survives the round trip verbatim.
+        assert ("service.odd_labels", (("path", "a={b},c\\d"),)) in seen
+        assert (
+            "service.job_seconds_bucket",
+            (("le", "+Inf"),),
+        ) in seen
+
+    def test_sorted_and_deterministic(self):
+        dump = _golden_registry().dump()
+        text = render_exposition(dump)
+        # Instruments render in sorted dump-key order (histogram bucket
+        # lines expand within their instrument in bound order).
+        typed = [
+            line.split()[2]
+            for line in text.splitlines()
+            if line.startswith("# TYPE")
+        ]
+        assert typed == sorted(typed)
+        assert text == render_exposition(_golden_registry().dump())
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = render_exposition(_golden_registry().dump())
+        lines = dict(
+            line.rpartition(" ")[::2]
+            for line in text.splitlines()
+            if line.startswith("service.job_seconds")
+        )
+        assert lines["service.job_seconds_bucket{le=0.5}"] == "1"
+        assert lines["service.job_seconds_bucket{le=5}"] == "2"
+        assert lines["service.job_seconds_bucket{le=+Inf}"] == "3"
+        assert lines["service.job_seconds_count"] == "3"
+        assert lines["service.job_seconds_sum"] == "42.8"
+
+    def test_matches_golden_file(self):
+        text = render_exposition(_golden_registry().dump())
+        with open(GOLDEN, "r", encoding="utf-8") as handle:
+            assert text == handle.read()

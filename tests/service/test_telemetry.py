@@ -1,0 +1,260 @@
+"""Service telemetry plane, end to end against an in-thread daemon.
+
+The acceptance bar for the telemetry PR: one job submitted through
+:class:`ServiceClient` must produce one *linked* trace — client submit
+span → daemon queue span → worker execution span tree — reassembled
+purely from the daemon's ``telemetry.jsonl`` plus the worker trace
+records riding in the TaskRecord payload, all under the trace id the
+client stamped into the submit.  Alongside: metrics-op determinism on
+a quiesced daemon, the enriched stats op, client timeouts against a
+hung socket, and the watchdog's over-deadline/dead-worker flags.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.obs.metrics import EXPOSITION_HEADER
+from repro.obs.telemetry import (
+    TraceContext,
+    assemble_job_trace,
+    load_events,
+    summarize_jobs,
+)
+from repro.service import ServiceClient, ServiceError
+
+from tests.service.test_daemon import (  # noqa: F401 (daemon fixture)
+    daemon,
+    submit_args,
+    tasks_by_key,
+    tiny_config,
+)
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnraisableExceptionWarning"
+)
+
+
+class TestUnifiedTrace:
+    def test_job_produces_one_linked_trace(self, tmp_path, daemon):
+        client, instance = daemon
+        config = tiny_config(tmp_path, profile=True)
+        # The engine cell: its profiled payload carries a real span
+        # tree (lint gate, ATPG phases), not just the task root.
+        task = tasks_by_key(config)["hitec:dk16.ji.sd"]
+        cell, task_data, config_data = submit_args(task, config)
+
+        context = TraceContext.new()
+        response = client.submit(cell, task_data, config_data, trace=context)
+        assert response["trace_id"] == context.trace_id
+        result = client.result(response["job"], timeout=120.0)
+        assert result["state"] == "done"
+        worker_spans = result["record"]["payload"]["trace"]
+        assert worker_spans  # profile=True put the span tree on board
+
+        events, dropped = load_events(instance.telemetry.path)
+        assert dropped == 0
+        spans = assemble_job_trace(events, response["job"], worker_spans)
+
+        # One trace id spans every side of the job.
+        assert {s["trace_id"] for s in spans} == {context.trace_id}
+        by_name = {}
+        for span in spans:
+            by_name.setdefault(span["name"], span)
+        root = by_name["client.submit"]
+        queue = by_name["service.queue"]
+        execute = by_name["service.execute"]
+        assert root["span_id"] == context.span_id
+        assert root["parent_id"] is None
+        assert queue["parent_id"] == root["span_id"]
+        assert execute["parent_id"] == queue["span_id"]
+        # The worker's own "task" root span hangs off the execute span,
+        # and its WorkClock subtree keeps its internal links.
+        task_span = by_name["task"]
+        assert task_span["parent_id"] == execute["span_id"]
+        assert task_span["span_id"] == "w0"
+        children = [
+            s for s in spans if s.get("parent_id") == task_span["span_id"]
+        ]
+        assert children, "worker span tree lost its internal structure"
+        # Reassembly never mutated the science payload.
+        assert "trace_id" not in result["record"]["payload"]["trace"][0]
+
+    def test_daemon_mints_context_when_client_sends_none(
+        self, tmp_path, daemon
+    ):
+        client, instance = daemon
+        config = tiny_config(tmp_path)
+        task = tasks_by_key(config)["table1"]
+        cell, task_data, config_data = submit_args(task, config)
+        response = client.request(
+            {"op": "submit", "cell": cell, "task": task_data,
+             "config": config_data}
+        )
+        assert response["trace_id"]
+        client.result(response["job"], timeout=120.0)
+        events, _ = load_events(instance.telemetry.path)
+        submitted = [e for e in events if e["event"] == "submitted"][0]
+        assert submitted["trace_id"] == response["trace_id"]
+
+    def test_telemetry_rollup_of_real_job(self, tmp_path, daemon):
+        client, instance = daemon
+        config = tiny_config(tmp_path)
+        task = tasks_by_key(config)["table1"]
+        cell, task_data, config_data = submit_args(task, config)
+        job = client.submit(cell, task_data, config_data)["job"]
+        client.result(job, timeout=120.0)
+        # Resubmit: a daemon-side cache hit, visible in the rollup.
+        assert client.submit(cell, task_data, config_data)["cached"] is True
+
+        events, _ = load_events(instance.telemetry.path)
+        summaries = {s.job: s for s in summarize_jobs(events)}
+        ran = summaries[job]
+        assert ran.state == "done" and not ran.cached
+        assert ran.attempts == 1 and ran.retries == 0
+        assert ran.queue_seconds is not None
+        assert ran.total_seconds >= ran.run_seconds
+        cached = [s for s in summaries.values() if s.cached]
+        assert len(cached) == 1
+
+
+class TestMetricsOp:
+    def test_quiesced_scrapes_are_byte_identical(self, tmp_path, daemon):
+        client, _ = daemon
+        config = tiny_config(tmp_path)
+        task = tasks_by_key(config)["table1"]
+        cell, task_data, config_data = submit_args(task, config)
+        job = client.submit(cell, task_data, config_data)["job"]
+        client.result(job, timeout=120.0)
+
+        first = client.metrics()["exposition"]
+        second = client.metrics()["exposition"]
+        assert first == second
+        assert first.startswith(EXPOSITION_HEADER + "\n")
+        lines = first.splitlines()
+        assert "service.cache_misses 1" in lines
+        assert "service.jobs_completed 1" in lines
+        assert "service.requests{op=submit} 1" in lines
+        assert "service.queue_depth 0" in lines
+        assert "service.workers 1" in lines
+        assert "service.job_seconds_count 1" in lines
+
+    def test_every_op_counter_is_pre_registered(self, daemon):
+        client, _ = daemon
+        lines = client.metrics()["exposition"].splitlines()
+        for op in ("ping", "submit", "status", "result", "cancel",
+                   "stats", "metrics", "shutdown"):
+            assert any(
+                line.startswith(f"service.requests{{op={op}}} ")
+                for line in lines
+            ), f"missing pre-registered counter for op {op}"
+        # The metrics op itself is observation-only.
+        assert "service.requests{op=metrics} 0" in lines
+
+
+class TestStatsIdentity:
+    def test_stats_carry_daemon_identity_and_worker_state(self, daemon):
+        client, instance = daemon
+        stats = client.stats()
+        assert stats["pid"] > 0
+        assert stats["started_unix"] <= time.time()
+        assert stats["uptime_seconds"] >= 0
+        assert stats["socket"] == instance.socket_path
+        assert stats["telemetry_file"] == instance.telemetry.path
+        (worker,) = stats["workers_detail"]
+        assert worker["worker"] == 0
+        assert worker["state"] in ("idle", "running")
+
+
+class TestClientTimeouts:
+    def test_read_timeout_against_non_accepting_socket(self, tmp_path):
+        # A bound, listening, never-accepting socket: connect() succeeds
+        # via the backlog, but no response ever comes.
+        socket_path = str(tmp_path / "hung.sock")
+        server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        server.bind(socket_path)
+        server.listen(1)
+        try:
+            client = ServiceClient(socket_path, read_timeout=0.2)
+            started = time.monotonic()
+            with pytest.raises(ServiceError, match="did not respond"):
+                client.ping()
+            assert time.monotonic() - started < 5.0
+        finally:
+            server.close()
+
+    def test_connect_error_is_service_error(self, tmp_path):
+        client = ServiceClient(
+            str(tmp_path / "nothing.sock"), connect_timeout=0.2
+        )
+        with pytest.raises(ServiceError, match="no daemon"):
+            client.ping()
+
+    def test_timeouts_default_to_legacy_timeout(self):
+        client = ServiceClient("/tmp/x.sock", timeout=7.0)
+        assert client.connect_timeout == 7.0
+        assert client.read_timeout == 7.0
+        split = ServiceClient(
+            "/tmp/x.sock", timeout=7.0, connect_timeout=1.0, read_timeout=2.0
+        )
+        assert split.connect_timeout == 1.0
+        assert split.read_timeout == 2.0
+
+
+class TestWatchdog:
+    def test_flags_over_deadline_job_once(self, tmp_path, daemon):
+        client, instance = daemon
+        config = tiny_config(tmp_path, task_timeout_seconds=0.001)
+        task = tasks_by_key(config)["table1"]
+        cell, task_data, config_data = submit_args(task, config)
+        with instance._lock:
+            job = instance._new_job(cell, task_data, config_data)
+            job.state = "running"
+            job.started = time.monotonic() - 3600.0
+            job.trace_id = "t" * 32
+
+        flagged = instance.run_watchdog_scan()
+        assert flagged["over_deadline"] == 1
+        again = instance.run_watchdog_scan()
+        assert again["over_deadline"] == 1  # census, but flagged once
+        events, _ = load_events(instance.telemetry.path)
+        watchdog = [e for e in events if e["event"] == "watchdog"]
+        assert len(watchdog) == 1
+        assert watchdog[0]["kind"] == "job_over_deadline"
+        assert watchdog[0]["job"] == job.id
+        assert watchdog[0]["overrun_seconds"] > 0
+        lines = client.metrics()["exposition"].splitlines()
+        assert "service.jobs_over_deadline 1" in lines
+        with instance._lock:  # unstick: don't leave a phantom running job
+            job.state = "failed"
+
+    def test_flags_dead_worker_once(self, tmp_path):
+        from repro.service import ServiceDaemon
+
+        instance = ServiceDaemon(
+            str(tmp_path / "svc.sock"),
+            str(tmp_path / "store"),
+            jobs=1,
+            emit=lambda line: None,
+        )
+        dead = threading.Thread(target=lambda: None)
+        dead.start()
+        dead.join()
+        instance._workers.append(dead)
+        flagged = instance.run_watchdog_scan()
+        assert flagged["dead_workers"] == 1
+        instance.run_watchdog_scan()
+        events, _ = load_events(instance.telemetry.path)
+        watchdog = [e for e in events if e["event"] == "watchdog"]
+        assert len(watchdog) == 1
+        assert watchdog[0]["kind"] == "worker_dead"
+        instance.telemetry.close()
+
+    def test_healthy_daemon_scan_is_clean(self, daemon):
+        _, instance = daemon
+        assert instance.run_watchdog_scan() == {
+            "over_deadline": 0,
+            "dead_workers": 0,
+        }
