@@ -32,11 +32,11 @@ sys.path.insert(
     os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"),
 )
 
+from repro.obs.cli import CliError, run_main
 from repro.obs.telemetry import TELEMETRY_NAME, load_events, summarize_jobs
 
-
-class TelemetryError(Exception):
-    """No usable event log (exit code 2)."""
+# Kept as an alias: TelemetryError predates the shared CLI helper.
+TelemetryError = CliError
 
 
 def find_log(args) -> str:
@@ -44,7 +44,7 @@ def find_log(args) -> str:
         return args.telemetry
     if args.store:
         return os.path.join(args.store, "daemon", TELEMETRY_NAME)
-    raise TelemetryError("pass a telemetry.jsonl path or --store")
+    raise CliError("pass a telemetry.jsonl path or --store")
 
 
 def _fmt_seconds(value) -> str:
@@ -113,7 +113,7 @@ def main(argv=None) -> int:
     try:
         log_file = find_log(args)
         events, dropped = load_events(log_file)
-    except TelemetryError as exc:
+    except CliError as exc:
         print(f"telemetry_summary: error: {exc}", file=sys.stderr)
         return 2
     except (FileNotFoundError, OSError) as exc:
@@ -163,8 +163,4 @@ def main(argv=None) -> int:
 
 
 if __name__ == "__main__":
-    try:
-        sys.exit(main())
-    except BrokenPipeError:  # e.g. `... | head` closed the pipe
-        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
-        sys.exit(0)
+    run_main(main)

@@ -37,42 +37,29 @@ from repro.obs import (
     render_metrics_summary,
     render_rollup,
 )
+from repro.obs.cli import CliError, find_run_file, run_main
 
-
-class TraceError(Exception):
-    """No usable trace: missing file/dir or torn JSONL (exit code 2)."""
+# Kept as an alias: TraceError predates the shared CLI helper.
+TraceError = CliError
 
 
 def find_trace(runs_dir: str) -> str:
     """The newest run directory under ``runs_dir`` containing a trace."""
-    if not os.path.isdir(runs_dir):
-        raise TraceError(
-            f"runs directory {runs_dir!r} does not exist; "
-            "pass a trace path or --runs-dir"
-        )
-    candidates = []
-    for run_id in sorted(os.listdir(runs_dir), reverse=True):
-        path = os.path.join(runs_dir, run_id, TRACE_NAME)
-        if os.path.isfile(path):
-            candidates.append(path)
-    if not candidates:
-        raise TraceError(
-            f"no {TRACE_NAME} under {runs_dir!r}; "
-            "was the run made with --profile?"
-        )
-    return candidates[0]
+    return find_run_file(
+        runs_dir, TRACE_NAME, hint="was the run made with --profile?"
+    )
 
 
 def load_spans(trace_file: str) -> list:
-    """Read spans, mapping I/O and parse failures to :class:`TraceError`
+    """Read spans, mapping I/O and parse failures to :class:`CliError`
     (a torn trace means the writer died mid-span — surface that as the
     missing-trace exit code, not a traceback)."""
     try:
         return read_trace_jsonl(trace_file)
     except FileNotFoundError:
-        raise TraceError(f"trace file {trace_file!r} does not exist")
+        raise CliError(f"trace file {trace_file!r} does not exist")
     except (ValueError, OSError) as exc:
-        raise TraceError(f"unreadable trace {trace_file!r}: {exc}")
+        raise CliError(f"unreadable trace {trace_file!r}: {exc}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -119,7 +106,7 @@ def main(argv=None) -> int:
     try:
         trace_file = args.trace or find_trace(args.runs_dir)
         spans = load_spans(trace_file)
-    except TraceError as exc:
+    except CliError as exc:
         print(f"trace_summary: error: {exc}", file=sys.stderr)
         return 2
     print(
@@ -149,8 +136,4 @@ def main(argv=None) -> int:
 
 
 if __name__ == "__main__":
-    try:
-        sys.exit(main())
-    except BrokenPipeError:  # e.g. `... | head` closed the pipe
-        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
-        sys.exit(0)
+    run_main(main)

@@ -9,7 +9,8 @@
 
 Each command delegates, arguments untouched, to the matching
 subsystem CLI (``repro.harness``, ``repro.lint``, ``repro.obs.perf``,
-``repro.obs.search``, ``repro.fault.analysis``, ``repro.service``).
+``repro.obs.search``, ``repro.obs.coverage``, ``repro.fault.analysis``,
+``repro.service``).
 The per-subsystem ``python -m`` spellings keep working but print a
 one-line pointer here.
 """
@@ -18,7 +19,6 @@ from __future__ import annotations
 
 import argparse
 import importlib
-import sys
 from typing import List, Optional
 
 #: command -> (module with main(argv), summary line)
@@ -27,6 +27,10 @@ COMMANDS = {
     "lint": ("repro.lint.__main__", "static netlist analyzer (DRC)"),
     "perf": ("repro.obs.perf.__main__", "perf snapshots, diffs and gates"),
     "search": ("repro.obs.search.__main__", "search-state observatory reports"),
+    "coverage": (
+        "repro.obs.coverage.__main__",
+        "fault-lifecycle & coverage observatory reports",
+    ),
     "fault-analysis": (
         "repro.fault.analysis.__main__",
         "static fault analyzer (collapse/dominance/untestable)",
@@ -61,4 +65,6 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    from .obs.cli import run_main
+
+    run_main(main)

@@ -56,6 +56,14 @@ from ..fault.collapse import collapse_faults
 from ..fault.model import Fault, FaultStatus
 from ..fault.simulator import FaultSimulator
 from ..obs import Observability, annotate
+from ..obs.coverage import (
+    ABORT_FRAME_LIMIT,
+    ABORT_TIME_BUDGET,
+    NULL_COVERAGE_OBSERVER,
+    CoverageObserver,
+    PROV_FAULT_DROP,
+    PROV_RANDOM_PHASE,
+)
 from ..obs.search import NULL_SEARCH_OBSERVER, SearchObserver, StateClassifier
 from ..sim.logicsim import TernarySimulator
 from .._util import make_rng
@@ -88,6 +96,9 @@ class _FaultOutcome:
     sequence: Optional[List[Vector]] = None
     backtracks: int = 0
     frames_expanded: int = 0
+    # Which budget cut an aborted search (repro.obs.coverage ABORT_*
+    # taxonomy); ``aborted`` stays the rolled-up state in every table.
+    abort_reason: Optional[str] = None
 
 
 class Justifier:
@@ -387,6 +398,11 @@ class HitecEngine:
             engine=self.name,
             circuit=self.circuit.name,
         )
+        coverage = CoverageObserver(
+            self.obs.metrics,
+            engine=self.name,
+            circuit=self.circuit.name,
+        )
         justifier = Justifier(
             self.circuit,
             self.budget,
@@ -406,7 +422,12 @@ class HitecEngine:
         # database with every state the kept sequences drive through.
         with trace.span("atpg.random_phase"):
             detected += self._random_phase(
-                statuses, test_set, justifier, states_seen, total_watch
+                statuses,
+                test_set,
+                justifier,
+                states_seen,
+                total_watch,
+                coverage,
             )
         self._ctr_detected.inc(detected)
         processed += detected
@@ -427,9 +448,15 @@ class HitecEngine:
             if total_watch.expired():
                 status.state = "aborted"
                 self._ctr_aborted.inc()
+                coverage.note_abort(
+                    fault, ABORT_TIME_BUDGET, elapsed=total_watch.elapsed()
+                )
                 processed += 1
                 continue
             observer.begin_fault()
+            coverage.begin_fault(
+                fault, sim_events=self._simulator.events_counter.value
+            )
             with trace.span("atpg.fault", fault=str(fault)) as fault_span:
                 outcome = self._process_fault(fault, justifier, total_watch)
                 valid_seen, invalid_seen = observer.end_fault(
@@ -462,19 +489,53 @@ class HitecEngine:
                         [outcome.sequence], faults=open_faults
                     )
                 states_seen |= report.states_traversed
+                # Close the targeted record after the drop pass, so the
+                # drop-simulation events charge to the detecting fault.
+                coverage.end_fault(
+                    fault,
+                    "detected",
+                    detected_by=status.detected_by,
+                    backtracks=outcome.backtracks,
+                    frames=outcome.frames_expanded,
+                    sim_events=self._simulator.events_counter.value,
+                    elapsed=total_watch.elapsed(),
+                )
                 for dropped in report.detected:
                     statuses[dropped].state = "detected"
                     statuses[dropped].detected_by = len(test_set) - 1
                     detected += 1
                     self._ctr_detected.inc()
                     processed += 1
+                    coverage.note_incidental(
+                        dropped,
+                        PROV_FAULT_DROP,
+                        len(test_set) - 1,
+                        elapsed=total_watch.elapsed(),
+                    )
             elif outcome.state == "redundant":
                 status.state = "redundant"
                 redundant += 1
                 self._ctr_redundant.inc()
+                coverage.end_fault(
+                    fault,
+                    "redundant",
+                    backtracks=outcome.backtracks,
+                    frames=outcome.frames_expanded,
+                    sim_events=self._simulator.events_counter.value,
+                    elapsed=total_watch.elapsed(),
+                )
             else:
                 status.state = "aborted"
                 self._ctr_aborted.inc()
+                coverage.end_fault(
+                    fault,
+                    "aborted",
+                    abort_reason=outcome.abort_reason,
+                    backtracks=outcome.backtracks,
+                    frames=outcome.frames_expanded,
+                    sim_events=self._simulator.events_counter.value,
+                    elapsed=total_watch.elapsed(),
+                )
             checkpoints.append(
                 Checkpoint(
                     cpu_seconds=total_watch.elapsed(),
@@ -499,6 +560,7 @@ class HitecEngine:
             sim_events=self._simulator.events_counter.value
             - sim_events_start,
             search_counters=observer.counters(),
+            fault_records=coverage.records(),
         )
 
     def _random_phase(
@@ -508,6 +570,7 @@ class HitecEngine:
         justifier: Justifier,
         states_seen: Set[State],
         total_watch: Stopwatch,
+        coverage=NULL_COVERAGE_OBSERVER,
     ) -> int:
         """Greedy random-sequence selection; returns #faults detected."""
         detected = 0
@@ -530,6 +593,12 @@ class HitecEngine:
                 statuses[fault].state = "detected"
                 statuses[fault].detected_by = len(test_set) - 1
                 detected += 1
+                coverage.note_incidental(
+                    fault,
+                    PROV_RANDOM_PHASE,
+                    len(test_set) - 1,
+                    elapsed=total_watch.elapsed(),
+                )
             open_faults = [f for f in open_faults if f not in report.detected]
         return detected
 
@@ -556,12 +625,15 @@ class HitecEngine:
         forward_exhausted_at_max = False
         windows_expanded = 0
 
-        def _done(state: str, sequence=None) -> _FaultOutcome:
+        def _done(
+            state: str, sequence=None, abort_reason=None
+        ) -> _FaultOutcome:
             return _FaultOutcome(
                 state,
                 sequence,
                 backtracks=meter.backtracks,
                 frames_expanded=windows_expanded,
+                abort_reason=abort_reason,
             )
 
         window = 1
@@ -587,7 +659,9 @@ class HitecEngine:
                 if meter.exhausted():
                     break
             if meter.exhausted():
-                return _done("aborted")
+                return _done(
+                    "aborted", abort_reason=meter.exhausted_reason()
+                )
             if window == self.budget.max_frames:
                 forward_exhausted_at_max = search.outcome.exhausted
             window += 1
@@ -606,7 +680,9 @@ class HitecEngine:
             # Every excitation state was exhaustively proven unreachable:
             # the paper's invalid-SRF.
             return _done("redundant")
-        return _done("aborted")
+        # The window loop ran out with the meter still live: the frame
+        # limit — not a backtrack or time budget — cut the search.
+        return _done("aborted", abort_reason=ABORT_FRAME_LIMIT)
 
     def _randomize_fill(self, solution, prefix: List[Vector]) -> List[Vector]:
         """Concatenate the justification prefix and the forward-phase

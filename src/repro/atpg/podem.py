@@ -30,6 +30,7 @@ from ..circuit.gates import (
 )
 from ..circuit.netlist import NodeKind
 from ..errors import AtpgError
+from ..obs.coverage import ABORT_BACKTRACK_LIMIT, ABORT_TIME_BUDGET
 from .frames import UnrolledModel, Variable
 from .result import Stopwatch
 
@@ -69,13 +70,23 @@ class SearchMeter:
         return not self.exhausted()
 
     def exhausted(self) -> bool:
+        return self.exhausted_reason() is not None
+
+    def exhausted_reason(self) -> Optional[str]:
+        """Which budget cut the search, as an ``ABORT_*`` taxonomy
+        entry from :mod:`repro.obs.coverage` (None = budget left).
+
+        Check order mirrors the historical ``exhausted()`` priority:
+        the backtrack count first, then either deadline — both watches
+        tick the same WorkClock, so one taxonomy entry covers them.
+        """
         if self.backtracks >= self.max_backtracks:
-            return True
+            return ABORT_BACKTRACK_LIMIT
         if self._fault_watch.expired():
-            return True
+            return ABORT_TIME_BUDGET
         if self._total_watch is not None and self._total_watch.expired():
-            return True
-        return False
+            return ABORT_TIME_BUDGET
+        return None
 
 
 @dataclasses.dataclass

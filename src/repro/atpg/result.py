@@ -20,9 +20,10 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..fault.model import CoverageSummary, Fault, FaultStatus, summarize
+from ..obs.coverage.report import lifecycle_counter_block
 
 
 @dataclasses.dataclass
@@ -164,6 +165,12 @@ class AtpgResult:
     search_counters: Dict[str, int] = dataclasses.field(
         default_factory=dict
     )
+    # Per-fault lifecycle records from the coverage observatory, in
+    # resolution order (see repro.obs.coverage — one dict per resolved
+    # fault: outcome, provenance, abort reason, effort deltas).
+    fault_records: List[Dict[str, Any]] = dataclasses.field(
+        default_factory=list
+    )
 
     def summary(self) -> CoverageSummary:
         return summarize(self.statuses.values())
@@ -193,6 +200,7 @@ class AtpgResult:
             (key, self.search_counters[key])
             for key in sorted(self.search_counters)
         )
+        counters.update(lifecycle_counter_block(self.fault_records))
         return counters
 
     @property

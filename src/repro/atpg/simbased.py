@@ -36,6 +36,12 @@ from ..fault.collapse import collapse_faults
 from ..fault.model import Fault, FaultStatus
 from ..fault.simulator import FaultSimulator
 from ..obs import Observability
+from ..obs.coverage import (
+    ABORT_STALL,
+    ABORT_TIME_BUDGET,
+    CoverageObserver,
+    PROV_BREEDING,
+)
 from ..obs.search import SearchObserver, StateClassifier
 from .._util import make_rng
 from .result import (
@@ -138,6 +144,11 @@ class SimBasedEngine:
             engine=self.name,
             circuit=self.circuit.name,
         )
+        coverage = CoverageObserver(
+            self.obs.metrics,
+            engine=self.name,
+            circuit=self.circuit.name,
+        )
         watch = Stopwatch(self.budget.total_seconds, clock=clock)
         sim_events_start = self._simulator.events_counter.value
         elite: List[List[List[int]]] = []
@@ -182,6 +193,14 @@ class SimBasedEngine:
                             statuses[fault].detected_by = len(test_set) - 1
                             detected_count += 1
                             self._ctr_detected.inc()
+                            # Every detection here is incidental: bred
+                            # sequences target no specific fault.
+                            coverage.note_incidental(
+                                fault,
+                                PROV_BREEDING,
+                                len(test_set) - 1,
+                                elapsed=watch.elapsed(),
+                            )
                         open_faults = [
                             f
                             for f in open_faults
@@ -201,8 +220,14 @@ class SimBasedEngine:
                 )
             )
 
+        leftover_reason = (
+            ABORT_TIME_BUDGET if watch.expired() else ABORT_STALL
+        )
         for fault in open_faults:
             statuses[fault].state = "aborted"
+            coverage.note_abort(
+                fault, leftover_reason, elapsed=watch.elapsed()
+            )
         self._ctr_aborted.inc(len(open_faults))
         return AtpgResult(
             circuit_name=self.circuit.name,
@@ -216,6 +241,7 @@ class SimBasedEngine:
             sim_events=self._simulator.events_counter.value
             - sim_events_start,
             search_counters=observer.counters(),
+            fault_records=coverage.records(),
         )
 
     # -- sequence generation --------------------------------------------------

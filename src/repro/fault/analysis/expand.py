@@ -23,6 +23,7 @@ perf counter.
 from __future__ import annotations
 
 import dataclasses
+from collections import Counter
 from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from ...circuit.netlist import Circuit
@@ -52,6 +53,12 @@ class ExpandedResult:
     statuses: Dict[Fault, FaultStatus]
     #: Machine-steps spent post-simulating untargeted classes.
     expansion_sim_events: int = 0
+    #: The engine's lifecycle records annotated with selection
+    #: provenance (collapse level + equivalence-class size); see
+    #: repro.obs.coverage and :func:`expand_result`.
+    fault_records: List[Dict[str, object]] = dataclasses.field(
+        default_factory=list
+    )
 
     # -- AtpgResult surface, delegated -----------------------------------------
 
@@ -195,9 +202,26 @@ def expand_result(
         obs.metrics.counter(
             "sim.expansion_events", circuit=circuit.name
         ).inc(expansion_events)
+    # Selection provenance for the lifecycle records: which collapse
+    # level produced the target list and how many universe faults each
+    # targeted representative stands for.  Class sizes come from one
+    # Counter pass over class_of (members_of scans the universe per
+    # call — O(n^2) over a run's records).
+    class_sizes = Counter(
+        str(rep) for rep in analysis.class_of.values()
+    )
+    fault_records = [
+        dict(
+            record,
+            collapse_level=analysis.level,
+            class_size=class_sizes.get(str(record.get("fault")), 1),
+        )
+        for record in engine_result.fault_records
+    ]
     return ExpandedResult(
         engine_result=engine_result,
         analysis=analysis,
         statuses=statuses,
         expansion_sim_events=expansion_events,
+        fault_records=fault_records,
     )

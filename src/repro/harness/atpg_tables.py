@@ -206,3 +206,12 @@ def pair_counters(run: PairRun) -> Dict[str, Dict]:
         "original": run.original.counters(),
         "retimed": run.retimed.counters(),
     }
+
+
+def pair_lifecycle(run: PairRun) -> Dict[str, List[Dict]]:
+    """Per-fault lifecycle records for one pair run (both sides),
+    in the scoped shape ``repro.obs.coverage.lifecycle_core`` takes."""
+    return {
+        "original": run.original.fault_records,
+        "retimed": run.retimed.fault_records,
+    }

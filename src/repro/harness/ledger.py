@@ -31,6 +31,9 @@ Record schema (one JSON object per line)::
                                   #   core: schema + the search.*
                                   #   counter subset per scope
                                   #   (repro.obs.search; ok ATPG rows)
+      "lifecycle": {...},         # deterministic per-fault lifecycle
+                                  #   core: schema + records per scope
+                                  #   (repro.obs.coverage; ok ATPG rows)
       "payload": {...},           # table rows + lint entries (ok only)
       "error": "…"                # traceback summary (failures only)
     }
@@ -45,13 +48,18 @@ mis-spelled counters.  v2 rows had no ``perf`` field; loading
 synthesizes it from the counters, so pre-perf ledgers feed the
 perf-snapshot and diff tooling unchanged.  v3 rows had no ``search``
 field; loading synthesizes it the same way (old rows have no
-``search.*`` counters, so it is usually empty).  v4 rows are also what
-the :mod:`repro.service` content-addressed store holds — a cache hit
-replays the stored row into the run ledger verbatim.  The ``perf`` and
-``search`` payloads hold only deterministic fields — wall seconds and
-peak RSS stay in the designated wall-time columns — keeping rows
-byte-identical across ``--jobs`` levels modulo
-:data:`WALL_TIME_FIELDS`.
+``search.*`` counters, so it is usually empty).  v4 rows had no
+``lifecycle`` field; loading synthesizes an empty one (per-fault
+records cannot be reconstructed from counters — old rows simply have
+no forensics).  v5 rows are also what the :mod:`repro.service`
+content-addressed store holds — a cache hit replays the stored row
+into the run ledger verbatim (the service key schema was bumped
+alongside v5, so stores holding lifecycle-less v4 rows miss and
+recompute instead of silently serving rows without forensics).  The
+``perf``, ``search`` and ``lifecycle`` payloads hold only
+deterministic fields — wall seconds and peak RSS stay in the
+designated wall-time columns — keeping rows byte-identical across
+``--jobs`` levels modulo :data:`WALL_TIME_FIELDS`.
 
 A run killed mid-write leaves a torn final line; :func:`load_records`
 tolerates any undecodable line (counting it) so a resumed run can pick
@@ -74,7 +82,7 @@ from ..obs.perf import PerfRecord, deterministic_core, record_from_ledger_row
 from ..obs.search import search_core
 
 LEDGER_NAME = "ledger.jsonl"
-RECORD_VERSION = 4
+RECORD_VERSION = 5
 #: Oldest record version still loadable (v1's flat counter keys are no
 #: longer normalized; see the version history above).
 MIN_RECORD_VERSION = 2
@@ -103,6 +111,7 @@ class TaskRecord:
     metrics: Dict[str, Any] = dataclasses.field(default_factory=dict)
     perf: Dict[str, Any] = dataclasses.field(default_factory=dict)
     search: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    lifecycle: Dict[str, Any] = dataclasses.field(default_factory=dict)
     payload: Dict[str, Any] = dataclasses.field(default_factory=dict)
     error: str = ""
 
@@ -133,6 +142,11 @@ class TaskRecord:
         # counters have no search.* keys, so this is usually empty).
         if version < 4 and data.get("outcome") == "ok":
             data["search"] = search_core(data.get("counters") or {})
+        # Pre-v5 rows had no lifecycle payload, and per-fault records
+        # cannot be synthesized from counters — old rows load with
+        # empty forensics.
+        if version < 5:
+            data["lifecycle"] = {}
         known = {f.name for f in dataclasses.fields(cls)}
         return cls(**{k: v for k, v in data.items() if k in known})
 

@@ -18,6 +18,10 @@ from typing import Dict, List, Optional, Sequence
 
 import dataclasses
 
+from ..obs.coverage import (
+    cell_records_from_ledger_rows,
+    render_abort_forensics,
+)
 from ..obs.perf import render_effort_attribution
 from ..obs.search import render_waste_attribution, waste_rows_from_ledger_rows
 from . import ledger as ledger_mod
@@ -181,6 +185,18 @@ def assemble_report(
     blocks.append(
         render_waste_attribution(
             waste_rows_from_ledger_rows(
+                dataclasses.asdict(completed[task.key])
+                for task in graph
+                if task.key in completed
+            )
+        )
+    )
+    # Coverage & abort forensics: per-cell detection provenance and the
+    # abort-reason taxonomy from the lifecycle records (deterministic —
+    # byte-identical across --jobs levels like the blocks above).
+    blocks.append(
+        render_abort_forensics(
+            cell_records_from_ledger_rows(
                 dataclasses.asdict(completed[task.key])
                 for task in graph
                 if task.key in completed

@@ -44,12 +44,14 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..errors import ReproError
 from ..lint import GLOBAL_LEDGER
 from ..obs import Observability, write_trace_jsonl
+from ..obs import coverage as coverage_mod
 from ..obs import perf as perf_mod
 from ..obs import search as search_mod
 from . import ledger as ledger_mod
 from . import figure3, table1, table5, table6, table7, table8
 from .atpg_tables import (
     pair_counters,
+    pair_lifecycle,
     pair_rows,
     coverage_row,
     run_pair,
@@ -194,7 +196,11 @@ def _engine_pair_cell(
     for section in task.tables:
         if wants(config, section):
             tables[section] = _SECTION_ROWS[section](task, config, run)
-    return {"tables": tables, "counters": pair_counters(run)}
+    return {
+        "tables": tables,
+        "counters": pair_counters(run),
+        "lifecycle": pair_lifecycle(run),
+    }
 
 
 def _struct_cell(
@@ -344,12 +350,17 @@ def _record_for(
     payload = dict(payload or {})
     counters = payload.pop("counters", {})
     metrics = payload.pop("metrics", {})
+    records = payload.pop("lifecycle", {})
     # Successful attempts carry their deterministic perf core; the
     # perf-snapshot tooling joins it with the wall-time columns below.
     perf = perf_mod.deterministic_core(counters) if outcome == "ok" else {}
     # ... and the search-observatory core (the search.* subset only;
     # empty for non-ATPG cells).
     search = search_mod.search_core(counters) if outcome == "ok" else {}
+    # ... and the per-fault lifecycle core (empty for non-ATPG cells).
+    lifecycle = (
+        coverage_mod.lifecycle_core(records) if outcome == "ok" else {}
+    )
     return TaskRecord(
         key=task.key,
         kind=task.kind,
@@ -366,6 +377,7 @@ def _record_for(
         metrics=metrics,
         perf=perf,
         search=search,
+        lifecycle=lifecycle,
         payload=payload,
         error=error,
     )

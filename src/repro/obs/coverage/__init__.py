@@ -1,0 +1,102 @@
+"""Fault-lifecycle & coverage observatory (``repro.obs.coverage``).
+
+Gives every targeted fault a deterministic lifecycle record — how it
+was selected (equivalence class, collapse level), how it resolved
+(detected / redundant / aborted, with the abort-reason taxonomy that
+splits the engines' single opaque ``aborted`` state), who detected it
+(its own deterministic search vs another fault's test via fault
+dropping, the random phase, or sequence breeding), and what the
+resolution cost (backtracks, frames, sim events charged between the
+``begin_fault``/``end_fault`` brackets).  Three pieces:
+
+* :class:`CoverageObserver` — per-run streaming records plus the
+  ``lifecycle.*`` counters (and :data:`NULL_COVERAGE_OBSERVER`, the
+  off-hot-path disabled mode);
+* the report layer — coverage-vs-cumulative-effort curves per cell and
+  aggregated, the per-cell abort forensics the combined harness report
+  embeds, and the cross-engine hard-fault ranking exported as a
+  machine-readable target list for the future ``hitec-cdl`` engine;
+* the ledger core — ``lifecycle_core`` embeds the records in every ok
+  ledger row (RECORD_VERSION 5), read back by the CLI.
+
+CLI::
+
+    python -m repro.obs.coverage report <run-dir-or-ledger>
+    python -m repro.obs.coverage report --targets hard-faults.json
+
+All records close at deterministic WorkClock-ordered points, so
+reports, curves, and the target list are byte-identical across
+``--jobs`` levels and across cold vs warm cache runs.
+
+This package deliberately never imports ``repro.atpg`` or
+``repro.harness`` — the engines and harness import *us* (the
+``ABORT_*`` taxonomy constants live here for exactly that reason).
+"""
+
+from .observer import (
+    ABORT_BACKTRACK_LIMIT,
+    ABORT_FRAME_LIMIT,
+    ABORT_REASONS,
+    ABORT_STALL,
+    ABORT_TIME_BUDGET,
+    INCIDENTAL_PROVENANCES,
+    NULL_COVERAGE_OBSERVER,
+    PROV_BREEDING,
+    PROV_FAULT_DROP,
+    PROV_RANDOM_PHASE,
+    PROV_TARGETED,
+    CoverageObserver,
+    NullCoverageObserver,
+)
+from .report import (
+    COVERAGE_SCHEMA_VERSION,
+    MARK_PERCENTS,
+    TARGETS_SCHEMA_VERSION,
+    CellRecords,
+    CoverageCurve,
+    HardFault,
+    cell_records_from_ledger,
+    cell_records_from_ledger_rows,
+    coverage_curves,
+    hard_fault_targets,
+    lifecycle_core,
+    lifecycle_counter_block,
+    rank_hard_faults,
+    render_abort_forensics,
+    render_coverage_curves,
+    render_hard_faults,
+    render_report,
+)
+
+__all__ = [
+    "ABORT_BACKTRACK_LIMIT",
+    "ABORT_FRAME_LIMIT",
+    "ABORT_REASONS",
+    "ABORT_STALL",
+    "ABORT_TIME_BUDGET",
+    "COVERAGE_SCHEMA_VERSION",
+    "CellRecords",
+    "CoverageCurve",
+    "CoverageObserver",
+    "HardFault",
+    "INCIDENTAL_PROVENANCES",
+    "MARK_PERCENTS",
+    "NULL_COVERAGE_OBSERVER",
+    "NullCoverageObserver",
+    "PROV_BREEDING",
+    "PROV_FAULT_DROP",
+    "PROV_RANDOM_PHASE",
+    "PROV_TARGETED",
+    "TARGETS_SCHEMA_VERSION",
+    "cell_records_from_ledger",
+    "cell_records_from_ledger_rows",
+    "coverage_curves",
+    "hard_fault_targets",
+    "lifecycle_core",
+    "lifecycle_counter_block",
+    "rank_hard_faults",
+    "render_abort_forensics",
+    "render_coverage_curves",
+    "render_hard_faults",
+    "render_report",
+]

@@ -1,18 +1,20 @@
-"""CLI: ``python -m repro.obs.search report <run-dir-or-ledger>``.
+"""CLI: ``python -m repro.obs.coverage report <run-dir-or-ledger>``.
 
 The positional argument may be a run directory (``runs/<run-id>/``,
 its ``ledger.jsonl`` is ingested) or a ``ledger.jsonl`` path; with no
-argument the newest run under ``--runs-dir`` is used (the shared
-convention of :mod:`repro.obs.cli`).
+argument the newest run under ``--runs-dir`` is used.  ``--targets``
+additionally exports the hard-fault ranking as the machine-readable
+JSON target list the ``hitec-cdl`` engine will consume.
 
-Exit codes: 0 = report printed, 1 = the run has no search counters at
-all (an ATPG run predating the observatory, or one with every oracle
-unavailable), 2 = unreadable input.
+Exit codes: 0 = report printed, 1 = the run has no lifecycle records
+at all (a run predating the observatory, or one with no ATPG cells),
+2 = unreadable input.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from ..cli import (
@@ -23,25 +25,26 @@ from ..cli import (
     write_output,
 )
 from .report import (
+    cell_records_from_ledger,
+    hard_fault_targets,
+    rank_hard_faults,
     render_report,
-    waste_rows_from_ledger,
 )
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="python -m repro.obs.search",
+        prog="python -m repro.obs.coverage",
         description=(
-            "Render the search-state observatory report of a run "
-            "ledger: per-cell waste attribution, original vs retimed "
-            "waste movement, and the waste vs density-of-encoding "
-            "rank correlation."
+            "Render the fault-lifecycle observatory report of a run "
+            "ledger: per-cell abort forensics, coverage-vs-effort "
+            "curves, and the cross-cell hard-fault ranking."
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
     report = sub.add_parser(
-        "report", help="render the waste report of one run"
+        "report", help="render the coverage report of one run"
     )
     report.add_argument(
         "source",
@@ -63,6 +66,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="also write the rendered report to FILE",
     )
+    report.add_argument(
+        "--targets",
+        default=None,
+        metavar="FILE",
+        help="export the hard-fault ranking as a JSON target list "
+        "for hitec-cdl",
+    )
     return parser
 
 
@@ -72,16 +82,22 @@ def _cmd_report(args: argparse.Namespace) -> int:
     else:
         ledger = find_ledger(args.runs_dir)
     try:
-        rows = waste_rows_from_ledger(ledger)
+        cells = cell_records_from_ledger(ledger)
     except OSError as exc:
         raise CliError(f"unreadable ledger {ledger!r}: {exc}")
     text = render_report(
-        rows, title=f"Search-state observatory report ({ledger})"
+        cells,
+        title=f"Fault-lifecycle & coverage observatory report ({ledger})",
     )
     print(text)
     if args.output:
         write_output(args.output, text)
-    return 0 if rows else 1
+    if args.targets:
+        targets = hard_fault_targets(rank_hard_faults(cells))
+        write_output(
+            args.targets, json.dumps(targets, indent=2, sort_keys=True)
+        )
+    return 0 if cells else 1
 
 
 def main(argv=None) -> int:
@@ -96,5 +112,7 @@ def main(argv=None) -> int:
 if __name__ == "__main__":
     from ..._util import note_legacy_entry
 
-    note_legacy_entry("python -m repro.obs.search", "python -m repro search")
+    note_legacy_entry(
+        "python -m repro.obs.coverage", "python -m repro coverage"
+    )
     run_main(main)

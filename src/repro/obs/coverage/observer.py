@@ -1,0 +1,278 @@
+"""Fault-lifecycle observer: one deterministic record per fault.
+
+One :class:`CoverageObserver` watches one engine *run*.  Every fault
+the engine resolves — detected by the deterministic search, detected
+incidentally by another fault's test (fault dropping, the random
+phase, simulation-based breeding), proven redundant, or aborted —
+closes exactly one lifecycle record:
+
+========================  ==================================================
+``fault``                 the fault, as ``repro.fault.model.Fault`` spells it
+``order``                 resolution index within the run (0-based)
+``outcome``               ``detected`` | ``redundant`` | ``aborted``
+``provenance``            how it resolved (see the ``PROV_*`` constants)
+``abort_reason``          the ``ABORT_*`` taxonomy entry, or None
+``detected_by``           detecting test-sequence index, or None
+``backtracks``            PODEM backtracks charged between begin/end
+``frames``                time-frame windows expanded between begin/end
+``sim_events``            fault-simulator machine-steps between begin/end
+``cpu_seconds``           virtual (WorkClock) seconds when the fault closed
+========================  ==================================================
+
+Effort fields are deltas between the engine's ``begin_fault`` /
+``end_fault`` brackets and every timestamp comes from the run's
+deterministic WorkClock, so records — like every other observatory
+tally — are byte-identical across ``--jobs`` levels and across cold
+vs warm cache runs.
+
+The disabled path follows the observatory convention:
+:data:`NULL_COVERAGE_OBSERVER` is a shared, stateless no-op whose
+``records()`` and ``counters()`` are empty.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..metrics import MetricsRegistry
+
+# -- abort-reason taxonomy ---------------------------------------------------
+# These split the engines' single opaque ``aborted`` state (which stays
+# the rolled-up legacy state in every table).  The constants live here —
+# not in repro.atpg — because both the engines and the read-time report
+# layer consume them, and obs never imports atpg.
+
+#: The per-fault backtrack budget cut the search.
+ABORT_BACKTRACK_LIMIT = "backtrack-limit"
+#: The forward window hit ``max_frames`` with search space left open.
+ABORT_FRAME_LIMIT = "frame-limit"
+#: A per-fault or per-circuit time budget expired.
+ABORT_TIME_BUDGET = "time-budget"
+#: A simulation-based run stalled (no new detections) with faults open.
+ABORT_STALL = "stall"
+
+ABORT_REASONS = (
+    ABORT_BACKTRACK_LIMIT,
+    ABORT_FRAME_LIMIT,
+    ABORT_TIME_BUDGET,
+    ABORT_STALL,
+)
+
+# -- detection provenance ----------------------------------------------------
+
+#: The deterministic search emitted this fault's own test.
+PROV_TARGETED = "targeted"
+#: Dropped by fault-simulating another fault's fresh test.
+PROV_FAULT_DROP = "fault-drop"
+#: Detected by the random test generation phase.
+PROV_RANDOM_PHASE = "random-phase"
+#: Detected by a simulation-based engine's bred sequence batch.
+PROV_BREEDING = "breeding"
+
+#: Provenances that count as *incidental* (the fault was never the
+#: search target of the sequence that detected it).
+INCIDENTAL_PROVENANCES = (PROV_FAULT_DROP, PROV_RANDOM_PHASE, PROV_BREEDING)
+
+
+def _record(
+    fault: object,
+    order: int,
+    outcome: str,
+    provenance: str,
+    abort_reason: Optional[str],
+    detected_by: Optional[int],
+    backtracks: int,
+    frames: int,
+    sim_events: int,
+    cpu_seconds: float,
+) -> Dict[str, Any]:
+    return {
+        "fault": str(fault),
+        "order": order,
+        "outcome": outcome,
+        "provenance": provenance,
+        "abort_reason": abort_reason,
+        "detected_by": detected_by,
+        "backtracks": int(backtracks),
+        "frames": int(frames),
+        "sim_events": int(sim_events),
+        "cpu_seconds": float(cpu_seconds),
+    }
+
+
+class NullCoverageObserver:
+    """Shared no-op observer: the off-hot-path disabled mode."""
+
+    enabled = False
+
+    def begin_fault(self, fault: object, sim_events: int = 0) -> None:
+        pass
+
+    def end_fault(self, fault: object, outcome: str, **details: Any) -> None:
+        pass
+
+    def note_incidental(
+        self,
+        fault: object,
+        provenance: str,
+        detected_by: int,
+        elapsed: float = 0.0,
+    ) -> None:
+        pass
+
+    def note_abort(
+        self, fault: object, reason: str, elapsed: float = 0.0
+    ) -> None:
+        pass
+
+    def records(self) -> List[Dict[str, Any]]:
+        return []
+
+    def counters(self) -> Dict[str, int]:
+        return {}
+
+
+#: The one stateless disabled observer.
+NULL_COVERAGE_OBSERVER = NullCoverageObserver()
+
+
+class CoverageObserver:
+    """Live fault-lifecycle observer for one engine run.
+
+    Engines bracket each deterministically targeted fault with
+    :meth:`begin_fault` (which marks the fault simulator's event
+    counter) and :meth:`end_fault` (which closes the record with the
+    effort deltas); incidental detections and zero-effort aborts close
+    records directly.  Record order is resolution order — a pure
+    function of the search trajectory.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        **labels: object,
+    ):
+        self._records: List[Dict[str, Any]] = []
+        self._sim_mark = 0
+        registry = metrics if metrics is not None else MetricsRegistry()
+        self._ctr_targeted = registry.counter(
+            "lifecycle.detected_targeted", **labels
+        )
+        self._ctr_incidental = registry.counter(
+            "lifecycle.detected_incidental", **labels
+        )
+        self._ctr_aborted = {
+            reason: registry.counter(
+                "lifecycle.aborted_" + reason.replace("-", "_"), **labels
+            )
+            for reason in ABORT_REASONS
+        }
+
+    # -- targeted-fault bracket ---------------------------------------------
+
+    def begin_fault(self, fault: object, sim_events: int = 0) -> None:
+        """Open one targeted fault's effort window (``sim_events`` is
+        the simulator's absolute event count at the bracket start)."""
+        del fault  # the closing call names the fault
+        self._sim_mark = sim_events
+
+    def end_fault(
+        self,
+        fault: object,
+        outcome: str,
+        *,
+        abort_reason: Optional[str] = None,
+        detected_by: Optional[int] = None,
+        backtracks: int = 0,
+        frames: int = 0,
+        sim_events: int = 0,
+        elapsed: float = 0.0,
+    ) -> Dict[str, Any]:
+        """Close one targeted fault's record with its effort deltas.
+
+        ``sim_events`` is the simulator's absolute count at close; the
+        record stores the delta from the matching :meth:`begin_fault`.
+        """
+        record = _record(
+            fault,
+            order=len(self._records),
+            outcome=outcome,
+            provenance=PROV_TARGETED,
+            abort_reason=abort_reason if outcome == "aborted" else None,
+            detected_by=detected_by if outcome == "detected" else None,
+            backtracks=backtracks,
+            frames=frames,
+            sim_events=max(0, sim_events - self._sim_mark),
+            cpu_seconds=elapsed,
+        )
+        self._records.append(record)
+        if outcome == "detected":
+            self._ctr_targeted.inc()
+        elif outcome == "aborted" and abort_reason in self._ctr_aborted:
+            self._ctr_aborted[abort_reason].inc()
+        return record
+
+    # -- bracket-free resolutions -------------------------------------------
+
+    def note_incidental(
+        self,
+        fault: object,
+        provenance: str,
+        detected_by: int,
+        elapsed: float = 0.0,
+    ) -> Dict[str, Any]:
+        """One fault detected by a sequence that was not targeting it
+        (fault dropping, the random phase, bred batches).  Effort is
+        charged to the sequence's own fault (or phase), never here."""
+        record = _record(
+            fault,
+            order=len(self._records),
+            outcome="detected",
+            provenance=provenance,
+            abort_reason=None,
+            detected_by=detected_by,
+            backtracks=0,
+            frames=0,
+            sim_events=0,
+            cpu_seconds=elapsed,
+        )
+        self._records.append(record)
+        self._ctr_incidental.inc()
+        return record
+
+    def note_abort(
+        self, fault: object, reason: str, elapsed: float = 0.0
+    ) -> Dict[str, Any]:
+        """One fault aborted without any search (budget already gone
+        before its turn, or left open at the end of a run)."""
+        record = _record(
+            fault,
+            order=len(self._records),
+            outcome="aborted",
+            provenance=PROV_TARGETED,
+            abort_reason=reason,
+            detected_by=None,
+            backtracks=0,
+            frames=0,
+            sim_events=0,
+            cpu_seconds=elapsed,
+        )
+        self._records.append(record)
+        if reason in self._ctr_aborted:
+            self._ctr_aborted[reason].inc()
+        return record
+
+    # -- output --------------------------------------------------------------
+
+    def records(self) -> List[Dict[str, Any]]:
+        """The run's lifecycle records, in resolution order."""
+        return list(self._records)
+
+    def counters(self) -> Dict[str, int]:
+        """The dotted ``lifecycle.*`` counter block (see
+        :func:`repro.obs.coverage.report.lifecycle_counter_block`)."""
+        from .report import lifecycle_counter_block
+
+        return lifecycle_counter_block(self._records)

@@ -25,6 +25,7 @@ import os
 import sys
 from typing import Optional, Tuple
 
+from ..cli import CliError, resolve_ledger, run_main, write_output
 from ..export import TRACE_NAME, read_trace_jsonl
 from .record import (
     PerfSnapshot,
@@ -41,31 +42,22 @@ from .diff import (
     render_rollup_diff,
 )
 
-LEDGER_NAME = "ledger.jsonl"  # mirrors repro.harness.ledger.LEDGER_NAME
-
-
-class PerfCliError(Exception):
-    """Unreadable or unrecognizable input (CLI exit code 2)."""
-
 
 def load_source(path: str) -> Tuple[PerfSnapshot, Optional[str]]:
     """Resolve one CLI argument to ``(snapshot, run_dir-or-None)``."""
-    if os.path.isdir(path):
-        ledger = os.path.join(path, LEDGER_NAME)
-        if not os.path.isfile(ledger):
-            raise PerfCliError(
-                f"{path!r} is a directory without a {LEDGER_NAME}"
-            )
-        return snapshot_from_ledger(ledger), path
+    if os.path.isdir(path) or path.endswith(".jsonl"):
+        # resolve_ledger raises the shared CliError on a dir without a
+        # ledger or a missing file (exit code 2 either way).
+        ledger = resolve_ledger(path)
+        run_dir = os.path.dirname(ledger) or "."
+        return snapshot_from_ledger(ledger), run_dir
     if not os.path.isfile(path):
-        raise PerfCliError(f"no such snapshot, ledger or run: {path!r}")
-    if path.endswith(".jsonl"):
-        return snapshot_from_ledger(path), os.path.dirname(path) or "."
+        raise CliError(f"no such snapshot, ledger or run: {path!r}")
     try:
         with open(path, "r", encoding="utf-8") as handle:
             data = json.load(handle)
     except ValueError as exc:
-        raise PerfCliError(f"unparseable JSON in {path!r}: {exc}")
+        raise CliError(f"unparseable JSON in {path!r}: {exc}")
     if isinstance(data, dict) and "benchmarks" in data:
         return (
             PerfSnapshot(records=records_from_pytest_benchmark(data)),
@@ -73,7 +65,7 @@ def load_source(path: str) -> Tuple[PerfSnapshot, Optional[str]]:
         )
     if isinstance(data, dict) and "records" in data:
         return PerfSnapshot.from_dict(data), None
-    raise PerfCliError(
+    raise CliError(
         f"{path!r} is neither a PerfSnapshot nor a pytest-benchmark "
         "export"
     )
@@ -166,11 +158,7 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     text = "\n\n".join(sections)
     print(text)
     if args.report:
-        directory = os.path.dirname(args.report)
-        if directory:
-            os.makedirs(directory, exist_ok=True)
-        with open(args.report, "w", encoding="utf-8") as handle:
-            handle.write(text + "\n")
+        write_output(args.report, text)
     return 1 if diff.gate_failures(args.fail_on) else 0
 
 
@@ -192,7 +180,7 @@ def main(argv=None) -> int:
         if args.command == "diff":
             return _cmd_diff(args)
         return _cmd_show(args)
-    except PerfCliError as exc:
+    except CliError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -201,8 +189,4 @@ if __name__ == "__main__":
     from ..._util import note_legacy_entry
 
     note_legacy_entry("python -m repro.obs.perf", "python -m repro perf")
-    try:
-        sys.exit(main())
-    except BrokenPipeError:  # e.g. `... | head` closed the pipe
-        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
-        sys.exit(0)
+    run_main(main)

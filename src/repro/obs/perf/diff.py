@@ -59,6 +59,16 @@ HIGHER_IS_WORSE = frozenset(
         # Cache-first runs (repro.service): a miss is a cell computed
         # from scratch that a warm store would have served.
         "service.cache_misses",
+        # Coverage observatory: more aborts under any taxonomy reason =
+        # more faults left unresolved by the same budget.  The
+        # lifecycle detection counters deliberately have no direction
+        # policy — detections moving between the targeted and
+        # incidental buckets (e.g. a different drop order) is drift,
+        # not a regression.
+        "lifecycle.aborted_backtrack_limit",
+        "lifecycle.aborted_frame_limit",
+        "lifecycle.aborted_time_budget",
+        "lifecycle.aborted_stall",
     }
 )
 

@@ -33,9 +33,13 @@ import hashlib
 import json
 from typing import Any, Dict, Mapping, Optional
 
-#: Bumped whenever the cell-key payload schema changes shape; part of
-#: every payload, so old store entries miss rather than mis-hit.
-KEY_SCHEMA_VERSION = 1
+#: Bumped whenever the cell-key payload schema changes shape — or when
+#: stored rows gain a field that cannot be synthesized on load (v2:
+#: ledger RECORD_VERSION 5 added per-fault ``lifecycle`` records; a
+#: store of v4 rows must miss and recompute, not serve rows with empty
+#: forensics).  Part of every payload, so old store entries miss
+#: rather than mis-hit.
+KEY_SCHEMA_VERSION = 2
 
 
 def canonical_json(payload: Any) -> str:

@@ -1,0 +1,129 @@
+"""Fault-lifecycle records: partition soundness across the engines.
+
+The observatory's load-bearing claim: an engine run resolves *every*
+fault on its target list into exactly one lifecycle record — detected
+(targeted or incidental), redundant, or aborted with a taxonomy
+reason — while the analyzer's untestable classes never reach the
+target list at all.  Together the four buckets partition the
+collapsed universe at every collapse level and under both simulation
+backends.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.atpg import EffortBudget, HitecEngine, SimBasedEngine
+from repro.fault import analyze_faults
+from repro.fault.analysis import LEVELS
+from repro.obs.coverage import (
+    ABORT_REASONS,
+    INCIDENTAL_PROVENANCES,
+    PROV_TARGETED,
+)
+from repro.sim.parallel import BACKENDS
+
+from tests.fault.test_expand import small_circuits
+
+
+def assert_records_partition_targets(records, targets):
+    """One record per target; outcomes and provenance are coherent."""
+    assert sorted(r["fault"] for r in records) == sorted(
+        str(fault) for fault in targets
+    )
+    assert [r["order"] for r in records] == list(range(len(records)))
+    for record in records:
+        outcome = record["outcome"]
+        assert outcome in ("detected", "redundant", "aborted")
+        if outcome == "aborted":
+            assert record["abort_reason"] in ABORT_REASONS
+            assert record["detected_by"] is None
+        else:
+            assert record["abort_reason"] is None
+        if outcome == "detected":
+            assert isinstance(record["detected_by"], int)
+            assert record["provenance"] in (
+                (PROV_TARGETED,) + INCIDENTAL_PROVENANCES
+            )
+        else:
+            assert record["provenance"] == PROV_TARGETED
+        assert record["backtracks"] >= 0
+        assert record["frames"] >= 0
+        assert record["sim_events"] >= 0
+        assert record["cpu_seconds"] >= 0.0
+
+
+class TestPartitionProperty:
+    @pytest.mark.parametrize("level", LEVELS)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @settings(max_examples=10, deadline=None)
+    @given(circuit=small_circuits())
+    def test_hitec_records_partition_target_list(
+        self, level, backend, circuit
+    ):
+        analysis = analyze_faults(circuit, level=level)
+        # Untestable classes are pruned before targeting, never during.
+        assert not set(analysis.untestable) & set(analysis.representatives)
+        result = HitecEngine(
+            circuit,
+            budget=EffortBudget.quick(),
+            sim_backend=backend,
+        ).run(analysis.representatives)
+        assert_records_partition_targets(
+            result.fault_records, analysis.representatives
+        )
+        # The counter block tallies exactly the records.
+        block = result.counters()
+        if analysis.representatives:
+            detected = (
+                block["lifecycle.detected_targeted"]
+                + block["lifecycle.detected_incidental"]
+            )
+            aborted = sum(
+                block[
+                    "lifecycle.aborted_" + reason.replace("-", "_")
+                ]
+                for reason in ABORT_REASONS
+            )
+            redundant = sum(
+                1
+                for r in result.fault_records
+                if r["outcome"] == "redundant"
+            )
+            assert detected + aborted + redundant == len(
+                analysis.representatives
+            )
+
+
+class TestEngineRecords:
+    def test_hitec_statuses_agree_with_records(self, two_bit_counter):
+        result = HitecEngine(
+            two_bit_counter, budget=EffortBudget.quick()
+        ).run()
+        by_fault = {r["fault"]: r for r in result.fault_records}
+        assert set(by_fault) == {
+            str(fault) for fault in result.statuses
+        }
+        for fault, status in result.statuses.items():
+            record = by_fault[str(fault)]
+            assert record["outcome"] == status.state
+            if status.state == "detected":
+                assert record["detected_by"] == status.detected_by
+
+    def test_sest_emits_records_too(self, two_bit_counter):
+        result = HitecEngine(
+            two_bit_counter, budget=EffortBudget.quick(), learning=True
+        ).run()
+        assert result.engine == "sest"
+        assert result.fault_records
+
+    def test_simbased_open_faults_abort_with_reason(self, toggle_circuit):
+        result = SimBasedEngine(
+            toggle_circuit, budget=EffortBudget.quick()
+        ).run()
+        by_fault = {r["fault"]: r for r in result.fault_records}
+        assert set(by_fault) == {
+            str(fault) for fault in result.statuses
+        }
+        for record in result.fault_records:
+            if record["outcome"] == "aborted":
+                assert record["abort_reason"] in ABORT_REASONS

@@ -42,7 +42,7 @@ class TestRecordRoundTrip:
         assert restored == original
 
     def test_records_are_versioned(self):
-        assert json.loads(record().to_json())["v"] == 4
+        assert json.loads(record().to_json())["v"] == 5
 
     def test_unknown_fields_are_ignored(self):
         data = json.loads(record().to_json())
@@ -117,6 +117,40 @@ class TestRecordRoundTrip:
         """A current-version row without a search payload (failure or
         non-ATPG cell) round-trips as-is."""
         original = record(outcome="ok", search={})
+        restored = TaskRecord.from_dict(json.loads(original.to_json()))
+        assert restored == original
+
+    def test_v4_rows_get_empty_lifecycle_synthesized_on_load(self):
+        """A v4 row predates the per-fault lifecycle records; they
+        cannot be rebuilt from counters, so the row loads with empty
+        forensics (and any stray value in the field is discarded)."""
+        data = json.loads(record().to_json())
+        data["v"] = 4
+        del data["lifecycle"]
+        assert TaskRecord.from_dict(data).lifecycle == {}
+
+        data["lifecycle"] = {"schema": 0, "faults": {"original": []}}
+        assert TaskRecord.from_dict(data).lifecycle == {}
+
+    def test_v5_lifecycle_round_trips(self):
+        fault_record = {
+            "fault": "x1/0",
+            "order": 0,
+            "outcome": "aborted",
+            "provenance": "targeted",
+            "abort_reason": "backtrack-limit",
+            "detected_by": None,
+            "backtracks": 300,
+            "frames": 5,
+            "sim_events": 12,
+            "cpu_seconds": 0.25,
+        }
+        original = record(
+            lifecycle={
+                "schema": 1,
+                "faults": {"original": [fault_record]},
+            }
+        )
         restored = TaskRecord.from_dict(json.loads(original.to_json()))
         assert restored == original
 

@@ -115,6 +115,24 @@ class TestEquivalence:
         key = "atpg.backtracks{circuit=dk16.ji.sd,engine=hitec}"
         assert metrics[key] > 0
 
+    def test_lifecycle_cores_in_ledger_rows(self, reports):
+        """Engine-pair cells persist the per-fault lifecycle core;
+        non-ATPG cells carry none."""
+        _, _, serial_dir, _ = reports
+        rows = ledger_rows_modulo_wall_time(serial_dir)
+        lifecycle = rows["hitec:dk16.ji.sd"]["lifecycle"]
+        assert lifecycle["schema"] == 1
+        for side in ("original", "retimed"):
+            records = lifecycle["faults"][side]
+            assert records
+            for record in records:
+                assert record["outcome"] in (
+                    "detected", "redundant", "aborted",
+                )
+                aborted = record["outcome"] == "aborted"
+                assert (record["abort_reason"] is not None) == aborted
+        assert rows["struct:dk16.ji.sd"]["lifecycle"] == {}
+
     def test_every_task_in_graph_has_a_row(self, reports):
         _, _, serial_dir, _ = reports
         rows = ledger_rows_modulo_wall_time(serial_dir)
